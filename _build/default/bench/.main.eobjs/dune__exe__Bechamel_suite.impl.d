@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Baselines Bechamel Benchmark Bytes Cycles Hashtbl Instance Kvmsim List Measure Printf Staged Stats Test Time Toolkit Vcc Vcrypto Vhttp Vjs Vm Wasp

@@ -1,0 +1,1 @@
+bench/exp_ablations.ml: Bench_util Bytes List Printf Stats String Vm Wasp

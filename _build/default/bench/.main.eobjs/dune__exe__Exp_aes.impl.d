@@ -1,0 +1,1 @@
+bench/exp_aes.ml: Bench_util Bytes Char Cycles List Printf Stats Vcrypto Wasp

@@ -1,0 +1,1 @@
+bench/exp_fig11.ml: Bench_util Cycles Int64 List Printf Stats Vcc Wasp

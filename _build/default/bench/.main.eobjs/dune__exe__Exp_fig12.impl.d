@@ -1,0 +1,1 @@
+bench/exp_fig12.ml: Bench_util List Printf Stats Vm Wasp

@@ -1,0 +1,1 @@
+bench/exp_fig13.ml: Array Bench_util Cycles Int64 List Printf Serverless Stats Vhttp Wasp

@@ -1,0 +1,1 @@
+bench/exp_fig15.ml: Array Bench_util Cycles Int64 List Printf Serverless Stats Vjs Wasp

@@ -1,0 +1,1 @@
+bench/exp_fig2.ml: Baselines Bench_util Kvmsim List Printf Stats

@@ -1,0 +1,1 @@
+bench/exp_fig3.ml: Bench_util List Printf Stats Vcc Vm Wasp

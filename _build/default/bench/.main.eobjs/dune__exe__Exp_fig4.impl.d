@@ -1,0 +1,1 @@
+bench/exp_fig4.ml: Array Bench_util Int64 List Printf Stats Vhttp Wasp

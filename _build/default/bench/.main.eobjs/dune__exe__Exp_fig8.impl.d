@@ -1,0 +1,1 @@
+bench/exp_fig8.ml: Baselines Bench_util Kvmsim List Printf Stats Vm Wasp

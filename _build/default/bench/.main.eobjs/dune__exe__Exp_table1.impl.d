@@ -1,0 +1,1 @@
+bench/exp_table1.ml: Array Bench_util Cycles Hashtbl List Option Printf Stats Vm

@@ -1,0 +1,1 @@
+bench/exp_table2.ml: Bench_util List Printf Stats Vm Wasp

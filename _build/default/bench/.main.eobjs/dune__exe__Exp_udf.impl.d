@@ -1,0 +1,1 @@
+bench/exp_udf.ml: Bench_util Cycles Float Hashtbl Int64 List Printf Stats Vdb Vjs Wasp

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Exp_ablations Exp_aes Exp_fig11 Exp_fig12 Exp_fig13 Exp_fig14 Exp_fig15 Exp_fig2 Exp_fig3 Exp_fig4 Exp_fig8 Exp_table1 Exp_table2 Exp_udf List Printf Sys

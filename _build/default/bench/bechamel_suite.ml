@@ -1,0 +1,88 @@
+(* Wall-clock microbenchmarks (Bechamel) of the kernels behind each
+   experiment: these measure the *simulator's* real execution speed, one
+   Test.make per table/figure kernel, complementing the virtual-cycle
+   results the experiments report. *)
+
+open Bechamel
+open Toolkit
+
+let fib_src = "virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+
+let make_tests () =
+  let boot_mem = Vm.Memory.create ~size:(64 * 1024) in
+  let boot_rng = Cycles.Rng.create ~seed:1 in
+  let t_table1 =
+    Test.make ~name:"table1/long-mode-boot"
+      (Staged.stage (fun () ->
+           let clock = Cycles.Clock.create () in
+           ignore (Vm.Boot.perform ~mem:boot_mem ~clock ~rng:boot_rng ~target:Vm.Modes.Long)))
+  in
+  let sys = Kvmsim.Kvm.open_dev () in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare sys in
+  let t_fig2 =
+    Test.make ~name:"fig2/vmrun-roundtrip"
+      (Staged.stage (fun () -> ignore (Baselines.Contexts.Vmrun_floor.measure floor)))
+  in
+  let fib_w = Wasp.Runtime.create ~clean:`Async () in
+  let fib_c = Vcc.Compile.compile ~name:"bfib" fib_src in
+  ignore (Vcc.Compile.invoke fib_w fib_c "fib" [ 10L ] ());
+  let t_fig11 =
+    Test.make ~name:"fig11/virtine-fib10"
+      (Staged.stage (fun () -> ignore (Vcc.Compile.invoke fib_w fib_c "fib" [ 10L ] ())))
+  in
+  let pad_w = Wasp.Runtime.create ~clean:`Async () in
+  let pad_img =
+    Wasp.Image.pad_to (Wasp.Image.of_asm_string ~name:"p" ~mode:Vm.Modes.Real "hlt") (256 * 1024)
+  in
+  ignore (Wasp.Runtime.run pad_w pad_img ());
+  let t_fig12 =
+    Test.make ~name:"fig12/256KB-image-load"
+      (Staged.stage (fun () -> ignore (Wasp.Runtime.run pad_w pad_img ())))
+  in
+  let http_w = Wasp.Runtime.create ~clean:`Async () in
+  let http_path = Vhttp.Fileserver.add_default_files (Wasp.Runtime.env http_w) in
+  let http_c = Vhttp.Fileserver.compile ~snapshot:true in
+  ignore (Vhttp.Fileserver.serve_virtine http_w http_c ~path:http_path);
+  let t_fig13 =
+    Test.make ~name:"fig13/http-request-virtine"
+      (Staged.stage (fun () ->
+           ignore (Vhttp.Fileserver.serve_virtine http_w http_c ~path:http_path)))
+  in
+  let js_input = Vjs.Workload.make_input ~size:256 in
+  let js_clock = Cycles.Clock.create () in
+  let t_fig14 =
+    Test.make ~name:"fig14/js-base64-baseline"
+      (Staged.stage (fun () ->
+           ignore (Vjs.Workload.run_baseline ~clock:js_clock ~input:js_input)))
+  in
+  let ks = Vcrypto.Aes.expand_key "0123456789abcdef" in
+  let block = Bytes.make 16 'a' in
+  let t_aes =
+    Test.make ~name:"sec6.4/aes-block-encrypt"
+      (Staged.stage (fun () -> ignore (Vcrypto.Aes.encrypt_block ks block ~pos:0)))
+  in
+  [ t_table1; t_fig2; t_fig11; t_fig12; t_fig13; t_fig14; t_aes ]
+
+let run () =
+  print_string (Stats.Report.section "Bechamel: simulator wall-clock microbenchmarks");
+  Printf.printf "(real time per simulated kernel; virtual-cycle results are above)\n\n";
+  let tests = make_tests () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~stabilize:false () in
+  List.iter
+    (fun test ->
+      List.iter
+        (fun (name, raw) ->
+          let est = Analyze.one ols instance raw in
+          match Analyze.OLS.estimates est with
+          | Some [ ns_per_run ] -> Printf.printf "  %-32s %12.1f ns/run\n" name ns_per_run
+          | Some _ | None -> Printf.printf "  %-32s (no estimate)\n" name)
+        (Hashtbl.fold
+           (fun k v acc -> (k, v) :: acc)
+           (Benchmark.all cfg [ instance ] test)
+           []))
+    tests;
+  print_newline ()

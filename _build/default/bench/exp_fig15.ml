@@ -1,0 +1,78 @@
+(* Figure 15: serverless virtine performance (Vespid) vs the
+   container-based OpenWhisk baseline under the Locust-style bursty load
+   profile: ramp-up, two bursts, ramp-down. Reports the per-second
+   latency and achieved-throughput series for both platforms. *)
+
+let input_bytes = 256
+
+let run () =
+  Bench_util.header "Figure 15: serverless virtines vs container platform"
+    "Figure 15, Section 7.1";
+  let input = Vjs.Workload.make_input ~size:input_bytes in
+  let js = Vjs.Workload.base64_js_source in
+  (* Vespid: virtine-backed, pooled + snapshotted *)
+  let w = Wasp.Runtime.create ~seed:0xF1615 ~clean:`Async () in
+  let vespid = Serverless.Vespid.create w in
+  Serverless.Vespid.register vespid ~name:"b64" ~source:js ~entry:"encode";
+  (* client-observed latency includes the platform front end (HTTP
+     endpoint, routing): ~1.2 ms, charged to both platforms *)
+  let frontend_rng = Cycles.Rng.create ~seed:0xFE15 in
+  let frontend () =
+    Int64.of_int (Cycles.Costs.jitter frontend_rng ~pct:0.15 3_200_000)
+  in
+  let vespid_service ~now:_ =
+    match Serverless.Vespid.invoke_timed vespid ~name:"b64" ~input with
+    | Ok _, cycles -> Int64.add (frontend ()) cycles
+    | Error e, _ -> failwith e
+  in
+  let vespid_buckets =
+    Serverless.Loadgen.run ~workers:8 ~service:vespid_service
+      ~profile:Serverless.Loadgen.bursty_profile ()
+  in
+  (* OpenWhisk-style containers: keep-alive and in-flight decisions use
+     the sim time the request starts service *)
+  let ow_clock = Cycles.Clock.create () in
+  let ow = Serverless.Openwhisk.create ~clock:ow_clock ~max_containers:16 () in
+  Serverless.Openwhisk.register ow ~name:"b64" ~source:js ~entry:"encode";
+  let ow_service ~now =
+    match Serverless.Openwhisk.invoke ow ~now ~name:"b64" ~input with
+    | Ok _, cycles -> Int64.add (frontend ()) cycles
+    | Error e, _ -> failwith e
+  in
+  let ow_buckets =
+    Serverless.Loadgen.run ~workers:8 ~service:ow_service
+      ~profile:Serverless.Loadgen.bursty_profile ()
+  in
+  let rows =
+    List.map2
+      (fun (v : Serverless.Loadgen.bucket) (o : Serverless.Loadgen.bucket) ->
+        [
+          Printf.sprintf "%.0f" v.Serverless.Loadgen.t_s;
+          Printf.sprintf "%.0f" v.Serverless.Loadgen.rps;
+          Printf.sprintf "%.1f" v.Serverless.Loadgen.mean_ms;
+          Printf.sprintf "%.0f" o.Serverless.Loadgen.rps;
+          Printf.sprintf "%.1f" o.Serverless.Loadgen.mean_ms;
+        ])
+      vespid_buckets ow_buckets
+  in
+  print_string
+    (Stats.Report.table
+       ~header:[ "t (s)"; "Vespid req/s"; "Vespid ms"; "OpenWhisk req/s"; "OpenWhisk ms" ]
+       rows);
+  let total b = List.fold_left (fun a x -> a + x.Serverless.Loadgen.completed) 0 b in
+  let mean_lat b =
+    let vals =
+      List.filter_map
+        (fun x ->
+          if x.Serverless.Loadgen.completed > 0 then Some x.Serverless.Loadgen.mean_ms else None)
+        b
+    in
+    if vals = [] then 0.0 else Stats.Descriptive.mean (Array.of_list vals)
+  in
+  Bench_util.note "Vespid: %d requests, mean %.1f ms; OpenWhisk: %d requests, mean %.1f ms"
+    (total vespid_buckets) (mean_lat vespid_buckets) (total ow_buckets) (mean_lat ow_buckets);
+  Bench_util.note "OpenWhisk cold starts: %d (warm hits %d); Vespid cold starts: 1 snapshot boot"
+    (Serverless.Openwhisk.cold_starts ow)
+    (Serverless.Openwhisk.warm_hits ow);
+  Bench_util.note
+    "shape: containers crater on bursts (cold-start latency spikes); virtines ride them out"

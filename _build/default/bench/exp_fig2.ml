@@ -1,0 +1,41 @@
+(* Figure 2: lower bounds on execution-context creation, in cycles.
+   "KVM" = construct a VM and run hlt; "vmrun" = bare KVM_RUN on an
+   existing VM; plus pthread create/join and a null function call. *)
+
+let run () =
+  Bench_util.header "Figure 2: context-creation lower bounds" "Figure 2, Section 4.2";
+  let sys = Kvmsim.Kvm.open_dev ~seed:0xF162 () in
+  let n = 1000 in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare sys in
+  let measure name f =
+    let xs = Stats.Descriptive.tukey_filter (Bench_util.trials n f) in
+    (name, Stats.Descriptive.summarize ~tukey:false xs)
+  in
+  let results =
+    [
+      measure "function" (fun () -> Baselines.Contexts.function_call sys);
+      measure "vmrun" (fun () -> Baselines.Contexts.Vmrun_floor.measure floor);
+      measure "Linux pthread" (fun () -> Baselines.Contexts.pthread_create_join sys);
+      measure "KVM" (fun () -> Baselines.Contexts.kvm_cold sys);
+    ]
+  in
+  let rows =
+    List.map
+      (fun (name, (s : Stats.Descriptive.summary)) ->
+        [
+          name;
+          Printf.sprintf "%.0f" s.mean;
+          Printf.sprintf "%.0f" s.stddev;
+          Printf.sprintf "%.0f" s.min;
+          Printf.sprintf "%.2f" (s.mean /. Bench_util.freq_ghz /. 1e3);
+        ])
+      results
+  in
+  print_string
+    (Stats.Report.table ~header:[ "context"; "mean (cycles)"; "sd"; "min"; "mean (us)" ] rows);
+  print_newline ();
+  print_string
+    (Stats.Report.bar_chart ~title:"cycles (log scale)" ~log:true
+       (List.map (fun (n, (s : Stats.Descriptive.summary)) -> (n, s.mean)) results));
+  Bench_util.note
+    "shape check: function << vmrun < pthread << KVM cold creation (paper Figure 2)"

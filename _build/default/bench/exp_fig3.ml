@@ -1,0 +1,40 @@
+(* Figure 3: latency to run fib(20) in the three classic x86 operating
+   modes. The same mini-C fib is compiled for real, protected and long
+   mode; each trial measures entry -> bring-up -> fib(20) -> exit on a
+   pooled shell (the paper's measurement starts at KVM_RUN). *)
+
+let fib_src = "virtine int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }"
+
+let run () =
+  Bench_util.header "Figure 3: fib(20) latency per processor mode" "Figure 3, Section 4.2 (E2/C2)";
+  let trials = 200 in
+  let measure mode =
+    let compiled = Vcc.Compile.compile ~snapshot:false ~mode ~name:"fib3" fib_src in
+    let w = Wasp.Runtime.create ~seed:0xF163 ~clean:`Async () in
+    (* warm the pool so provisioning is not part of the measurement *)
+    ignore (Vcc.Compile.invoke w compiled "fib" [ 20L ] ());
+    let xs =
+      Bench_util.trials trials (fun () ->
+          let r = Vcc.Compile.invoke w compiled "fib" [ 20L ] () in
+          assert (r.Wasp.Runtime.return_value = 6765L);
+          r.Wasp.Runtime.cycles)
+    in
+    Stats.Descriptive.summarize xs
+  in
+  let results = List.map (fun m -> (m, measure m)) Vm.Modes.all in
+  let rows =
+    List.map
+      (fun (m, (s : Stats.Descriptive.summary)) ->
+        [
+          Vm.Modes.to_string m ^ Printf.sprintf " (%d-bit)" (Vm.Modes.width_bits m);
+          Printf.sprintf "%.0f" s.mean;
+          Printf.sprintf "%.0f" s.stddev;
+          Printf.sprintf "%.2f" (s.mean /. Bench_util.freq_ghz /. 1e3);
+        ])
+      results
+  in
+  print_string (Stats.Report.table ~header:[ "mode"; "mean (cycles)"; "sd"; "mean (us)" ] rows);
+  let get m = (List.assoc m results).Stats.Descriptive.mean in
+  let saved = get Vm.Modes.Long -. get Vm.Modes.Real in
+  Bench_util.note "real-mode saving vs long mode: %.0f cycles (paper: ~10K may be saved)" saved;
+  Bench_util.note "computation (fib) dominates; differences are the Table 1 bring-up costs"

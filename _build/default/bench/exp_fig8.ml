@@ -1,0 +1,68 @@
+(* Figure 8: creation latencies for execution contexts, including Wasp
+   virtines with pooling (Wasp+C) and asynchronous cleaning (Wasp+CA),
+   plus SGX enclave creation and ECALL re-entry. Log-scale axis. *)
+
+let hlt_image () = Wasp.Image.of_asm_string ~name:"hlt" ~mode:Vm.Modes.Real "hlt"
+
+let wasp_arm ~pool ~clean n =
+  let w = Wasp.Runtime.create ~seed:0xF168 ~pool ~clean () in
+  let img = hlt_image () in
+  if pool then ignore (Wasp.Runtime.run w img ());
+  Stats.Descriptive.tukey_filter
+    (Bench_util.trials n (fun () -> (Wasp.Runtime.run w img ()).Wasp.Runtime.cycles))
+
+let run () =
+  Bench_util.header "Figure 8: creation latencies incl. Wasp virtines" "Figure 8, Section 5.2 (E4/C4)";
+  let sys = Kvmsim.Kvm.open_dev ~seed:0xF168 () in
+  let n = 1000 in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare sys in
+  let tukey f = Stats.Descriptive.tukey_filter (Bench_util.trials n f) in
+  let amd =
+    [
+      ("function", tukey (fun () -> Baselines.Contexts.function_call sys));
+      ("vmrun", tukey (fun () -> Baselines.Contexts.Vmrun_floor.measure floor));
+      ("Wasp+CA", wasp_arm ~pool:true ~clean:`Async n);
+      ("Wasp+C", wasp_arm ~pool:true ~clean:`Sync n);
+      ("Linux pthread", tukey (fun () -> Baselines.Contexts.pthread_create_join sys));
+      ("Wasp (cold)", wasp_arm ~pool:false ~clean:`Sync 200);
+      ("KVM", tukey (fun () -> Baselines.Contexts.kvm_cold sys));
+      ("Linux process", tukey (fun () -> Baselines.Contexts.process_spawn sys));
+    ]
+  in
+  let intel =
+    [
+      ("SGX ECALL", tukey (fun () -> Baselines.Contexts.Sgx.ecall sys));
+      ( "SGX Create",
+        Stats.Descriptive.tukey_filter
+          (Bench_util.trials 100 (fun () -> Baselines.Contexts.Sgx.create sys ~enclave_kb:4096)) );
+    ]
+  in
+  let row (name, xs) =
+    let s = Stats.Descriptive.summarize ~tukey:false xs in
+    [
+      name;
+      Printf.sprintf "%.0f" s.Stats.Descriptive.mean;
+      Printf.sprintf "%.0f" s.Stats.Descriptive.stddev;
+      Printf.sprintf "%.2f" (s.Stats.Descriptive.mean /. Bench_util.freq_ghz /. 1e3);
+    ]
+  in
+  print_string
+    (Stats.Report.table ~title:"AMD (tinker)"
+       ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
+       (List.map row amd));
+  print_newline ();
+  print_string
+    (Stats.Report.table ~title:"Intel (SGX testbed)"
+       ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
+       (List.map row intel));
+  print_newline ();
+  print_string
+    (Stats.Report.bar_chart ~title:"creation latency, cycles (log scale)" ~log:true
+       (List.map
+          (fun (name, xs) -> (name, Stats.Descriptive.mean xs))
+          (amd @ intel)));
+  let mean name lst = Stats.Descriptive.mean (List.assoc name lst) in
+  let vmrun = mean "vmrun" amd and ca = mean "Wasp+CA" amd in
+  Bench_util.note "Wasp+CA is within %.0f%% of bare vmrun (paper: 4%%)"
+    ((ca -. vmrun) /. vmrun *. 100.0);
+  Bench_util.note "Wasp+C and Wasp+CA beat pthread creation; cold Wasp tracks KVM (C4)"

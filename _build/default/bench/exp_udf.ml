@@ -1,0 +1,82 @@
+(* Section 7.1's UDF discussion, quantified: the cost of isolating
+   database UDFs in virtines, per isolation placement, against the
+   unisolated native baseline. *)
+
+let make_table n =
+  let t =
+    Vdb.Table.create ~name:"bench" [ ("id", Vdb.Table.Tint); ("v", Vdb.Table.Tint) ]
+  in
+  for i = 1 to n do
+    Vdb.Table.insert t [ Vdb.Table.Int (Int64.of_int i); Vdb.Table.Int (Int64.of_int (i * 7)) ];
+  done;
+  t
+
+let pred_src = "function pred(row) { return (row.v % 3) === 0; }"
+
+let run () =
+  Bench_util.header "Section 7.1: database UDF isolation cost" "§7.1 (UDF discussion)";
+  let rows = 64 in
+  let t = make_table rows in
+  let w = Wasp.Runtime.create ~seed:0x0DF ~clean:`Async () in
+  let udfs = Vdb.Udf.create w in
+  Vdb.Udf.register_js udfs ~name:"pred" ~source:pred_src ~entry:"pred";
+  let clock = Wasp.Runtime.clock w in
+  Vdb.Udf.register_native udfs ~name:"pred_native" (fun row ->
+      (* a compiled native predicate costs a few tens of cycles per row *)
+      Cycles.Clock.advance_int clock 45;
+      match row with
+      | Vjs.Jsvalue.Obj tbl -> (
+          match Hashtbl.find_opt tbl "v" with
+          | Some (Vjs.Jsvalue.Num v) ->
+              Ok (Vjs.Jsvalue.Bool (Float.rem v 3.0 = 0.0))
+          | _ -> Error "no v")
+      | _ -> Error "bad row");
+  Vdb.Udf.register_c udfs ~name:"pred_c"
+    ~source:"virtine int pred(int id, int v) { return v % 3 == 0; }" ~fn:"pred";
+  let expected =
+    match Vdb.Query.select udfs t ~where_:"pred_native" () with
+    | Ok rs -> List.length rs
+    | Error e -> failwith e
+  in
+  let timed name f =
+    (* warm once (snapshot boot), then measure *)
+    ignore (f ());
+    let t0 = Cycles.Clock.now clock in
+    (match f () with
+    | Ok rs -> assert (List.length rs = expected)
+    | Error e -> failwith e);
+    let cycles = Cycles.Clock.elapsed_since clock t0 in
+    (name, cycles)
+  in
+  let results =
+    [
+      timed "native OCaml (no isolation)" (fun () ->
+          Vdb.Query.select udfs t ~where_:"pred_native" ());
+      timed "JS virtine, per-query boundary" (fun () ->
+          Vdb.Query.select udfs t ~where_:"pred" ~isolation:Vdb.Query.Per_query ());
+      timed "JS virtine, per-row boundary" (fun () ->
+          Vdb.Query.select udfs t ~where_:"pred" ~isolation:Vdb.Query.Per_row ());
+      timed "C virtine, per-row" (fun () -> Vdb.Query.select_c udfs t ~where_:"pred_c" ());
+    ]
+  in
+  let base = match results with (_, c) :: _ -> Int64.to_float c | [] -> 1.0 in
+  let rows_out =
+    List.map
+      (fun (name, cycles) ->
+        [
+          name;
+          Printf.sprintf "%.1f" (Int64.to_float cycles /. Bench_util.freq_ghz /. 1e3);
+          Printf.sprintf "%.1f"
+            (Int64.to_float cycles /. float_of_int rows /. Bench_util.freq_ghz /. 1e3);
+          Printf.sprintf "%.0fx" (Int64.to_float cycles /. base);
+        ])
+      results
+  in
+  print_string
+    (Stats.Report.table
+       ~header:[ "executor"; "query (us)"; "per row (us)"; "vs native" ]
+       rows_out);
+  Bench_util.note "table: %d rows; predicate keeps %d" rows expected;
+  Bench_util.note
+    "per-query isolation costs one virtine boundary; per-row isolates UDF calls from each other";
+  Bench_util.note "(what per-process V8 cannot give, as §7.1 observes)"

@@ -1,0 +1,50 @@
+(* The evaluation harness: regenerates every table and figure of the
+   paper's evaluation, plus the §6.4 study and design ablations.
+
+   Usage:
+     dune exec bench/main.exe              # run everything
+     dune exec bench/main.exe -- fig11 fig14   # run a subset
+     dune exec bench/main.exe -- --list    # list experiment names *)
+
+let experiments =
+  [
+    ("table1", "boot component breakdown (Table 1)", Exp_table1.run);
+    ("fig2", "context-creation lower bounds (Figure 2)", Exp_fig2.run);
+    ("fig3", "fib(20) per processor mode (Figure 3)", Exp_fig3.run);
+    ("fig4", "echo server milestones (Figure 4)", Exp_fig4.run);
+    ("fig8", "creation latencies incl. Wasp and SGX (Figure 8)", Exp_fig8.run);
+    ("table2", "isolation boundary-crossing costs (Table 2)", Exp_table2.run);
+    ("fig11", "virtine latency vs fib(n) (Figure 11)", Exp_fig11.run);
+    ("fig12", "image size vs start-up latency (Figure 12)", Exp_fig12.run);
+    ("fig13", "HTTP server latency/throughput (Figure 13)", Exp_fig13.run);
+    ("fig14", "JavaScript virtine slowdowns (Figure 14)", Exp_fig14.run);
+    ("fig15", "serverless Vespid vs OpenWhisk (Figure 15)", Exp_fig15.run);
+    ("aes", "OpenSSL AES-128-CBC integration (Section 6.4)", Exp_aes.run);
+    ("udf", "database UDF isolation cost (Section 7.1)", Exp_udf.run);
+    ("ablations", "design-choice ablations (hypercalls, pool, marshalling)", Exp_ablations.run);
+    ("bechamel", "wall-clock microbenchmarks of the simulator", Bechamel_suite.run);
+  ]
+
+let list_experiments () =
+  print_endline "available experiments:";
+  List.iter (fun (name, desc, _) -> Printf.printf "  %-10s %s\n" name desc) experiments
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  match args with
+  | [ "--list" ] -> list_experiments ()
+  | [] ->
+      print_endline "Virtines reproduction: full evaluation";
+      print_endline "(all cycle figures are simulated on the paper's tinker calibration,";
+      print_endline " AMD EPYC 7281 @ 2.69 GHz; see DESIGN.md and EXPERIMENTS.md)";
+      List.iter (fun (_, _, run) -> run ()) experiments
+  | names ->
+      List.iter
+        (fun name ->
+          match List.find_opt (fun (n, _, _) -> n = name) experiments with
+          | Some (_, _, run) -> run ()
+          | None ->
+              Printf.eprintf "unknown experiment %S\n" name;
+              list_experiments ();
+              exit 1)
+        names

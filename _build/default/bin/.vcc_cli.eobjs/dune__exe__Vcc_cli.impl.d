@@ -1,0 +1,1 @@
+bin/vcc_cli.ml: Arg Cmd Cmdliner Cycles Disasm Filename Format Int64 List Printf String Term Vcc Vm Wasp

@@ -1,0 +1,1 @@
+bin/vcc_cli.mli:

@@ -1,0 +1,1 @@
+bin/vespid_cli.ml: Arg Bytes Cmd Cmdliner Cycles List Printf Serverless Term Vjs Wasp

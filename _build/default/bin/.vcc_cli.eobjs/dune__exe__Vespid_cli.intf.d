@@ -1,0 +1,1 @@
+bin/vespid_cli.mli:

@@ -1,0 +1,1 @@
+bin/wasprun.ml: Arg Asm Cmd Cmdliner Cycles Format List Printf Term Vm Wasp

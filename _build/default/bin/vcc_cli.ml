@@ -1,0 +1,135 @@
+(* vcc: the virtine C compiler driver (the paper's clang-wrapper
+   analogue). Compiles a .c file in the virtine dialect and runs a
+   function natively or as a virtine.
+
+     vcc_cli run FILE.c -f fib -a 20
+     vcc_cli run FILE.c -f fib -a 20 --native
+     vcc_cli images FILE.c
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let file_arg =
+  Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE" ~doc:"Virtine C source file")
+
+let func_arg =
+  Arg.(value & opt string "main" & info [ "f"; "function" ] ~docv:"NAME" ~doc:"Function to run")
+
+let args_arg =
+  Arg.(
+    value & opt_all int64 [] & info [ "a"; "arg" ] ~docv:"N" ~doc:"Integer argument (repeatable)")
+
+let native_arg =
+  Arg.(value & flag & info [ "native" ] ~doc:"Run on a bare CPU instead of in a virtine")
+
+let mode_arg =
+  let modes = [ ("real", Vm.Modes.Real); ("protected", Vm.Modes.Protected); ("long", Vm.Modes.Long) ] in
+  Arg.(value & opt (enum modes) Vm.Modes.Long & info [ "m"; "mode" ] ~doc:"Processor mode")
+
+let no_snapshot_arg =
+  Arg.(value & flag & info [ "no-snapshot" ] ~doc:"Disable the snapshot optimization")
+
+let compile_file ~mode ~snapshot path =
+  Vcc.Compile.compile ~mode ~snapshot ~name:(Filename.remove_extension (Filename.basename path))
+    (read_file path)
+
+let run_cmd =
+  let run file fname args native mode no_snapshot =
+    match compile_file ~mode ~snapshot:(not no_snapshot) file with
+    | exception Vcc.Compile.Compile_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | compiled ->
+        if native then begin
+          let clock = Cycles.Clock.create () in
+          let v = Vcc.Compile.invoke_native ~clock compiled fname args () in
+          Printf.printf "%s(%s) = %Ld  [native, %.1f us]\n" fname
+            (String.concat ", " (List.map Int64.to_string args))
+            v
+            (Cycles.Clock.to_us clock (Cycles.Clock.now clock));
+          0
+        end
+        else begin
+          match Vcc.Compile.find_virtine compiled fname with
+          | None ->
+              Printf.eprintf "error: %s is not virtine-annotated (try --native)\n" fname;
+              1
+          | Some _ ->
+              let w = Wasp.Runtime.create () in
+              let r = Vcc.Compile.invoke w compiled fname args () in
+              (match r.Wasp.Runtime.outcome with
+              | Wasp.Runtime.Exited _ ->
+                  Printf.printf "%s(%s) = %Ld  [virtine, %.1f us, %d hypercalls, %d denied]\n"
+                    fname
+                    (String.concat ", " (List.map Int64.to_string args))
+                    r.Wasp.Runtime.return_value
+                    (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
+                    r.Wasp.Runtime.hypercalls r.Wasp.Runtime.denied;
+                  0
+              | Wasp.Runtime.Faulted f ->
+                  Printf.printf "virtine faulted: %s\n"
+                    (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+                  1
+              | Wasp.Runtime.Fuel_exhausted ->
+                  print_endline "virtine ran out of fuel";
+                  1)
+        end
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Compile and run a function")
+    Term.(const run $ file_arg $ func_arg $ args_arg $ native_arg $ mode_arg $ no_snapshot_arg)
+
+let images_cmd =
+  let images file mode =
+    match compile_file ~mode ~snapshot:true file with
+    | exception Vcc.Compile.Compile_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | compiled ->
+        let vis = Vcc.Compile.virtines compiled in
+        if vis = [] then print_endline "no virtine-annotated functions"
+        else
+          List.iter
+            (fun (vi : Vcc.Compile.virtine_info) ->
+              Printf.printf "%s:\n  image %d bytes, guest region %d KB, %s mode\n  policy: %s\n"
+                vi.func.Vcc.Ast.fname
+                (Wasp.Image.size vi.image)
+                (vi.image.Wasp.Image.mem_size / 1024)
+                (Vm.Modes.to_string vi.image.Wasp.Image.mode)
+                (Format.asprintf "%a" Wasp.Policy.pp vi.policy))
+            vis;
+        0
+  in
+  Cmd.v
+    (Cmd.info "images" ~doc:"Show the virtine images a file compiles to")
+    Term.(const images $ file_arg $ mode_arg)
+
+let disasm_cmd =
+  let disasm file fname mode =
+    match compile_file ~mode ~snapshot:true file with
+    | exception Vcc.Compile.Compile_error msg ->
+        Printf.eprintf "error: %s\n" msg;
+        1
+    | compiled -> (
+        match Vcc.Compile.find_virtine compiled fname with
+        | None ->
+            Printf.eprintf "error: no virtine function %s\n" fname;
+            1
+        | Some vi ->
+            print_string (Disasm.of_program vi.Vcc.Compile.asm);
+            0)
+  in
+  Cmd.v
+    (Cmd.info "disasm" ~doc:"Disassemble a virtine function's image")
+    Term.(const disasm $ file_arg $ func_arg $ mode_arg)
+
+let () =
+  let doc = "virtine C compiler (vcc)" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "vcc" ~doc) [ run_cmd; images_cmd; disasm_cmd ]))

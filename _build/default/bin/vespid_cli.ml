@@ -1,0 +1,87 @@
+(* vespid: single-node serverless platform demo (§7.1). Registers JS
+   functions from files or built-ins and serves invocations.
+
+     vespid_cli demo
+     vespid_cli invoke -s FILE.js -e encode -d "payload"
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let demo_cmd =
+  let run () =
+    let w = Wasp.Runtime.create ~clean:`Async () in
+    let platform = Serverless.Vespid.create w in
+    Serverless.Vespid.register platform ~name:"base64" ~source:Vjs.Workload.base64_js_source
+      ~entry:"encode";
+    Serverless.Vespid.register platform ~name:"wordcount"
+      ~source:
+        {|function count(data) {
+            var words = 0;
+            var in_word = false;
+            for (var i = 0; i < data.length; i++) {
+              var space = data[i] === 32 || data[i] === 10 || data[i] === 9;
+              if (!space && !in_word) { words++; }
+              in_word = !space;
+            }
+            return "" + words;
+          }|}
+      ~entry:"count";
+    let clock = Wasp.Runtime.clock w in
+    print_endline "vespid: single-node serverless platform (virtine per invocation)";
+    List.iter
+      (fun (name, payload) ->
+        let result, cycles =
+          Serverless.Vespid.invoke_timed platform ~name ~input:(Bytes.of_string payload)
+        in
+        match result with
+        | Ok out ->
+            Printf.printf "  %s(%S) = %S  [%.0f us]\n" name payload out
+              (Cycles.Clock.to_us clock cycles)
+        | Error e -> Printf.printf "  %s failed: %s\n" name e)
+      [
+        ("base64", "serverless virtines");
+        ("wordcount", "how many words are in here");
+        ("base64", "warm path now");
+        ("wordcount", "two words");
+      ];
+    0
+  in
+  Cmd.v (Cmd.info "demo" ~doc:"Run the built-in demo functions") Term.(const run $ const ())
+
+let invoke_cmd =
+  let source = Arg.(required & opt (some file) None & info [ "s"; "source" ] ~docv:"FILE.js") in
+  let entry = Arg.(value & opt string "main" & info [ "e"; "entry" ] ~docv:"NAME") in
+  let data = Arg.(value & opt string "" & info [ "d"; "data" ] ~docv:"PAYLOAD") in
+  let trials = Arg.(value & opt int 1 & info [ "n" ] ~doc:"Invocation count") in
+  let run source entry data trials =
+    let w = Wasp.Runtime.create ~clean:`Async () in
+    let platform = Serverless.Vespid.create w in
+    Serverless.Vespid.register platform ~name:"f" ~source:(read_file source) ~entry;
+    let clock = Wasp.Runtime.clock w in
+    let code = ref 0 in
+    for i = 1 to trials do
+      let result, cycles =
+        Serverless.Vespid.invoke_timed platform ~name:"f" ~input:(Bytes.of_string data)
+      in
+      match result with
+      | Ok out -> Printf.printf "[%d] %S  [%.0f us]\n" i out (Cycles.Clock.to_us clock cycles)
+      | Error e ->
+          Printf.printf "[%d] error: %s\n" i e;
+          code := 1
+    done;
+    !code
+  in
+  Cmd.v
+    (Cmd.info "invoke" ~doc:"Register a JS file and invoke it")
+    Term.(const run $ source $ entry $ data $ trials)
+
+let () =
+  let doc = "Vespid: serverless functions in virtines" in
+  exit (Cmd.eval' (Cmd.group (Cmd.info "vespid" ~doc) [ demo_cmd; invoke_cmd ]))

@@ -1,0 +1,105 @@
+(* wasprun: load an assembled vx image and run it under Wasp, like
+   feeding a raw binary to the paper's runtime API.
+
+     wasprun FILE.vxa [--mode real|protected|long] [--allow read,write,...]
+     wasprun --example         # run a built-in demo image
+*)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let example_source =
+  {|
+; demo: compute 6*7 and report it via the exit hypercall
+start:
+  mov r1, 6
+  mov r2, 7
+  mov r0, r1
+  mul r0, r2
+  mov r1, r0
+  mov r0, 0      ; exit(r1)
+  out 1, r0
+  hlt
+|}
+
+let hc_by_name =
+  [
+    ("read", Wasp.Hc.read); ("write", Wasp.Hc.write); ("open", Wasp.Hc.open_);
+    ("close", Wasp.Hc.close); ("stat", Wasp.Hc.stat); ("snapshot", Wasp.Hc.snapshot);
+    ("get_data", Wasp.Hc.get_data); ("return_data", Wasp.Hc.return_data);
+    ("send", Wasp.Hc.send); ("recv", Wasp.Hc.recv); ("brk", Wasp.Hc.brk);
+    ("clock", Wasp.Hc.clock); ("getrandom", Wasp.Hc.getrandom);
+  ]
+
+let run file example mode allow all =
+  let source =
+    if example then Some example_source
+    else match file with Some f -> Some (read_file f) | None -> None
+  in
+  match source with
+  | None ->
+      prerr_endline "error: pass an assembly file or --example";
+      1
+  | Some src -> (
+      match Asm.assemble_string ~origin:Wasp.Layout.image_base src with
+      | exception Asm.Asm_error msg ->
+          Printf.eprintf "assembly error: %s\n" msg;
+          1
+      | program ->
+          let image = Wasp.Image.of_program ~name:"wasprun" ~mode program in
+          let policy =
+            if all then Wasp.Policy.allow_all
+            else
+              Wasp.Policy.of_list
+                (List.filter_map (fun n -> List.assoc_opt n hc_by_name) allow)
+          in
+          let w = Wasp.Runtime.create () in
+          Printf.printf "loaded %d bytes at 0x%x (%s mode), policy %s\n"
+            (Wasp.Image.size image) image.Wasp.Image.origin
+            (Vm.Modes.to_string image.Wasp.Image.mode)
+            (Format.asprintf "%a" Wasp.Policy.pp policy);
+          let r = Wasp.Runtime.run w image ~policy () in
+          if r.Wasp.Runtime.console <> "" then
+            Printf.printf "--- console ---\n%s---------------\n" r.Wasp.Runtime.console;
+          (match r.Wasp.Runtime.outcome with
+          | Wasp.Runtime.Exited code ->
+              Printf.printf "exited with %Ld  [%.1f us, %d hypercalls, %d denied]\n" code
+                (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
+                r.Wasp.Runtime.hypercalls r.Wasp.Runtime.denied;
+              0
+          | Wasp.Runtime.Faulted f ->
+              Printf.printf "faulted: %s\n"
+                (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+              1
+          | Wasp.Runtime.Fuel_exhausted ->
+              print_endline "out of fuel";
+              1))
+
+let () =
+  let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.vxa") in
+  let example = Arg.(value & flag & info [ "example" ] ~doc:"Run a built-in demo image") in
+  let mode =
+    let modes =
+      [ ("real", Vm.Modes.Real); ("protected", Vm.Modes.Protected); ("long", Vm.Modes.Long) ]
+    in
+    Arg.(value & opt (enum modes) Vm.Modes.Long & info [ "m"; "mode" ])
+  in
+  let allow =
+    Arg.(
+      value
+      & opt (list string) []
+      & info [ "allow" ] ~docv:"HC,..." ~doc:"Hypercalls to permit (default deny)")
+  in
+  let all = Arg.(value & flag & info [ "permissive" ] ~doc:"Allow all hypercalls") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
+      Term.(const run $ file $ example $ mode $ allow $ all)
+  in
+  exit (Cmd.eval' cmd)

@@ -1,0 +1,1 @@
+examples/aes_library.ml: Bytes Char Cycles List Printf String Vcrypto Wasp

@@ -1,0 +1,1 @@
+examples/db_udf.ml: Format List Printf Vdb Wasp

@@ -1,0 +1,1 @@
+examples/echo_server.mli:

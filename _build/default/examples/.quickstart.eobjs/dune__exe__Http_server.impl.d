@@ -1,0 +1,1 @@
+examples/http_server.ml: Cycles List Printf String Vhttp Wasp

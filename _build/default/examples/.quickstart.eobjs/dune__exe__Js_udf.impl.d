@@ -1,0 +1,1 @@
+examples/js_udf.ml: Bytes Cycles List Printf Serverless Vjs Wasp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cycles Format Int64 List Printf Vcc Vm Wasp

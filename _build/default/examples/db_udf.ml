@@ -1,0 +1,73 @@
+(* §7.1's database UDF scenario: user-defined functions isolated in
+   virtines, "allowing functions in unsafe languages to be safely used
+   for UDFs" and isolating UDFs from one another.
+
+     dune exec examples/db_udf.exe
+*)
+
+module T = Vdb.Table
+
+let () =
+  print_endline "== virtine-isolated database UDFs ==";
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let udfs = Vdb.Udf.create w in
+  let t = T.create ~name:"orders" [ ("id", T.Tint); ("item", T.Ttext); ("total", T.Tint) ] in
+  T.insert_all t
+    [
+      [ T.Int 1L; T.Text "keyboard"; T.Int 45L ];
+      [ T.Int 2L; T.Text "monitor"; T.Int 310L ];
+      [ T.Int 3L; T.Text "cable"; T.Int 9L ];
+      [ T.Int 4L; T.Text "workstation"; T.Int 2200L ];
+      [ T.Int 5L; T.Text "mouse"; T.Int 25L ];
+    ];
+  Printf.printf "table %s: %d rows\n\n" (T.name t) (T.length t);
+
+  (* a JavaScript UDF from an untrusted tenant *)
+  Vdb.Udf.register_js udfs ~name:"big_orders"
+    ~source:"function pred(row) { return row.total >= 100; }" ~entry:"pred";
+  Vdb.Udf.register_js udfs ~name:"describe"
+    ~source:
+      {|function fmt(row) { return row.item + " ($" + row.total + ")"; }|}
+    ~entry:"fmt";
+  print_endline "JS UDF query: big_orders |> describe (one virtine per query):";
+  (match Vdb.Query.select udfs t ~where_:"big_orders" ~project:"describe" () with
+  | Ok rows ->
+      List.iter
+        (fun row -> Printf.printf "  %s\n" (Format.asprintf "%a" T.pp_value (List.hd row)))
+        rows
+  | Error e -> Printf.printf "  error: %s\n" e);
+
+  (* the same query with per-row isolation: every evaluation in its own
+     virtine, so UDFs cannot even see each other's effects *)
+  print_endline "\nsame query, per-row isolation (a fresh virtine per evaluation):";
+  (match
+     Vdb.Query.select udfs t ~where_:"big_orders" ~project:"describe"
+       ~isolation:Vdb.Query.Per_row ()
+   with
+  | Ok rows -> Printf.printf "  %d rows (identical results, stronger isolation)\n" (List.length rows)
+  | Error e -> Printf.printf "  error: %s\n" e);
+
+  (* a C UDF: unsafe language, safely contained *)
+  print_endline "\na C UDF over the integer columns:";
+  Vdb.Udf.register_c udfs ~name:"cheap"
+    ~source:"virtine int pred(int id, int total) { return total < 50; }" ~fn:"pred";
+  (match Vdb.Query.select_c udfs t ~where_:"cheap" () with
+  | Ok rows ->
+      List.iter
+        (fun row ->
+          match row with
+          | [ _; T.Text item; T.Int total ] -> Printf.printf "  %s ($%Ld)\n" item total
+          | _ -> ())
+        rows
+  | Error e -> Printf.printf "  error: %s\n" e);
+
+  (* hostile tenants cannot take the engine down *)
+  print_endline "\na hostile UDF (infinite loop) is contained:";
+  Vdb.Udf.register_js udfs ~name:"dos" ~source:"function pred(row) { while (true) { } }"
+    ~entry:"pred";
+  (match Vdb.Query.select udfs t ~where_:"dos" () with
+  | Error e -> Printf.printf "  query failed safely: %s\n" e
+  | Ok _ -> print_endline "  unexpected success");
+  match Vdb.Query.select udfs t ~where_:"big_orders" () with
+  | Ok rows -> Printf.printf "  and the engine still serves: %d rows\n" (List.length rows)
+  | Error e -> Printf.printf "  error: %s\n" e

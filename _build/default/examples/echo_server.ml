@@ -1,0 +1,28 @@
+(* The Section 4.2 echo-server study: a protected-mode virtine handles an
+   HTTP request per invocation, with recv/send as its only capabilities.
+
+     dune exec examples/echo_server.exe
+*)
+
+let () =
+  print_endline "== echo server in a protected-mode virtine ==";
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let compiled = Vhttp.Echo.compile () in
+  print_endline "handler (virtine C, compiled for 32-bit protected mode):";
+  print_endline "  policy: recv + send only -- everything else is denied";
+  (* warm up, then serve a few requests and show the milestones *)
+  ignore (Vhttp.Echo.run_once w compiled ~payload:"warmup");
+  let clock = Wasp.Runtime.clock w in
+  List.iter
+    (fun payload ->
+      let ms, result = Vhttp.Echo.run_once w compiled ~payload in
+      Printf.printf "\nrequest %S\n" payload;
+      Printf.printf "  reached C code after %6.1f us\n" (Cycles.Clock.to_us clock ms.Vhttp.Echo.entry);
+      Printf.printf "  recv() returned     %6.1f us\n"
+        (Cycles.Clock.to_us clock ms.Vhttp.Echo.recv_done);
+      Printf.printf "  send() completed    %6.1f us\n"
+        (Cycles.Clock.to_us clock ms.Vhttp.Echo.send_done);
+      Printf.printf "  echoed %Ld bytes, %d hypercalls\n" result.Wasp.Runtime.return_value
+        result.Wasp.Runtime.hypercalls)
+    [ "GET / HTTP/1.0\r\n\r\n"; "GET /index.html HTTP/1.0\r\nHost: tinker\r\n\r\n" ];
+  print_endline "\n(sub-millisecond HTTP responses from a fresh VM per request, as in the paper)"

@@ -1,0 +1,52 @@
+(* Untrusted user-defined functions (the §6.5 / §7.1 scenario): JavaScript
+   from users runs inside virtines where the only capabilities are
+   get_data / return_data / snapshot -- a hostile UDF can at worst
+   terminate its own virtine.
+
+     dune exec examples/js_udf.exe
+*)
+
+let () =
+  print_endline "== untrusted JavaScript UDFs in virtines (Vespid) ==";
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let platform = Serverless.Vespid.create w in
+  (* a well-behaved UDF *)
+  Serverless.Vespid.register platform ~name:"b64" ~source:Vjs.Workload.base64_js_source
+    ~entry:"encode";
+  (* a UDF that shouts *)
+  Serverless.Vespid.register platform ~name:"shout"
+    ~source:
+      {|function shout(data) {
+          var s = "";
+          for (var i = 0; i < data.length; i++) { s += String.fromCharCode(data[i]); }
+          return s.toUpperCase() + "!";
+        }|}
+    ~entry:"shout";
+  (* a hostile UDF: infinite loop -- the engine's step budget kills it *)
+  Serverless.Vespid.register platform ~name:"spin"
+    ~source:"function spin(data) { while (true) { } }" ~entry:"spin";
+  (* a buggy UDF *)
+  Serverless.Vespid.register platform ~name:"buggy"
+    ~source:"function buggy(data) { return data.no_such_method(); }" ~entry:"buggy";
+  let clock = Wasp.Runtime.clock w in
+  let invoke name input =
+    let result, cycles =
+      Serverless.Vespid.invoke_timed platform ~name ~input:(Bytes.of_string input)
+    in
+    match result with
+    | Ok out -> Printf.printf "  %-6s -> %S  [%.0f us]\n" name out (Cycles.Clock.to_us clock cycles)
+    | Error e -> Printf.printf "  %-6s -> error: %s (virtine terminated, host unharmed)\n" name e
+  in
+  print_endline "registered functions:";
+  List.iter (Printf.printf "  - %s\n") (Serverless.Vespid.registered platform);
+  print_endline "\nfirst invocations (cold: boot + engine init + snapshot):";
+  invoke "b64" "hello virtines";
+  invoke "shout" "isolation";
+  print_endline "\nwarm invocations (snapshot restore, no engine setup):";
+  invoke "b64" "hello again";
+  invoke "shout" "fast now";
+  print_endline "\nhostile / buggy code is contained:";
+  invoke "spin" "x";
+  invoke "buggy" "x";
+  print_endline "\nand the platform keeps serving:";
+  invoke "b64" "still alive"

@@ -1,0 +1,56 @@
+(* Quickstart: the paper's Figure 9 example.
+
+   Annotate a C function with [virtine]; every call then runs in its own
+   isolated micro-VM, with arguments marshalled in and the result
+   marshalled out. Run with:
+
+     dune exec examples/quickstart.exe
+*)
+
+let source =
+  {|
+// the paper's Figure 9, verbatim
+virtine int fib(int n) {
+  if (n < 2) return n;
+  return fib(n - 1) + fib(n - 2);
+}
+|}
+
+let () =
+  print_endline "== virtines quickstart ==";
+  print_endline "compiling with the virtine C extensions...";
+  let compiled = Vcc.Compile.compile ~name:"quickstart" source in
+  let vi =
+    match Vcc.Compile.find_virtine compiled "fib" with
+    | Some vi -> vi
+    | None -> failwith "fib was not annotated?"
+  in
+  Printf.printf "  image: %d bytes of code, %d KB guest region, %s mode\n"
+    (Wasp.Image.size vi.Vcc.Compile.image)
+    (vi.Vcc.Compile.image.Wasp.Image.mem_size / 1024)
+    (Vm.Modes.to_string vi.Vcc.Compile.image.Wasp.Image.mode);
+  (* an embeddable Wasp runtime: this is all a virtine client needs *)
+  let w = Wasp.Runtime.create () in
+  print_endline "invoking fib in isolated virtines:";
+  List.iter
+    (fun n ->
+      let r = Vcc.Compile.invoke w compiled "fib" [ Int64.of_int n ] () in
+      Printf.printf "  fib(%2d) = %-8Ld  [%6.1f us%s%s]\n" n r.Wasp.Runtime.return_value
+        (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
+        (if r.Wasp.Runtime.from_snapshot then ", snapshot" else ", cold boot")
+        (if r.Wasp.Runtime.from_pool then ", pooled shell" else ""))
+    [ 10; 15; 20; 10; 15; 20 ];
+  let stats = Wasp.Runtime.pool_stats w in
+  Printf.printf "shells created: %d, reused: %d (the pool at work)\n"
+    stats.Wasp.Pool.created stats.Wasp.Pool.reused;
+  (* isolation in action: the same runtime survives a wild virtine *)
+  print_endline "\na misbehaving virtine cannot hurt the host:";
+  let bad = Vcc.Compile.compile ~name:"bad" "virtine int wild() { int *p = (int*) 900000000; return *p; }" in
+  let r = Vcc.Compile.invoke w bad "wild" [] () in
+  (match r.Wasp.Runtime.outcome with
+  | Wasp.Runtime.Faulted f ->
+      Printf.printf "  virtine faulted in isolation: %s\n"
+        (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f))
+  | _ -> print_endline "  unexpected: no fault?");
+  let r = Vcc.Compile.invoke w compiled "fib" [ 12L ] () in
+  Printf.printf "  and the runtime still works: fib(12) = %Ld\n" r.Wasp.Runtime.return_value

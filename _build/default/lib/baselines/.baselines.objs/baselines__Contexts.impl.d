@@ -1,0 +1,1 @@
+lib/baselines/contexts.ml: Cycles Encoding Instr Kvmsim Vm

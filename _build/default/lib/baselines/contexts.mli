@@ -1,0 +1,39 @@
+(** Execution-context creation baselines (Figures 2 and 8).
+
+    Each measurement performs the real sequence of charged operations for
+    one kind of execution context and returns the elapsed virtual cycles:
+
+    - [function_call]: a null native call and return.
+    - [pthread_create_join]: thread spawn + join.
+    - [process_spawn]: fork + exec + exit + wait (for scale in Fig. 8).
+    - [kvm_cold]: KVM_CREATE_VM + memory region + vCPU + KVM_RUN of an
+      image that immediately executes hlt — Figure 2's "KVM".
+    - [Vmrun_floor]: the bare KVM_RUN ioctl on an already-constructed VM —
+      the hardware limit everything is compared against.
+    - [Sgx]: ECREATE + per-page EADD/EEXTEND + EINIT, and ECALL for
+      re-entry (Figure 8 bottom). *)
+
+val function_call : Kvmsim.Kvm.system -> int64
+val pthread_create_join : Kvmsim.Kvm.system -> int64
+val process_spawn : Kvmsim.Kvm.system -> int64
+
+val kvm_cold : Kvmsim.Kvm.system -> int64
+(** Builds a fresh VM each call; the dominant cost is the in-kernel
+    state allocation. *)
+
+module Vmrun_floor : sig
+  type t
+
+  val prepare : Kvmsim.Kvm.system -> t
+  (** Construct the VM and load the hlt image once. *)
+
+  val measure : t -> int64
+  (** One KVM_RUN entry/exit round trip. *)
+end
+
+module Sgx : sig
+  val create : Kvmsim.Kvm.system -> enclave_kb:int -> int64
+  (** ECREATE + EADD/EEXTEND per 4 KB page + EINIT. *)
+
+  val ecall : Kvmsim.Kvm.system -> int64
+end

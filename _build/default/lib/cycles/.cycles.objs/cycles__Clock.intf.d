@@ -1,0 +1,1 @@
+lib/cycles/clock.mli:

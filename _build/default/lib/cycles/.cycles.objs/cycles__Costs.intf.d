@@ -1,0 +1,1 @@
+lib/cycles/costs.mli: Rng

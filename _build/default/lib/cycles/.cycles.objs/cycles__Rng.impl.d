@@ -1,0 +1,1 @@
+lib/cycles/rng.ml: Float Int64

@@ -1,0 +1,1 @@
+lib/cycles/rng.mli:

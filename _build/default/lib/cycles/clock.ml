@@ -1,0 +1,23 @@
+type t = { mutable cycles : int64; freq_ghz : float }
+
+let create ?(freq_ghz = 2.69) () = { cycles = 0L; freq_ghz }
+
+let now t = t.cycles
+
+let advance t c =
+  assert (Int64.compare c 0L >= 0);
+  t.cycles <- Int64.add t.cycles c
+
+let advance_int t c = advance t (Int64.of_int c)
+
+let freq_ghz t = t.freq_ghz
+
+let to_ns t c = Int64.to_float c /. t.freq_ghz
+
+let to_us t c = to_ns t c /. 1e3
+
+let to_ms t c = to_ns t c /. 1e6
+
+let of_us t us = Int64.of_float (us *. t.freq_ghz *. 1e3)
+
+let elapsed_since t start = Int64.sub t.cycles start

@@ -1,0 +1,1 @@
+lib/dessim/sim.ml: Array Int64 Queue

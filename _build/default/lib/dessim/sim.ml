@@ -1,0 +1,152 @@
+(* binary heap keyed by (time, sequence) *)
+
+type event = { time : int64; seq : int; action : unit -> unit }
+
+type t = {
+  mutable heap : event array;
+  mutable size : int;
+  mutable clock : int64;
+  mutable next_seq : int;
+}
+
+let create () =
+  {
+    heap = Array.make 64 { time = 0L; seq = 0; action = (fun () -> ()) };
+    size = 0;
+    clock = 0L;
+    next_seq = 0;
+  }
+
+let now t = t.clock
+
+let earlier a b = a.time < b.time || (a.time = b.time && a.seq < b.seq)
+
+let swap t i j =
+  let tmp = t.heap.(i) in
+  t.heap.(i) <- t.heap.(j);
+  t.heap.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if earlier t.heap.(i) t.heap.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && earlier t.heap.(l) t.heap.(!smallest) then smallest := l;
+  if r < t.size && earlier t.heap.(r) t.heap.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let push t ev =
+  if t.size = Array.length t.heap then begin
+    let bigger = Array.make (2 * t.size) ev in
+    Array.blit t.heap 0 bigger 0 t.size;
+    t.heap <- bigger
+  end;
+  t.heap.(t.size) <- ev;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.heap.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.heap.(0) <- t.heap.(t.size);
+      sift_down t 0
+    end;
+    Some top
+  end
+
+let peek t = if t.size = 0 then None else Some t.heap.(0)
+
+let schedule t ~delay action =
+  if Int64.compare delay 0L < 0 then invalid_arg "Sim.schedule: negative delay";
+  let ev = { time = Int64.add t.clock delay; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let at t ~time action =
+  let time = if Int64.compare time t.clock < 0 then t.clock else time in
+  let ev = { time; seq = t.next_seq; action } in
+  t.next_seq <- t.next_seq + 1;
+  push t ev
+
+let run ?until t =
+  let continue = ref true in
+  while !continue do
+    match peek t with
+    | None -> continue := false
+    | Some ev -> (
+        match until with
+        | Some limit when Int64.compare ev.time limit > 0 -> continue := false
+        | Some _ | None ->
+            ignore (pop t);
+            t.clock <- ev.time;
+            ev.action ())
+  done;
+  match until with
+  | Some limit when Int64.compare t.clock limit < 0 && t.size = 0 -> t.clock <- limit
+  | Some limit when t.size > 0 && Int64.compare t.clock limit < 0 -> t.clock <- limit
+  | _ -> ()
+
+let pending t = t.size
+
+module Server = struct
+  type request = { enqueued : int64; on_done : wait:int64 -> service:int64 -> unit }
+
+  type server = {
+    sim : t;
+    service : now:int64 -> int64;
+    queue : request Queue.t;
+    workers : int;
+    mutable busy_count : int;
+    mutable done_count : int;
+    mutable busy_total : int64;
+  }
+
+  let create ?(workers = 1) sim ~service =
+    if workers < 1 then invalid_arg "Sim.Server.create: workers must be >= 1";
+    {
+      sim;
+      service;
+      queue = Queue.create ();
+      workers;
+      busy_count = 0;
+      done_count = 0;
+      busy_total = 0L;
+    }
+
+  let rec start_next s =
+    if s.busy_count < s.workers then begin
+      match Queue.take_opt s.queue with
+      | None -> ()
+      | Some req ->
+          s.busy_count <- s.busy_count + 1;
+          let wait = Int64.sub (now s.sim) req.enqueued in
+          let duration = s.service ~now:(now s.sim) in
+          s.busy_total <- Int64.add s.busy_total duration;
+          schedule s.sim ~delay:duration (fun () ->
+              s.done_count <- s.done_count + 1;
+              s.busy_count <- s.busy_count - 1;
+              req.on_done ~wait ~service:duration;
+              start_next s);
+          start_next s
+    end
+
+  let submit s ~on_done =
+    Queue.add { enqueued = now s.sim; on_done } s.queue;
+    start_next s
+
+  let completed s = s.done_count
+  let busy_cycles s = s.busy_total
+end

@@ -1,0 +1,1 @@
+lib/isa/asm.ml: Buffer Bytes Char Encoding Hashtbl Instr Int64 List Printf String

@@ -1,0 +1,1 @@
+lib/isa/disasm.ml: Asm Buffer Bytes Char Encoding Instr List Printf String

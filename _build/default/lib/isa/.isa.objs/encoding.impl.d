@@ -1,0 +1,1 @@
+lib/isa/encoding.ml: Buffer Bytes Char Instr Int64 List Printf

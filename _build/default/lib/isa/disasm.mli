@@ -1,0 +1,23 @@
+(** Disassembler for vx images.
+
+    Renders an encoded blob back to readable assembly with addresses,
+    resolving branch targets to labels where a symbol table is available
+    (the objdump of this toolchain). *)
+
+type line = {
+  addr : int;
+  size : int;
+  instr : Instr.t option;  (** [None] for undecodable bytes *)
+  bytes : string;          (** raw bytes, hex *)
+}
+
+val disassemble : ?origin:int -> bytes -> line list
+(** Linear sweep from [origin] (default 0x8000). On an undecodable byte,
+    emits a one-byte data line and resynchronizes at the next byte. *)
+
+val render : ?symbols:(string * int) list -> line list -> string
+(** Pretty text: addresses, bytes, mnemonics; label definitions
+    interleaved and branch targets annotated from [symbols]. *)
+
+val of_program : Asm.program -> string
+(** Disassemble an assembled program with its own symbol table. *)

@@ -1,0 +1,300 @@
+exception Decode_error of { addr : int; msg : string }
+
+let op_hlt = 0x00
+let op_nop = 0x01
+let op_mov = 0x02
+let op_bin_base = 0x10 (* + binop index, Add..Sar = 0x10..0x1A *)
+let op_neg = 0x1b
+let op_not = 0x1c
+let op_cmp = 0x1d
+let op_jmp = 0x20
+let op_jcc = 0x21
+let op_call = 0x22
+let op_callr = 0x23
+let op_ret = 0x24
+let op_push = 0x25
+let op_pop = 0x26
+let op_load_base = 0x30 (* + width index *)
+let op_store_base = 0x34
+let op_lea = 0x38
+let op_out = 0x40
+let op_in = 0x41
+let op_rdtsc = 0x42
+
+let binop_index : Instr.binop -> int = function
+  | Add -> 0
+  | Sub -> 1
+  | Mul -> 2
+  | Div -> 3
+  | Rem -> 4
+  | And -> 5
+  | Or -> 6
+  | Xor -> 7
+  | Shl -> 8
+  | Shr -> 9
+  | Sar -> 10
+
+let binop_of_index : int -> Instr.binop option = function
+  | 0 -> Some Add
+  | 1 -> Some Sub
+  | 2 -> Some Mul
+  | 3 -> Some Div
+  | 4 -> Some Rem
+  | 5 -> Some And
+  | 6 -> Some Or
+  | 7 -> Some Xor
+  | 8 -> Some Shl
+  | 9 -> Some Shr
+  | 10 -> Some Sar
+  | _ -> None
+
+let cond_index : Instr.cond -> int = function
+  | Eq -> 0
+  | Ne -> 1
+  | Lt -> 2
+  | Le -> 3
+  | Gt -> 4
+  | Ge -> 5
+  | Ult -> 6
+  | Ule -> 7
+  | Ugt -> 8
+  | Uge -> 9
+
+let cond_of_index : int -> Instr.cond option = function
+  | 0 -> Some Eq
+  | 1 -> Some Ne
+  | 2 -> Some Lt
+  | 3 -> Some Le
+  | 4 -> Some Gt
+  | 5 -> Some Ge
+  | 6 -> Some Ult
+  | 7 -> Some Ule
+  | 8 -> Some Ugt
+  | 9 -> Some Uge
+  | _ -> None
+
+let width_index : Instr.width -> int = function W8 -> 0 | W16 -> 1 | W32 -> 2 | W64 -> 3
+
+let width_of_index : int -> Instr.width option = function
+  | 0 -> Some W8
+  | 1 -> Some W16
+  | 2 -> Some W32
+  | 3 -> Some W64
+  | _ -> None
+
+let add_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xFF))
+
+let add_i32 buf v =
+  add_u8 buf v;
+  add_u8 buf (v asr 8);
+  add_u8 buf (v asr 16);
+  add_u8 buf (v asr 24)
+
+let add_i64 buf v =
+  for i = 0 to 7 do
+    add_u8 buf (Int64.to_int (Int64.shift_right_logical v (8 * i)))
+  done
+
+let add_operand buf : Instr.operand -> unit = function
+  | Reg r -> add_u8 buf r
+  | Imm i ->
+      add_u8 buf 0x80;
+      add_i64 buf i
+
+let operand_size : Instr.operand -> int = function Reg _ -> 1 | Imm _ -> 9
+
+let encode buf : Instr.t -> unit = function
+  | Hlt -> add_u8 buf op_hlt
+  | Nop -> add_u8 buf op_nop
+  | Mov (rd, src) ->
+      add_u8 buf op_mov;
+      add_u8 buf rd;
+      add_operand buf src
+  | Bin (op, rd, src) ->
+      add_u8 buf (op_bin_base + binop_index op);
+      add_u8 buf rd;
+      add_operand buf src
+  | Neg r ->
+      add_u8 buf op_neg;
+      add_u8 buf r
+  | Not r ->
+      add_u8 buf op_not;
+      add_u8 buf r
+  | Cmp (r, src) ->
+      add_u8 buf op_cmp;
+      add_u8 buf r;
+      add_operand buf src
+  | Jmp a ->
+      add_u8 buf op_jmp;
+      add_i32 buf a
+  | Jcc (c, a) ->
+      add_u8 buf op_jcc;
+      add_u8 buf (cond_index c);
+      add_i32 buf a
+  | Call a ->
+      add_u8 buf op_call;
+      add_i32 buf a
+  | Callr r ->
+      add_u8 buf op_callr;
+      add_u8 buf r
+  | Ret -> add_u8 buf op_ret
+  | Push src ->
+      add_u8 buf op_push;
+      add_operand buf src
+  | Pop r ->
+      add_u8 buf op_pop;
+      add_u8 buf r
+  | Load (w, rd, rb, d) ->
+      add_u8 buf (op_load_base + width_index w);
+      add_u8 buf rd;
+      add_u8 buf rb;
+      add_i32 buf d
+  | Store (w, rb, d, src) ->
+      add_u8 buf (op_store_base + width_index w);
+      add_u8 buf rb;
+      add_i32 buf d;
+      add_operand buf src
+  | Lea (rd, rb, d) ->
+      add_u8 buf op_lea;
+      add_u8 buf rd;
+      add_u8 buf rb;
+      add_i32 buf d
+  | Out (p, src) ->
+      add_u8 buf op_out;
+      add_u8 buf p;
+      add_operand buf src
+  | In (r, p) ->
+      add_u8 buf op_in;
+      add_u8 buf r;
+      add_u8 buf p
+  | Rdtsc r ->
+      add_u8 buf op_rdtsc;
+      add_u8 buf r
+
+let encoded_size : Instr.t -> int = function
+  | Hlt | Nop | Ret -> 1
+  | Neg _ | Not _ | Callr _ | Pop _ | Rdtsc _ -> 2
+  | Mov (_, src) | Bin (_, _, src) | Cmp (_, src) -> 2 + operand_size src
+  | Jmp _ | Call _ -> 5
+  | Jcc _ -> 6
+  | Push src -> 1 + operand_size src
+  | Load _ | Lea _ -> 7
+  | Store (_, _, _, src) -> 6 + operand_size src
+  | Out (_, src) -> 2 + operand_size src
+  | In _ -> 3
+
+let decode read_byte addr =
+  let fail msg = raise (Decode_error { addr; msg }) in
+  let pos = ref addr in
+  let u8 () =
+    let v = read_byte !pos in
+    incr pos;
+    v
+  in
+  let reg () =
+    let r = u8 () in
+    if r >= Instr.num_regs then fail (Printf.sprintf "bad register %d" r);
+    r
+  in
+  let i32 () =
+    let b0 = u8 () and b1 = u8 () and b2 = u8 () and b3 = u8 () in
+    let v = b0 lor (b1 lsl 8) lor (b2 lsl 16) lor (b3 lsl 24) in
+    (* sign-extend from 32 bits *)
+    (v lsl 32) asr 32
+  in
+  let i64 () =
+    let v = ref 0L in
+    for i = 0 to 7 do
+      v := Int64.logor !v (Int64.shift_left (Int64.of_int (u8 ())) (8 * i))
+    done;
+    !v
+  in
+  let operand () : Instr.operand =
+    let b = u8 () in
+    if b land 0x80 <> 0 then Imm (i64 ())
+    else if b < Instr.num_regs then Reg b
+    else fail (Printf.sprintf "bad operand byte 0x%x" b)
+  in
+  let op = u8 () in
+  let instr : Instr.t =
+    if op = op_hlt then Hlt
+    else if op = op_nop then Nop
+    else if op = op_mov then
+      let rd = reg () in
+      Mov (rd, operand ())
+    else if op >= op_bin_base && op <= op_bin_base + 10 then begin
+      match binop_of_index (op - op_bin_base) with
+      | Some b ->
+          let rd = reg () in
+          Bin (b, rd, operand ())
+      | None -> fail "bad binop"
+    end
+    else if op = op_neg then Neg (reg ())
+    else if op = op_not then Not (reg ())
+    else if op = op_cmp then
+      let r = reg () in
+      Cmp (r, operand ())
+    else if op = op_jmp then Jmp (i32 ())
+    else if op = op_jcc then begin
+      match cond_of_index (u8 ()) with
+      | Some c -> Jcc (c, i32 ())
+      | None -> fail "bad condition code"
+    end
+    else if op = op_call then Call (i32 ())
+    else if op = op_callr then Callr (reg ())
+    else if op = op_ret then Ret
+    else if op = op_push then Push (operand ())
+    else if op = op_pop then Pop (reg ())
+    else if op >= op_load_base && op < op_load_base + 4 then begin
+      match width_of_index (op - op_load_base) with
+      | Some w ->
+          let rd = reg () in
+          let rb = reg () in
+          Load (w, rd, rb, i32 ())
+      | None -> fail "bad width"
+    end
+    else if op >= op_store_base && op < op_store_base + 4 then begin
+      match width_of_index (op - op_store_base) with
+      | Some w ->
+          let rb = reg () in
+          let d = i32 () in
+          Store (w, rb, d, operand ())
+      | None -> fail "bad width"
+    end
+    else if op = op_lea then begin
+      let rd = reg () in
+      let rb = reg () in
+      Lea (rd, rb, i32 ())
+    end
+    else if op = op_out then begin
+      let p = u8 () in
+      Out (p, operand ())
+    end
+    else if op = op_in then begin
+      let r = reg () in
+      In (r, u8 ())
+    end
+    else if op = op_rdtsc then Rdtsc (reg ())
+    else fail (Printf.sprintf "illegal opcode 0x%02x" op)
+  in
+  (instr, !pos - addr)
+
+let encode_program instrs =
+  let buf = Buffer.create 256 in
+  List.iter (encode buf) instrs;
+  Buffer.to_bytes buf
+
+let decode_program blob =
+  let len = Bytes.length blob in
+  let read_byte a =
+    if a < 0 || a >= len then raise (Decode_error { addr = a; msg = "out of bounds" })
+    else Char.code (Bytes.get blob a)
+  in
+  let rec go addr acc =
+    if addr >= len then List.rev acc
+    else begin
+      let i, sz = decode read_byte addr in
+      go (addr + sz) (i :: acc)
+    end
+  in
+  go 0 []

@@ -1,0 +1,31 @@
+(** Binary encoding of vx instructions.
+
+    Virtine images are flat byte blobs loaded into guest memory (the paper
+    loads them at guest address 0x8000); the CPU fetches and decodes from
+    guest memory, so image size is a real quantity (Figure 12 sweeps it).
+
+    Layout: a 1-byte opcode followed by operand fields. Register operands
+    are one byte (0x00-0x0F); an operand byte with the high bit set
+    (0x80) announces a little-endian signed 64-bit immediate. Branch
+    targets and displacements are little-endian 32-bit. *)
+
+exception Decode_error of { addr : int; msg : string }
+
+val encode : Buffer.t -> Instr.t -> unit
+(** Append the encoding of one instruction. *)
+
+val encoded_size : Instr.t -> int
+(** Size in bytes of the encoding (needed for two-pass layout). *)
+
+val decode : (int -> int) -> int -> Instr.t * int
+(** [decode read_byte addr] decodes the instruction at [addr], where
+    [read_byte a] returns the byte at guest address [a]. Returns the
+    instruction and its size. Raises {!Decode_error} on an illegal
+    opcode or malformed operand — the CPU turns that into an
+    invalid-opcode fault. *)
+
+val encode_program : Instr.t list -> bytes
+(** Concatenated encoding. *)
+
+val decode_program : bytes -> Instr.t list
+(** Decode an entire blob (must contain only whole instructions). *)

@@ -1,0 +1,1 @@
+lib/kvmsim/kvm.ml: Cycles Instr Vm

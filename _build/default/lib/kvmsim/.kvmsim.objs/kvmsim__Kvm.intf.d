@@ -1,0 +1,1 @@
+lib/kvmsim/kvm.mli: Cycles Instr Vm

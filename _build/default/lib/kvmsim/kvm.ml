@@ -1,0 +1,85 @@
+type system = {
+  clock : Cycles.Clock.t;
+  rng : Cycles.Rng.t;
+  stats : stats;
+}
+
+and stats = {
+  mutable vm_creations : int;
+  mutable vcpu_creations : int;
+  mutable runs : int;
+  mutable io_exits : int;
+  mutable fault_exits : int;
+}
+
+type vm = { sys : system; mutable memory : Vm.Memory.t option }
+
+type vcpu = { parent : vm; cpu : Vm.Cpu.t }
+
+type run_exit =
+  | Hlt
+  | Io_out of { port : int; value : int64 }
+  | Io_in of { port : int; reg : Instr.reg }
+  | Fault of Vm.Cpu.fault
+  | Out_of_fuel
+
+let open_dev ?(seed = 0x5eed) ?freq_ghz () =
+  {
+    clock = Cycles.Clock.create ?freq_ghz ();
+    rng = Cycles.Rng.create ~seed;
+    stats = { vm_creations = 0; vcpu_creations = 0; runs = 0; io_exits = 0; fault_exits = 0 };
+  }
+
+let clock sys = sys.clock
+let rng sys = sys.rng
+let stats sys = sys.stats
+
+let charge sys cycles = Cycles.Clock.advance_int sys.clock (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
+
+let create_vm sys =
+  charge sys Cycles.Costs.kvm_create_vm;
+  sys.stats.vm_creations <- sys.stats.vm_creations + 1;
+  { sys; memory = None }
+
+let set_user_memory_region vm ~size =
+  charge vm.sys Cycles.Costs.kvm_memory_region;
+  let mem = Vm.Memory.create ~size in
+  vm.memory <- Some mem;
+  mem
+
+let vm_memory vm =
+  match vm.memory with
+  | Some m -> m
+  | None -> invalid_arg "Kvm.vm_memory: no user memory region registered"
+
+let vm_system vm = vm.sys
+
+let create_vcpu vm ~mode =
+  charge vm.sys Cycles.Costs.kvm_create_vcpu;
+  vm.sys.stats.vcpu_creations <- vm.sys.stats.vcpu_creations + 1;
+  let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:vm.sys.clock in
+  { parent = vm; cpu }
+
+let vcpu_cpu v = v.cpu
+let vcpu_vm v = v.parent
+
+let reset_vcpu v ~mode = Vm.Cpu.reset v.cpu ~mode
+
+let run ?fuel v =
+  let sys = v.parent.sys in
+  sys.stats.runs <- sys.stats.runs + 1;
+  charge sys (Cycles.Costs.ioctl_syscall + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
+  let exit = Vm.Cpu.run ?fuel v.cpu in
+  charge sys Cycles.Costs.vmexit;
+  match exit with
+  | Vm.Cpu.Halt -> Hlt
+  | Vm.Cpu.Io_out { port; value } ->
+      sys.stats.io_exits <- sys.stats.io_exits + 1;
+      Io_out { port; value }
+  | Vm.Cpu.Io_in { port; reg } ->
+      sys.stats.io_exits <- sys.stats.io_exits + 1;
+      Io_in { port; reg }
+  | Vm.Cpu.Fault f ->
+      sys.stats.fault_exits <- sys.stats.fault_exits + 1;
+      Fault f
+  | Vm.Cpu.Out_of_fuel -> Out_of_fuel

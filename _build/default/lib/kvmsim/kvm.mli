@@ -1,0 +1,66 @@
+(** Simulated KVM interface.
+
+    Mirrors the Linux KVM lifecycle Wasp drives: open [/dev/kvm], create a
+    VM file descriptor ([KVM_CREATE_VM] — the expensive in-kernel
+    VMCS/VMCB and state allocation), register a user memory region, create
+    a vCPU, and enter the guest with the [KVM_RUN] ioctl. Each step
+    charges the calibrated host-side cycle costs (Figure 2/8), including
+    the ring transitions that make hypercall exits "doubly expensive"
+    (§6.3). *)
+
+type system
+(** An open /dev/kvm: owns the virtual clock and noise source. *)
+
+type vm
+type vcpu
+
+type run_exit =
+  | Hlt
+  | Io_out of { port : int; value : int64 }
+  | Io_in of { port : int; reg : Instr.reg }
+  | Fault of Vm.Cpu.fault
+  | Out_of_fuel
+
+type stats = {
+  mutable vm_creations : int;
+  mutable vcpu_creations : int;
+  mutable runs : int;
+  mutable io_exits : int;
+  mutable fault_exits : int;
+}
+
+val open_dev : ?seed:int -> ?freq_ghz:float -> unit -> system
+
+val clock : system -> Cycles.Clock.t
+val rng : system -> Cycles.Rng.t
+val stats : system -> stats
+
+val create_vm : system -> vm
+(** [KVM_CREATE_VM]: charges the in-kernel allocation cost. *)
+
+val set_user_memory_region : vm -> size:int -> Vm.Memory.t
+(** Allocate and register guest memory; charges the memslot setup cost.
+    Replaces any previous region. *)
+
+val vm_memory : vm -> Vm.Memory.t
+(** Raises [Invalid_argument] if no region was registered. *)
+
+val vm_system : vm -> system
+
+val create_vcpu : vm -> mode:Vm.Modes.t -> vcpu
+(** Charges vCPU allocation. The vCPU starts in [mode] (the guest boot
+    code's mode transitions are charged separately by {!Vm.Boot}). *)
+
+val vcpu_cpu : vcpu -> Vm.Cpu.t
+(** Direct register/PC access for the user-space VMM, like
+    [KVM_GET/SET_REGS]. *)
+
+val vcpu_vm : vcpu -> vm
+
+val reset_vcpu : vcpu -> mode:Vm.Modes.t -> unit
+(** Clear architectural state for shell reuse; memory is untouched. *)
+
+val run : ?fuel:int -> vcpu -> run_exit
+(** The [KVM_RUN] ioctl: charges syscall entry, in-kernel checks and VM
+    entry; executes the guest until it exits; charges VM exit and the
+    return to user space. Resumable after I/O exits. *)

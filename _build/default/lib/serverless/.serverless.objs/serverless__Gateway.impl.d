@@ -1,0 +1,1 @@
+lib/serverless/gateway.ml: Bytes List Option Printf String Vespid Vhttp

@@ -1,0 +1,1 @@
+lib/serverless/gateway.mli: Vespid

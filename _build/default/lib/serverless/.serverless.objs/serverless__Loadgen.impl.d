@@ -1,0 +1,1 @@
+lib/serverless/loadgen.ml: Array Dessim Float Int64 List Stats

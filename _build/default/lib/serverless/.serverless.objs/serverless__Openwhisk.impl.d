@@ -1,0 +1,1 @@
+lib/serverless/openwhisk.ml: Bytes Char Cycles Hashtbl Int64 List Vjs

@@ -1,0 +1,1 @@
+lib/serverless/openwhisk.mli: Cycles

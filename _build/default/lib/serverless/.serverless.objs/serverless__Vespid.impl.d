@@ -1,0 +1,1 @@
+lib/serverless/vespid.ml: Hashtbl List Vjs Wasp

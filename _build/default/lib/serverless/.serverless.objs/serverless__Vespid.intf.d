@@ -1,0 +1,1 @@
+lib/serverless/vespid.mli: Wasp

@@ -1,0 +1,53 @@
+type t = { platform : Vespid.t }
+
+let create platform = { platform }
+
+let respond ?headers ~status body =
+  Vhttp.Http.response_to_string (Vhttp.Http.make_response ?headers ~status body)
+
+let split_path path =
+  String.split_on_char '/' path |> List.filter (fun s -> s <> "")
+
+(* "name?entry=fn" -> (name, entry) *)
+let parse_register_target seg =
+  match String.index_opt seg '?' with
+  | None -> (seg, "main")
+  | Some i ->
+      let name = String.sub seg 0 i in
+      let query = String.sub seg (i + 1) (String.length seg - i - 1) in
+      let entry =
+        List.find_map
+          (fun kv ->
+            match String.split_on_char '=' kv with
+            | [ "entry"; v ] -> Some v
+            | _ -> None)
+          (String.split_on_char '&' query)
+      in
+      (name, Option.value ~default:"main" entry)
+
+let handle t raw =
+  match Vhttp.Http.parse_request raw with
+  | Error e -> respond ~status:400 (Printf.sprintf "bad request: %s\n" e)
+  | Ok req -> (
+      match (req.Vhttp.Http.meth, split_path req.Vhttp.Http.path) with
+      | "GET", [ "functions" ] ->
+          respond ~status:200
+            (String.concat "\n" (Vespid.registered t.platform) ^ "\n")
+      | "POST", [ "register"; target ] ->
+          let name, entry = parse_register_target target in
+          if name = "" then respond ~status:400 "missing function name\n"
+          else if req.Vhttp.Http.body = "" then respond ~status:400 "missing source body\n"
+          else begin
+            Vespid.register t.platform ~name ~source:req.Vhttp.Http.body ~entry;
+            respond ~status:201 (Printf.sprintf "registered %s (entry %s)\n" name entry)
+          end
+      | "POST", [ "invoke"; name ] -> (
+          match
+            Vespid.invoke t.platform ~name ~input:(Bytes.of_string req.Vhttp.Http.body)
+          with
+          | Ok out -> respond ~status:200 out
+          | Error e -> respond ~status:500 (Printf.sprintf "function error: %s\n" e)
+          | exception Vespid.Unknown_function _ ->
+              respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
+      | ("GET" | "POST"), _ -> respond ~status:404 "no such route\n"
+      | _, _ -> respond ~status:405 "method not allowed\n")

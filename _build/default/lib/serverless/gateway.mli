@@ -1,0 +1,19 @@
+(** Vespid's web front end (§7.1).
+
+    "Users register JavaScript functions via a web application, which
+    produces requests to our framework's main endpoint." This module is
+    that endpoint: a request router over raw HTTP bytes.
+
+    Routes:
+    - [POST /register/NAME?entry=FN] with the JS source as body -> 201
+    - [POST /invoke/NAME] with the payload as body -> 200 + result
+    - [GET /functions] -> 200 + newline-separated names
+    Anything else -> 404/405; JS failures -> 500. *)
+
+type t
+
+val create : Vespid.t -> t
+
+val handle : t -> string -> string
+(** [handle t raw_request] routes one HTTP request and returns the raw
+    HTTP response. Never raises on malformed input (400). *)

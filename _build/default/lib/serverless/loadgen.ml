@@ -1,0 +1,77 @@
+type phase = { duration_s : float; clients : int }
+
+let bursty_profile =
+  [
+    { duration_s = 5.0; clients = 2 };   (* ramp-up *)
+    { duration_s = 10.0; clients = 16 }; (* burst 1 *)
+    { duration_s = 5.0; clients = 4 };   (* dip *)
+    { duration_s = 10.0; clients = 20 }; (* burst 2 *)
+    { duration_s = 5.0; clients = 1 };   (* ramp-down *)
+  ]
+
+type bucket = { t_s : float; completed : int; rps : float; mean_ms : float; p99_ms : float }
+
+type sample = { at : int64; latency : int64 }
+
+let run ?(freq_ghz = 2.69) ?(workers = 8) ?(think_time_s = 0.05) ~service ~profile () =
+  let cps = freq_ghz *. 1e9 in
+  let cycles_of_s s = Int64.of_float (s *. cps) in
+  let sim = Dessim.Sim.create () in
+  let server = Dessim.Sim.Server.create ~workers sim ~service in
+  let samples = ref [] in
+  let think = cycles_of_s think_time_s in
+  (* phase boundaries *)
+  let phase_windows =
+    let t = ref 0.0 in
+    List.map
+      (fun p ->
+        let start = !t in
+        t := !t +. p.duration_s;
+        (cycles_of_s start, cycles_of_s !t, p.clients))
+      profile
+  in
+  let total_end =
+    List.fold_left (fun acc (_, e, _) -> max acc e) 0L phase_windows
+  in
+  List.iter
+    (fun (start, phase_end, clients) ->
+      for _ = 1 to clients do
+        let rec client_loop () =
+          if Int64.compare (Dessim.Sim.now sim) phase_end < 0 then
+            Dessim.Sim.Server.submit server ~on_done:(fun ~wait ~service ->
+                samples :=
+                  { at = Dessim.Sim.now sim; latency = Int64.add wait service } :: !samples;
+                Dessim.Sim.schedule sim ~delay:think client_loop)
+        in
+        Dessim.Sim.at sim ~time:start client_loop
+      done)
+    phase_windows;
+  Dessim.Sim.run sim;
+  (* bucket per second *)
+  let seconds = int_of_float (Float.ceil (Int64.to_float total_end /. cps)) in
+  let buckets = Array.make (max 1 seconds) [] in
+  List.iter
+    (fun s ->
+      let idx = min (seconds - 1) (int_of_float (Int64.to_float s.at /. cps)) in
+      buckets.(idx) <- s :: buckets.(idx))
+    !samples;
+  Array.to_list
+    (Array.mapi
+       (fun i bucket ->
+         let completed = List.length bucket in
+         if completed = 0 then
+           { t_s = float_of_int (i + 1); completed = 0; rps = 0.0; mean_ms = 0.0; p99_ms = 0.0 }
+         else begin
+           let lat_ms =
+             Array.of_list
+               (List.map (fun s -> Int64.to_float s.latency /. cps *. 1000.0) bucket)
+           in
+           {
+             t_s = float_of_int (i + 1);
+             completed;
+             rps = float_of_int completed;
+             mean_ms = Stats.Descriptive.mean lat_ms;
+             p99_ms = Stats.Descriptive.percentile lat_ms 99.0;
+           }
+         end)
+       buckets)

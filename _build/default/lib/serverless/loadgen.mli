@@ -1,0 +1,34 @@
+(** Locust-style closed-loop load generator (Figure 15).
+
+    "We produce a series of concurrent function requests (from multiple
+    clients) against both platforms ... This invocation pattern involves
+    an initial ramp-up period that leads to two bursts, which then ramp
+    down." Clients are closed-loop: each waits for its response, thinks
+    briefly, and fires again, so achieved throughput reflects platform
+    latency. *)
+
+type phase = { duration_s : float; clients : int }
+
+val bursty_profile : phase list
+(** Ramp-up, burst, dip, second burst, ramp-down. *)
+
+type bucket = {
+  t_s : float;          (** end of the 1-second bucket *)
+  completed : int;
+  rps : float;          (** achieved throughput in this bucket *)
+  mean_ms : float;      (** mean response latency (0 when idle) *)
+  p99_ms : float;
+}
+
+val run :
+  ?freq_ghz:float ->
+  ?workers:int ->
+  ?think_time_s:float ->
+  service:(now:int64 -> int64) ->
+  profile:phase list ->
+  unit ->
+  bucket list
+(** Simulate the profile against a [workers]-wide FIFO server whose
+    per-request duration comes from [service ~now] (cycles; [now] is the
+    sim time the request starts service, for keep-alive decisions).
+    Returns one-second buckets covering the whole run. *)

@@ -1,0 +1,18 @@
+type t = { wasp : Wasp.Runtime.t; functions : (string, Vjs.Isolate.t) Hashtbl.t }
+
+exception Unknown_function of string
+
+let create wasp = { wasp; functions = Hashtbl.create 8 }
+
+let register t ~name ~source ~entry =
+  Hashtbl.replace t.functions name
+    (Vjs.Isolate.create t.wasp ~key:("vespid:" ^ name) ~source ~entry)
+
+let registered t = Hashtbl.fold (fun k _ acc -> k :: acc) t.functions [] |> List.sort compare
+
+let invoke_timed t ~name ~input =
+  match Hashtbl.find_opt t.functions name with
+  | Some isolate -> Vjs.Isolate.invoke isolate ~input
+  | None -> raise (Unknown_function name)
+
+let invoke t ~name ~input = fst (invoke_timed t ~name ~input)

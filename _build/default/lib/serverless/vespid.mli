@@ -1,0 +1,28 @@
+(** Vespid: the prototype serverless platform of §7.1 (Figure 15).
+
+    "Users register JavaScript functions ... requests are handled by a
+    concurrent server which runs each serverless function in a distinct
+    virtine (rather than a container) by leveraging the Wasp runtime
+    API." Every invocation gets a fresh virtine; the shell pool,
+    post-init snapshot and no-teardown reset keep cold starts at
+    microsecond scale. *)
+
+type t
+
+exception Unknown_function of string
+
+val create : Wasp.Runtime.t -> t
+
+val register : t -> name:string -> source:string -> entry:string -> unit
+(** Register a JS function. [entry] names the function the platform calls
+    with the request payload (an array of byte values). *)
+
+val registered : t -> string list
+
+val invoke : t -> name:string -> input:bytes -> (string, string) result
+(** Run one invocation in a distinct virtine; charges the Wasp clock.
+    Returns the function's string result or a JS error.
+    @raise Unknown_function *)
+
+val invoke_timed : t -> name:string -> input:bytes -> (string, string) result * int64
+(** Like {!invoke} but also returns the invocation latency in cycles. *)

@@ -1,0 +1,1 @@
+lib/stats/report.ml: Buffer List Printf String

@@ -1,0 +1,93 @@
+type align = Left | Right
+
+let pad align width s =
+  let n = String.length s in
+  if n >= width then s
+  else begin
+    let fill = String.make (width - n) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  end
+
+let table ?title ~header ?align rows =
+  List.iter
+    (fun row ->
+      if List.length row <> List.length header then
+        invalid_arg "Report.table: row width mismatch")
+    rows;
+  let ncols = List.length header in
+  let aligns =
+    match align with
+    | Some a ->
+        if List.length a <> ncols then invalid_arg "Report.table: align width mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) header
+  in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      header
+  in
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> pad (List.nth aligns i) (List.nth widths i) cell) row
+    in
+    "| " ^ String.concat " | " cells ^ " |"
+  in
+  let rule = "|" ^ String.concat "+" (List.map (fun w -> String.make (w + 2) '-') widths) ^ "|" in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  Buffer.add_string buf (render_row header);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf rule;
+  Buffer.add_char buf '\n';
+  List.iter
+    (fun row ->
+      Buffer.add_string buf (render_row row);
+      Buffer.add_char buf '\n')
+    rows;
+  Buffer.contents buf
+
+let bar_chart ?title ?(width = 50) ?(log = false) entries =
+  let value (_, v) =
+    if log then begin
+      if v <= 0.0 then invalid_arg "Report.bar_chart: log of nonpositive value";
+      log10 v
+    end
+    else v
+  in
+  let vmax = List.fold_left (fun acc e -> max acc (value e)) 0.0 entries in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun ((label, raw) as e) ->
+      let v = value e in
+      let n =
+        if vmax <= 0.0 then 0 else max 1 (int_of_float (v /. vmax *. float_of_int width))
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %.1f\n" (pad Left label_w label) (String.make n '#') raw))
+    entries;
+  Buffer.contents buf
+
+let series ?title ~header points =
+  let rows =
+    List.map
+      (fun (x, ys) -> Printf.sprintf "%.2f" x :: List.map (Printf.sprintf "%.2f") ys)
+      points
+  in
+  table ?title ~header rows
+
+let section name =
+  let bar = String.make (String.length name + 8) '=' in
+  Printf.sprintf "\n%s\n=== %s ===\n%s\n" bar name bar

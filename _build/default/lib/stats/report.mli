@@ -1,0 +1,27 @@
+(** ASCII report rendering for benchmark output.
+
+    The bench harness regenerates every paper table/figure as text; this
+    module renders aligned tables and simple horizontal bar charts so the
+    "shape" of each figure is visible in a terminal. *)
+
+type align = Left | Right
+
+val table :
+  ?title:string -> header:string list -> ?align:align list -> string list list -> string
+(** [table ~header rows] renders an aligned table. [align] defaults to
+    left for the first column and right for the rest. Row widths must
+    match the header. *)
+
+val bar_chart :
+  ?title:string -> ?width:int -> ?log:bool -> (string * float) list -> string
+(** [bar_chart entries] renders labeled horizontal bars scaled to the
+    maximum value. [log] plots log10 of the values (all must be > 0),
+    mirroring the paper's log-scale axes. *)
+
+val series :
+  ?title:string -> header:string list -> (float * float list) list -> string
+(** [series ~header points] renders an x column plus one column per series
+    value, for figure-style line data. *)
+
+val section : string -> string
+(** A visually distinct section banner. *)

@@ -1,0 +1,1 @@
+lib/vcc/ast.ml: Format List

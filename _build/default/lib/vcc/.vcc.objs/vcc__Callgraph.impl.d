@@ -1,0 +1,1 @@
+lib/vcc/callgraph.ml: Ast Hashtbl List Option Printf Vlibc

@@ -1,0 +1,1 @@
+lib/vcc/callgraph.mli: Ast

@@ -1,0 +1,1 @@
+lib/vcc/codegen.ml: Asm Ast Callgraph Char Format Hashtbl Instr Int64 List Printf String Vlibc Wasp

@@ -1,0 +1,1 @@
+lib/vcc/codegen.mli: Asm Ast Callgraph

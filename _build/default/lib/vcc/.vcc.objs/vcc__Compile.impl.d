@@ -1,0 +1,1 @@
+lib/vcc/compile.ml: Asm Ast Callgraph Codegen Cycles Format Hashtbl Int64 Lexer List Optim Parser Printf Sema Vlibc Vm Wasp

@@ -1,0 +1,1 @@
+lib/vcc/compile.mli: Asm Ast Cycles Vm Wasp

@@ -1,0 +1,1 @@
+lib/vcc/lexer.mli: Ast

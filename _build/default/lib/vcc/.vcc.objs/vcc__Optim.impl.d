@@ -1,0 +1,1 @@
+lib/vcc/optim.ml: Asm Ast Char Int64 List Option

@@ -1,0 +1,1 @@
+lib/vcc/optim.mli: Asm Ast

@@ -1,0 +1,1 @@
+lib/vcc/parser.ml: Array Ast Char Int64 Lexer List Printf

@@ -1,0 +1,1 @@
+lib/vcc/parser.mli: Ast

@@ -1,0 +1,1 @@
+lib/vcc/sema.ml: Ast Format Hashtbl List Printf String Vlibc

@@ -1,0 +1,1 @@
+lib/vcc/sema.mli: Ast

@@ -1,0 +1,1 @@
+lib/vcc/vlibc.ml: Asm Ast Hashtbl Instr Int64 List Wasp

@@ -1,0 +1,1 @@
+lib/vcc/vlibc.mli: Asm Ast

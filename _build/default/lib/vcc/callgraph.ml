@@ -1,0 +1,93 @@
+type reachable = { funcs : string list; globals : string list; builtins : string list }
+
+let rec expr_refs (e : Ast.expr) ~on_call ~on_var =
+  match e.desc with
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ -> ()
+  | Ast.Var v -> on_var v
+  | Ast.Unary (_, a) -> expr_refs a ~on_call ~on_var
+  | Ast.Binary (_, a, b) ->
+      expr_refs a ~on_call ~on_var;
+      expr_refs b ~on_call ~on_var
+  | Ast.Assign (a, b) ->
+      expr_refs a ~on_call ~on_var;
+      expr_refs b ~on_call ~on_var
+  | Ast.Call (f, args) ->
+      on_call f;
+      List.iter (fun a -> expr_refs a ~on_call ~on_var) args
+  | Ast.Index (a, i) ->
+      expr_refs a ~on_call ~on_var;
+      expr_refs i ~on_call ~on_var
+  | Ast.Cond (c, a, b) ->
+      expr_refs c ~on_call ~on_var;
+      expr_refs a ~on_call ~on_var;
+      expr_refs b ~on_call ~on_var
+
+let rec stmt_refs (s : Ast.stmt) ~on_call ~on_var =
+  let expr e = expr_refs e ~on_call ~on_var in
+  match s with
+  | Ast.Expr e -> expr e
+  | Ast.Decl (_, _, init, _) -> Option.iter expr init
+  | Ast.If (c, t, f) ->
+      expr c;
+      List.iter (fun s -> stmt_refs s ~on_call ~on_var) t;
+      List.iter (fun s -> stmt_refs s ~on_call ~on_var) f
+  | Ast.While (c, body) | Ast.Dowhile (body, c) ->
+      expr c;
+      List.iter (fun s -> stmt_refs s ~on_call ~on_var) body
+  | Ast.For (init, cond, step, body) ->
+      Option.iter (fun s -> stmt_refs s ~on_call ~on_var) init;
+      Option.iter expr cond;
+      Option.iter expr step;
+      List.iter (fun s -> stmt_refs s ~on_call ~on_var) body
+  | Ast.Return (e, _) -> Option.iter expr e
+  | Ast.Break _ | Ast.Continue _ -> ()
+  | Ast.Block body -> List.iter (fun s -> stmt_refs s ~on_call ~on_var) body
+
+let from (prog : Ast.program) ~root =
+  (match Ast.find_func prog root with
+  | Some _ -> ()
+  | None -> invalid_arg (Printf.sprintf "Callgraph.from: no function %s" root));
+  let seen_funcs = Hashtbl.create 8 in
+  let order = ref [] in
+  let globals = Hashtbl.create 8 in
+  let builtins = Hashtbl.create 8 in
+  let global_names =
+    List.fold_left
+      (fun acc (g : Ast.global) -> g.gname :: acc)
+      [] prog.globals
+  in
+  let rec visit name =
+    if not (Hashtbl.mem seen_funcs name) then begin
+      Hashtbl.replace seen_funcs name ();
+      match Ast.find_func prog name with
+      | None -> ()
+      | Some f ->
+          order := name :: !order;
+          let locals = Hashtbl.create 8 in
+          List.iter (fun (_, p) -> Hashtbl.replace locals p ()) f.params;
+          (* locals declared in the body shadow globals; a precise
+             treatment would be scope-aware, but collecting declared names
+             first errs on the side of including the global, which is
+             always safe. *)
+          let on_var v =
+            if (not (Hashtbl.mem locals v)) && List.mem v global_names then
+              Hashtbl.replace globals v ()
+          in
+          let on_call callee =
+            if Ast.find_func prog callee <> None then visit callee
+            else if Vlibc.is_builtin callee then Hashtbl.replace builtins callee ()
+          in
+          List.iter (fun s -> stmt_refs s ~on_call ~on_var) f.body
+    end
+  in
+  visit root;
+  {
+    funcs = List.rev !order;
+    globals =
+      List.filter (fun g -> Hashtbl.mem globals g) (List.rev global_names)
+      |> List.sort_uniq compare;
+    builtins = Hashtbl.fold (fun k () acc -> k :: acc) builtins [] |> List.sort compare;
+  }
+
+let virtine_roots (prog : Ast.program) =
+  List.filter (fun (f : Ast.func) -> f.annot <> Ast.Not_virtine) prog.funcs

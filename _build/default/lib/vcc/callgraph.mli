@@ -1,0 +1,24 @@
+(** Call-graph analysis (§5.3).
+
+    "When this pass detects a function annotation ... it generates a call
+    graph rooted at that function. The compiler automatically packages a
+    subset of the source program into the virtine context based on what
+    that virtine needs."
+
+    The reachable set determines which functions and globals are linked
+    into the virtine image. A call from inside a virtine to another
+    virtine-annotated function does {i not} nest — it becomes a plain call
+    inside the same image. *)
+
+type reachable = {
+  funcs : string list;    (** reachable program functions, root first *)
+  globals : string list;  (** globals touched by any reachable function *)
+  builtins : string list; (** libc builtins used *)
+}
+
+val from : Ast.program -> root:string -> reachable
+(** Reachability from [root]. Raises [Invalid_argument] if [root] is not
+    a function of the program. *)
+
+val virtine_roots : Ast.program -> Ast.func list
+(** All virtine-annotated functions. *)

@@ -1,0 +1,304 @@
+type token =
+  | INT_LIT of int64
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID | KW_LONG
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF
+  | KW_VIRTINE | KW_VIRTINE_PERMISSIVE | KW_VIRTINE_CONFIG
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ
+  | PLUSPLUS | MINUSMINUS
+  | EOF
+
+let token_name = function
+  | INT_LIT _ -> "integer literal"
+  | CHAR_LIT _ -> "char literal"
+  | STR_LIT _ -> "string literal"
+  | IDENT s -> Printf.sprintf "identifier %S" s
+  | KW_INT -> "'int'"
+  | KW_CHAR -> "'char'"
+  | KW_VOID -> "'void'"
+  | KW_LONG -> "'long'"
+  | KW_IF -> "'if'"
+  | KW_ELSE -> "'else'"
+  | KW_WHILE -> "'while'"
+  | KW_DO -> "'do'"
+  | KW_SIZEOF -> "'sizeof'"
+  | KW_FOR -> "'for'"
+  | KW_RETURN -> "'return'"
+  | KW_BREAK -> "'break'"
+  | KW_CONTINUE -> "'continue'"
+  | KW_VIRTINE -> "'virtine'"
+  | KW_VIRTINE_PERMISSIVE -> "'virtine_permissive'"
+  | KW_VIRTINE_CONFIG -> "'virtine_config'"
+  | LPAREN -> "'('"
+  | RPAREN -> "')'"
+  | LBRACE -> "'{'"
+  | RBRACE -> "'}'"
+  | LBRACKET -> "'['"
+  | RBRACKET -> "']'"
+  | SEMI -> "';'"
+  | COMMA -> "','"
+  | QUESTION -> "'?'"
+  | COLON -> "':'"
+  | PLUS -> "'+'"
+  | MINUS -> "'-'"
+  | STAR -> "'*'"
+  | SLASH -> "'/'"
+  | PERCENT -> "'%'"
+  | AMP -> "'&'"
+  | PIPE -> "'|'"
+  | CARET -> "'^'"
+  | TILDE -> "'~'"
+  | BANG -> "'!'"
+  | SHL -> "'<<'"
+  | SHR -> "'>>'"
+  | LT -> "'<'"
+  | LE -> "'<='"
+  | GT -> "'>'"
+  | GE -> "'>='"
+  | EQEQ -> "'=='"
+  | NEQ -> "'!='"
+  | ANDAND -> "'&&'"
+  | OROR -> "'||'"
+  | ASSIGN -> "'='"
+  | PLUSEQ -> "'+='"
+  | MINUSEQ -> "'-='"
+  | STAREQ -> "'*='"
+  | SLASHEQ -> "'/='"
+  | PLUSPLUS -> "'++'"
+  | MINUSMINUS -> "'--'"
+  | EOF -> "end of input"
+
+exception Lex_error of { loc : Ast.loc; msg : string }
+
+let keyword = function
+  | "int" -> Some KW_INT
+  | "char" -> Some KW_CHAR
+  | "void" -> Some KW_VOID
+  | "long" -> Some KW_LONG
+  | "if" -> Some KW_IF
+  | "else" -> Some KW_ELSE
+  | "while" -> Some KW_WHILE
+  | "do" -> Some KW_DO
+  | "sizeof" -> Some KW_SIZEOF
+  | "for" -> Some KW_FOR
+  | "return" -> Some KW_RETURN
+  | "break" -> Some KW_BREAK
+  | "continue" -> Some KW_CONTINUE
+  | "virtine" -> Some KW_VIRTINE
+  | "virtine_permissive" -> Some KW_VIRTINE_PERMISSIVE
+  | "virtine_config" -> Some KW_VIRTINE_CONFIG
+  | _ -> None
+
+type state = {
+  src : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable col : int;
+}
+
+let loc st : Ast.loc = { line = st.line; col = st.col }
+
+let fail st msg = raise (Lex_error { loc = loc st; msg })
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let peek2 st =
+  if st.pos + 1 < String.length st.src then Some st.src.[st.pos + 1] else None
+
+let advance st =
+  (match peek st with
+  | Some '\n' ->
+      st.line <- st.line + 1;
+      st.col <- 1
+  | Some _ -> st.col <- st.col + 1
+  | None -> ());
+  st.pos <- st.pos + 1
+
+let is_digit c = c >= '0' && c <= '9'
+let is_hex c = is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident c = is_ident_start c || is_digit c
+
+let rec skip_ws_and_comments st =
+  match peek st with
+  | Some (' ' | '\t' | '\r' | '\n') ->
+      advance st;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '/' ->
+      while peek st <> None && peek st <> Some '\n' do
+        advance st
+      done;
+      skip_ws_and_comments st
+  | Some '/' when peek2 st = Some '*' ->
+      advance st;
+      advance st;
+      let rec eat () =
+        match (peek st, peek2 st) with
+        | Some '*', Some '/' ->
+            advance st;
+            advance st
+        | Some _, _ ->
+            advance st;
+            eat ()
+        | None, _ -> fail st "unterminated comment"
+      in
+      eat ();
+      skip_ws_and_comments st
+  | Some _ | None -> ()
+
+let read_escape st =
+  match peek st with
+  | Some 'n' -> advance st; '\n'
+  | Some 't' -> advance st; '\t'
+  | Some 'r' -> advance st; '\r'
+  | Some '0' -> advance st; '\000'
+  | Some '\\' -> advance st; '\\'
+  | Some '\'' -> advance st; '\''
+  | Some '"' -> advance st; '"'
+  | Some c -> fail st (Printf.sprintf "bad escape '\\%c'" c)
+  | None -> fail st "unterminated escape"
+
+let read_number st =
+  let start = st.pos in
+  let hex =
+    peek st = Some '0' && (peek2 st = Some 'x' || peek2 st = Some 'X')
+  in
+  if hex then begin
+    advance st;
+    advance st;
+    while (match peek st with Some c -> is_hex c | None -> false) do
+      advance st
+    done
+  end
+  else
+    while (match peek st with Some c -> is_digit c | None -> false) do
+      advance st
+    done;
+  let text = String.sub st.src start (st.pos - start) in
+  match Int64.of_string_opt text with
+  | Some v -> INT_LIT v
+  | None -> fail st (Printf.sprintf "bad number %S" text)
+
+let next_token st =
+  skip_ws_and_comments st;
+  let l = loc st in
+  let tok =
+    match peek st with
+    | None -> EOF
+    | Some c when is_digit c -> read_number st
+    | Some c when is_ident_start c ->
+        let start = st.pos in
+        while (match peek st with Some c -> is_ident c | None -> false) do
+          advance st
+        done;
+        let text = String.sub st.src start (st.pos - start) in
+        (match keyword text with Some k -> k | None -> IDENT text)
+    | Some '\'' ->
+        advance st;
+        let c =
+          match peek st with
+          | Some '\\' ->
+              advance st;
+              read_escape st
+          | Some c ->
+              advance st;
+              c
+          | None -> fail st "unterminated char literal"
+        in
+        (match peek st with
+        | Some '\'' -> advance st
+        | _ -> fail st "unterminated char literal");
+        CHAR_LIT c
+    | Some '"' ->
+        advance st;
+        let buf = Buffer.create 16 in
+        let rec go () =
+          match peek st with
+          | Some '"' -> advance st
+          | Some '\\' ->
+              advance st;
+              Buffer.add_char buf (read_escape st);
+              go ()
+          | Some c ->
+              advance st;
+              Buffer.add_char buf c;
+              go ()
+          | None -> fail st "unterminated string literal"
+        in
+        go ();
+        STR_LIT (Buffer.contents buf)
+    | Some c ->
+        let two target tok1 tok0 =
+          advance st;
+          if peek st = Some target then begin
+            advance st;
+            tok1
+          end
+          else tok0
+        in
+        (match c with
+        | '(' -> advance st; LPAREN
+        | ')' -> advance st; RPAREN
+        | '{' -> advance st; LBRACE
+        | '}' -> advance st; RBRACE
+        | '[' -> advance st; LBRACKET
+        | ']' -> advance st; RBRACKET
+        | ';' -> advance st; SEMI
+        | ',' -> advance st; COMMA
+        | '?' -> advance st; QUESTION
+        | ':' -> advance st; COLON
+        | '~' -> advance st; TILDE
+        | '^' -> advance st; CARET
+        | '%' -> advance st; PERCENT
+        | '+' ->
+            advance st;
+            (match peek st with
+            | Some '+' -> advance st; PLUSPLUS
+            | Some '=' -> advance st; PLUSEQ
+            | _ -> PLUS)
+        | '-' ->
+            advance st;
+            (match peek st with
+            | Some '-' -> advance st; MINUSMINUS
+            | Some '=' -> advance st; MINUSEQ
+            | _ -> MINUS)
+        | '*' -> two '=' STAREQ STAR
+        | '/' -> two '=' SLASHEQ SLASH
+        | '!' -> two '=' NEQ BANG
+        | '=' -> two '=' EQEQ ASSIGN
+        | '&' -> two '&' ANDAND AMP
+        | '|' -> two '|' OROR PIPE
+        | '<' ->
+            advance st;
+            (match peek st with
+            | Some '<' -> advance st; SHL
+            | Some '=' -> advance st; LE
+            | _ -> LT)
+        | '>' ->
+            advance st;
+            (match peek st with
+            | Some '>' -> advance st; SHR
+            | Some '=' -> advance st; GE
+            | _ -> GT)
+        | c -> fail st (Printf.sprintf "unexpected character %C" c))
+  in
+  (tok, l)
+
+let tokenize src =
+  let st = { src; pos = 0; line = 1; col = 1 } in
+  let rec go acc =
+    let (tok, _) as t = next_token st in
+    if tok = EOF then List.rev (t :: acc) else go (t :: acc)
+  in
+  go []

@@ -1,0 +1,31 @@
+(** Hand-written lexer for the virtine C dialect. *)
+
+type token =
+  | INT_LIT of int64
+  | CHAR_LIT of char
+  | STR_LIT of string
+  | IDENT of string
+  | KW_INT | KW_CHAR | KW_VOID | KW_LONG
+  | KW_IF | KW_ELSE | KW_WHILE | KW_DO | KW_FOR | KW_RETURN | KW_BREAK | KW_CONTINUE
+  | KW_SIZEOF
+  | KW_VIRTINE | KW_VIRTINE_PERMISSIVE | KW_VIRTINE_CONFIG
+  | LPAREN | RPAREN | LBRACE | RBRACE | LBRACKET | RBRACKET
+  | SEMI | COMMA | QUESTION | COLON
+  | PLUS | MINUS | STAR | SLASH | PERCENT
+  | AMP | PIPE | CARET | TILDE | BANG
+  | SHL | SHR
+  | LT | LE | GT | GE | EQEQ | NEQ
+  | ANDAND | OROR
+  | ASSIGN
+  | PLUSEQ | MINUSEQ | STAREQ | SLASHEQ   (** compound assignment *)
+  | PLUSPLUS | MINUSMINUS                  (** ++ / -- *)
+  | EOF
+
+val token_name : token -> string
+
+exception Lex_error of { loc : Ast.loc; msg : string }
+
+val tokenize : string -> (token * Ast.loc) list
+(** Full token stream including a trailing [EOF]. Handles [//] and
+    [/* ... */] comments, decimal/hex literals, char and string escapes.
+    @raise Lex_error on malformed input. *)

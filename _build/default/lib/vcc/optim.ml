@@ -1,0 +1,201 @@
+(* ------------------------------------------------------------------ *)
+(* AST constant folding                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let fits_i16 v = Int64.compare v (-32768L) >= 0 && Int64.compare v 32767L <= 0
+
+(* operators whose folding commutes with truncation to any mode width *)
+let homomorphic : Ast.binop -> bool = function
+  | Ast.Add | Ast.Sub | Ast.Mul | Ast.Band | Ast.Bor | Ast.Bxor | Ast.Shl -> true
+  | Ast.Div | Ast.Rem | Ast.Shr | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.Eq | Ast.Ne
+  | Ast.Land | Ast.Lor ->
+      false
+
+let eval_binop (op : Ast.binop) a b : int64 option =
+  let bool_ c = Some (if c then 1L else 0L) in
+  match op with
+  | Ast.Add -> Some (Int64.add a b)
+  | Ast.Sub -> Some (Int64.sub a b)
+  | Ast.Mul -> Some (Int64.mul a b)
+  | Ast.Div -> if b = 0L then None else Some (Int64.div a b)
+  | Ast.Rem -> if b = 0L then None else Some (Int64.rem a b)
+  | Ast.Band -> Some (Int64.logand a b)
+  | Ast.Bor -> Some (Int64.logor a b)
+  | Ast.Bxor -> Some (Int64.logxor a b)
+  | Ast.Shl -> Some (Int64.shift_left a (Int64.to_int (Int64.logand b 63L)))
+  | Ast.Shr -> Some (Int64.shift_right_logical a (Int64.to_int (Int64.logand b 63L)))
+  | Ast.Lt -> bool_ (Int64.compare a b < 0)
+  | Ast.Le -> bool_ (Int64.compare a b <= 0)
+  | Ast.Gt -> bool_ (Int64.compare a b > 0)
+  | Ast.Ge -> bool_ (Int64.compare a b >= 0)
+  | Ast.Eq -> bool_ (a = b)
+  | Ast.Ne -> bool_ (a <> b)
+  | Ast.Land -> bool_ (a <> 0L && b <> 0L)
+  | Ast.Lor -> bool_ (a <> 0L || b <> 0L)
+
+let literal (e : Ast.expr) : int64 option =
+  match e.Ast.desc with
+  | Ast.Int_lit v -> Some v
+  | Ast.Char_lit c -> Some (Int64.of_int (Char.code c))
+  | _ -> None
+
+let mk (template : Ast.expr) desc : Ast.expr = { template with Ast.desc = desc }
+
+let rec fold_expr (e : Ast.expr) : Ast.expr =
+  match e.Ast.desc with
+  | Ast.Int_lit _ | Ast.Char_lit _ | Ast.Str_lit _ | Ast.Var _ -> e
+  | Ast.Unary (op, a) -> (
+      let a = fold_expr a in
+      match (op, literal a) with
+      | Ast.Neg, Some v -> mk e (Ast.Int_lit (Int64.neg v))
+      | Ast.Bitnot, Some v -> mk e (Ast.Int_lit (Int64.lognot v))
+      | Ast.Lognot, Some v when fits_i16 v ->
+          mk e (Ast.Int_lit (if v = 0L then 1L else 0L))
+      | _ -> mk e (Ast.Unary (op, a)))
+  | Ast.Binary (op, a, b) -> (
+      let a = fold_expr a and b = fold_expr b in
+      match (literal a, literal b) with
+      | Some va, Some vb
+        when homomorphic op || (fits_i16 va && fits_i16 vb) -> (
+          match eval_binop op va vb with
+          | Some v -> mk e (Ast.Int_lit v)
+          | None -> mk e (Ast.Binary (op, a, b)))
+      | _ -> (
+          (* algebraic identities that hold under truncation *)
+          match (op, literal a, literal b) with
+          | Ast.Add, Some 0L, _ -> b
+          | (Ast.Add | Ast.Sub), _, Some 0L -> a
+          | Ast.Mul, _, Some 1L -> a
+          | Ast.Mul, Some 1L, _ -> b
+          | (Ast.Bor | Ast.Bxor), _, Some 0L -> a
+          | (Ast.Bor | Ast.Bxor), Some 0L, _ -> b
+          | Ast.Shl, _, Some 0L -> a
+          | _ -> mk e (Ast.Binary (op, a, b))))
+  | Ast.Assign (lhs, rhs) -> mk e (Ast.Assign (fold_lvalue lhs, fold_expr rhs))
+  | Ast.Call (f, args) -> mk e (Ast.Call (f, List.map fold_expr args))
+  | Ast.Index (a, i) -> mk e (Ast.Index (fold_expr a, fold_expr i))
+  | Ast.Cond (c, a, b) -> (
+      let c = fold_expr c in
+      match literal c with
+      | Some v when fits_i16 v -> if v <> 0L then fold_expr a else fold_expr b
+      | _ -> mk e (Ast.Cond (c, fold_expr a, fold_expr b)))
+
+(* inside an assignment target, only fold index expressions: the base
+   variable/deref structure must stay an lvalue *)
+and fold_lvalue (e : Ast.expr) : Ast.expr =
+  match e.Ast.desc with
+  | Ast.Index (a, i) -> mk e (Ast.Index (fold_expr a, fold_expr i))
+  | Ast.Unary (Ast.Deref, p) -> mk e (Ast.Unary (Ast.Deref, fold_expr p))
+  | _ -> e
+
+let rec fold_stmt (s : Ast.stmt) : Ast.stmt list =
+  match s with
+  | Ast.Expr e -> [ Ast.Expr (fold_expr e) ]
+  | Ast.Decl (ty, name, init, loc) -> [ Ast.Decl (ty, name, Option.map fold_expr init, loc) ]
+  | Ast.If (c, t, f) -> (
+      let c = fold_expr c in
+      let t = fold_stmts t and f = fold_stmts f in
+      match literal c with
+      | Some v when fits_i16 v -> [ Ast.Block (if v <> 0L then t else f) ]
+      | _ -> [ Ast.If (c, t, f) ])
+  | Ast.While (c, body) -> (
+      let c = fold_expr c in
+      match literal c with
+      | Some 0L -> []
+      | _ -> [ Ast.While (c, fold_stmts body) ])
+  | Ast.Dowhile (body, c) -> [ Ast.Dowhile (fold_stmts body, fold_expr c) ]
+  | Ast.For (init, cond, step, body) ->
+      let init = Option.map (fun s -> match fold_stmt s with [ s ] -> s | l -> Ast.Block l) init in
+      [ Ast.For (init, Option.map fold_expr cond, Option.map fold_expr step, fold_stmts body) ]
+  | Ast.Return (e, loc) -> [ Ast.Return (Option.map fold_expr e, loc) ]
+  | Ast.Break _ | Ast.Continue _ -> [ s ]
+  | Ast.Block body -> [ Ast.Block (fold_stmts body) ]
+
+and fold_stmts body = List.concat_map fold_stmt body
+
+let fold_program (p : Ast.program) : Ast.program =
+  { p with Ast.funcs = List.map (fun f -> { f with Ast.body = fold_stmts f.Ast.body }) p.Ast.funcs }
+
+let fold_count (p : Ast.program) =
+  let n = ref 0 in
+  let rec expr (e : Ast.expr) =
+    match e.Ast.desc with
+    | Ast.Int_lit _ | Ast.Char_lit _ -> incr n
+    | Ast.Str_lit _ | Ast.Var _ -> ()
+    | Ast.Unary (_, a) -> expr a
+    | Ast.Binary (_, a, b) | Ast.Assign (a, b) | Ast.Index (a, b) ->
+        expr a;
+        expr b
+    | Ast.Call (_, args) -> List.iter expr args
+    | Ast.Cond (c, a, b) ->
+        expr c;
+        expr a;
+        expr b
+  in
+  let rec stmt = function
+    | Ast.Expr e -> expr e
+    | Ast.Decl (_, _, init, _) -> Option.iter expr init
+    | Ast.If (c, t, f) ->
+        expr c;
+        List.iter stmt t;
+        List.iter stmt f
+    | Ast.While (c, b) | Ast.Dowhile (b, c) ->
+        expr c;
+        List.iter stmt b
+    | Ast.For (i, c, s, b) ->
+        Option.iter stmt i;
+        Option.iter expr c;
+        Option.iter expr s;
+        List.iter stmt b
+    | Ast.Return (e, _) -> Option.iter expr e
+    | Ast.Break _ | Ast.Continue _ -> ()
+    | Ast.Block b -> List.iter stmt b
+  in
+  List.iter (fun (f : Ast.func) -> List.iter stmt f.Ast.body) p.Ast.funcs;
+  !n
+
+(* ------------------------------------------------------------------ *)
+(* Assembly peephole                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let peephole_once items =
+  let changed = ref false in
+  let rec go = function
+    (* push rA; pop rB  ->  mov rB, rA (or nothing when rA = rB) *)
+    | Asm.Insn (Asm.SPush (Asm.OReg a)) :: Asm.Insn (Asm.SPop b) :: rest ->
+        changed := true;
+        if a = b then go rest else Asm.Insn (Asm.SMov (b, Asm.OReg a)) :: go rest
+    (* push imm; pop rB -> mov rB, imm *)
+    | Asm.Insn (Asm.SPush (Asm.OImm v)) :: Asm.Insn (Asm.SPop b) :: rest ->
+        changed := true;
+        Asm.Insn (Asm.SMov (b, Asm.OImm v)) :: go rest
+    (* mov rA, rA -> nothing *)
+    | Asm.Insn (Asm.SMov (a, Asm.OReg b)) :: rest when a = b ->
+        changed := true;
+        go rest
+    (* jmp L; L: -> L: *)
+    | Asm.Insn (Asm.SJmp (Asm.Lbl l)) :: (Asm.Label l' :: _ as rest) when l = l' ->
+        changed := true;
+        go rest
+    (* mov rD, _; mov rD, pure -> drop the first store *)
+    | Asm.Insn (Asm.SMov (d1, (Asm.OReg _ | Asm.OImm _ | Asm.OLbl _)))
+      :: (Asm.Insn (Asm.SMov (d2, src2)) :: _ as rest)
+      when d1 = d2 && (match src2 with Asm.OReg s -> s <> d1 | Asm.OImm _ | Asm.OLbl _ -> true)
+      ->
+        changed := true;
+        go rest
+    | item :: rest -> item :: go rest
+    | [] -> []
+  in
+  let out = go items in
+  (out, !changed)
+
+let peephole items =
+  let rec fix items n =
+    if n = 0 then items
+    else begin
+      let items', changed = peephole_once items in
+      if changed then fix items' (n - 1) else items'
+    end
+  in
+  fix items 8

@@ -1,0 +1,27 @@
+(** Optimization passes.
+
+    Two conservative passes, both validated by differential testing
+    against the unoptimized pipeline:
+
+    - {!fold_program}: AST-level constant folding and dead-branch
+      elimination. Folding must commute with the CPU's mode-width
+      truncation, so ring-homomorphic operators (+ - * & | ^ ~ neg, <<)
+      fold unconditionally while the rest (shifts right, division,
+      comparisons) fold only when every operand fits in 16-bit signed
+      range — safe in all three processor modes.
+
+    - {!peephole}: assembly-level cleanup (push/pop pairs, self-moves,
+      jumps to the next instruction, dead double-stores to the same
+      register). Runs to a fixpoint; never moves code across labels. *)
+
+val fold_program : Ast.program -> Ast.program
+(** Constant-fold every function body (run before {!Sema.check}). *)
+
+val fold_expr : Ast.expr -> Ast.expr
+(** Exposed for tests. *)
+
+val peephole : Asm.item list -> Asm.item list
+
+val fold_count : Ast.program -> int
+(** Number of literal leaves after folding (a proxy for effectiveness,
+    used by tests). *)

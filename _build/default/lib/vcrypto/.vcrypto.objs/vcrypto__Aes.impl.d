@@ -1,0 +1,1 @@
+lib/vcrypto/aes.ml: Array Bytes Char Printf String

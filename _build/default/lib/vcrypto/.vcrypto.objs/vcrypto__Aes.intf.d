@@ -1,0 +1,1 @@
+lib/vcrypto/aes.mli:

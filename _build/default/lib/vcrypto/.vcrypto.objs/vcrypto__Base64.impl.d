@@ -1,0 +1,1 @@
+lib/vcrypto/base64.ml: Buffer Char List String

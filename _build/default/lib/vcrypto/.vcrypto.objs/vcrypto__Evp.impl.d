@@ -1,0 +1,1 @@
+lib/vcrypto/evp.ml: Aes Bytes Int64 Printf Vm Wasp

@@ -1,0 +1,1 @@
+lib/vcrypto/evp.mli: Cycles Wasp

@@ -1,0 +1,1 @@
+lib/vdb/query.ml: Hashtbl Int64 List Result Table Udf Vjs

@@ -1,0 +1,1 @@
+lib/vdb/query.mli: Table Udf Vjs

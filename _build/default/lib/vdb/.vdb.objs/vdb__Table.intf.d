@@ -1,0 +1,1 @@
+lib/vdb/table.mli: Format

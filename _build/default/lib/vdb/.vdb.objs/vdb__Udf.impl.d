@@ -1,0 +1,1 @@
+lib/vdb/udf.ml: Hashtbl List Printf Vcc Vjs Wasp

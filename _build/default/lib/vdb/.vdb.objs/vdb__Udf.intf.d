@@ -1,0 +1,1 @@
+lib/vdb/udf.mli: Vjs Wasp

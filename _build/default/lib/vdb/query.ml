@@ -1,0 +1,80 @@
+type isolation = Per_row | Per_query
+
+let row_to_js table row =
+  let tbl = Hashtbl.create 8 in
+  List.iter2
+    (fun (cname, _) v ->
+      Hashtbl.replace tbl cname
+        (match (v : Table.value) with
+        | Table.Int i -> Vjs.Jsvalue.Num (Int64.to_float i)
+        | Table.Text s -> Vjs.Jsvalue.Str s))
+    (Table.schema table) row;
+  Vjs.Jsvalue.Obj tbl
+
+let js_to_value (v : Vjs.Jsvalue.t) : Table.value =
+  match v with
+  | Vjs.Jsvalue.Num n -> Table.Int (Int64.of_float n)
+  | Vjs.Jsvalue.Str s -> Table.Text s
+  | Vjs.Jsvalue.Bool b -> Table.Int (if b then 1L else 0L)
+  | Vjs.Jsvalue.Null | Vjs.Jsvalue.Undefined -> Table.Int 0L
+  | other -> Table.Text (Vjs.Json.stringify other)
+
+let ( let* ) = Result.bind
+
+(* evaluate a UDF over all rows under the chosen isolation *)
+let eval_all udfs ~name ~isolation js_rows =
+  match isolation with
+  | Per_query -> Udf.apply_batch udfs ~name js_rows
+  | Per_row ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | r :: rest -> (
+            match Udf.apply_row udfs ~name r with
+            | Ok v -> go (v :: acc) rest
+            | Error e -> Error e)
+      in
+      go [] js_rows
+
+let select udfs table ?where_ ?project ?(isolation = Per_query) () =
+  let rows = Table.rows table in
+  let js_rows = List.map (row_to_js table) rows in
+  let* kept, kept_js =
+    match where_ with
+    | None -> Ok (rows, js_rows)
+    | Some name ->
+        let* verdicts = eval_all udfs ~name ~isolation js_rows in
+        let paired = List.combine rows js_rows in
+        let kept =
+          List.filter_map
+            (fun (pair, verdict) -> if Vjs.Jsvalue.truthy verdict then Some pair else None)
+            (List.combine paired verdicts)
+        in
+        Ok (List.map fst kept, List.map snd kept)
+  in
+  match project with
+  | None -> Ok kept
+  | Some name ->
+      let* projected = eval_all udfs ~name ~isolation kept_js in
+      Ok (List.map (fun v -> [ js_to_value v ]) projected)
+
+let select_c udfs table ~where_ () =
+  let int_indices =
+    List.filteri
+      (fun _ (_, ty) -> ty = Table.Tint)
+      (List.mapi (fun i c -> (i, c)) (Table.schema table) |> List.map snd)
+  in
+  ignore int_indices;
+  let int_args row =
+    List.filter_map
+      (fun (v : Table.value) ->
+        match v with Table.Int i -> Some i | Table.Text _ -> None)
+      row
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | row :: rest -> (
+        match Udf.apply_c udfs ~name:where_ (int_args row) with
+        | Ok v -> if v <> 0L then go (row :: acc) rest else go acc rest
+        | Error e -> Error e)
+  in
+  go [] (Table.rows table)

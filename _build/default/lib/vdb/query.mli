@@ -1,0 +1,34 @@
+(** The query executor: scans with UDF predicates and projections.
+
+    [isolation] picks where the virtine boundary sits:
+    - [Per_row]: every UDF evaluation runs in its own virtine — UDFs are
+      isolated from the engine {i and from each other}, the property §7.1
+      says per-process V8 cannot give.
+    - [Per_query]: one virtine evaluates the whole scan — one boundary
+      per query, much cheaper, still isolating the UDF from the engine. *)
+
+type isolation = Per_row | Per_query
+
+val row_to_js : Table.t -> Table.value list -> Vjs.Jsvalue.t
+(** A row as an object: column name -> value. *)
+
+val js_to_value : Vjs.Jsvalue.t -> Table.value
+(** Numbers round to Int; strings to Text; booleans to Int 0/1;
+    structures serialize to JSON Text. *)
+
+val select :
+  Udf.t ->
+  Table.t ->
+  ?where_:string ->
+  ?project:string ->
+  ?isolation:isolation ->
+  unit ->
+  (Table.value list list, string) result
+(** Scan the table; keep rows where the [where_] UDF is truthy; map each
+    kept row through [project] (result rows are single-column) or return
+    the full row. [isolation] defaults to [Per_query]. *)
+
+val select_c :
+  Udf.t -> Table.t -> where_:string -> unit -> (Table.value list list, string) result
+(** Scan with a C-dialect UDF predicate over the table's integer columns
+    (each evaluation is one virtine invocation). *)

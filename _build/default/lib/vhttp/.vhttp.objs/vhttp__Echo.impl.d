@@ -1,0 +1,1 @@
+lib/vhttp/echo.ml: Bytes Cycles Int64 Printf String Vcc Vm Wasp

@@ -1,0 +1,1 @@
+lib/vhttp/echo.mli: Vcc Wasp

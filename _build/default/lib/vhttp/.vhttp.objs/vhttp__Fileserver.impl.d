@@ -1,0 +1,1 @@
+lib/vhttp/fileserver.ml: Bytes Char Cycles Http Printf String Vcc Wasp

@@ -1,0 +1,1 @@
+lib/vhttp/fileserver.mli: Cycles Vcc Wasp

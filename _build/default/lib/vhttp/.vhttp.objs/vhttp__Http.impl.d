@@ -1,0 +1,1 @@
+lib/vhttp/http.ml: Buffer List Printf String

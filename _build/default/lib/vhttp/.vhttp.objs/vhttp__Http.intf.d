@@ -1,0 +1,1 @@
+lib/vhttp/http.mli:

@@ -1,0 +1,61 @@
+(* recv = bit 10, send = bit 9 *)
+let policy_mask = Wasp.Policy.mask_of_list [ Wasp.Hc.recv; Wasp.Hc.send ]
+
+let source =
+  Printf.sprintf
+    {|
+virtine_config(%Ld) int handle() {
+  int t0 = rdtsc();
+  char buf[1024];
+  int n = recv(0, buf, 1024);
+  int t1 = rdtsc();
+  send(0, buf, n);
+  int t2 = rdtsc();
+  int *m = (int*) 256;
+  m[0] = t0;
+  m[1] = t1;
+  m[2] = t2;
+  return n;
+}
+|}
+    policy_mask
+
+let compile () =
+  Vcc.Compile.compile ~name:"echo" ~mode:Vm.Modes.Protected ~snapshot:false source
+
+type milestones = { entry : int64; recv_done : int64; send_done : int64 }
+
+(* Protected-mode rdtsc values are truncated to 32 bits; reconstruct the
+   delta from invocation start modulo 2^32 (each segment is far below
+   4G cycles). *)
+let delta32 ~start ~stamp =
+  let mask = 0xFFFFFFFFL in
+  Int64.logand (Int64.sub (Int64.logand stamp mask) (Int64.logand start mask)) mask
+
+let run_once w compiled ~payload =
+  let vi =
+    match Vcc.Compile.find_virtine compiled "handle" with
+    | Some vi -> vi
+    | None -> failwith "echo: no virtine handler"
+  in
+  let client_end, server_end = Wasp.Hostenv.socket_pair (Wasp.Runtime.env w) in
+  ignore (Wasp.Hostenv.send client_end (Bytes.of_string payload));
+  let start = Cycles.Clock.now (Wasp.Runtime.clock w) in
+  let stamps = ref (0L, 0L, 0L) in
+  let inspect mem _cpu =
+    stamps :=
+      (Vm.Memory.read_u64 mem 256, Vm.Memory.read_u64 mem 264, Vm.Memory.read_u64 mem 272)
+  in
+  let result =
+    Wasp.Runtime.run w vi.Vcc.Compile.image ~policy:vi.Vcc.Compile.policy
+      ~conn:server_end ~inspect ()
+  in
+  let echoed = Wasp.Hostenv.recv client_end ~max:(String.length payload) in
+  if Bytes.to_string echoed <> payload then failwith "echo mismatch";
+  let t0, t1, t2 = !stamps in
+  ( {
+      entry = delta32 ~start ~stamp:t0;
+      recv_done = delta32 ~start ~stamp:t1;
+      send_done = delta32 ~start ~stamp:t2;
+    },
+    result )

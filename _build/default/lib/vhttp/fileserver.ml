@@ -1,0 +1,136 @@
+let policy_mask =
+  Wasp.Policy.mask_of_list
+    [ Wasp.Hc.read; Wasp.Hc.write; Wasp.Hc.open_; Wasp.Hc.close; Wasp.Hc.stat ]
+
+let source =
+  Printf.sprintf
+    {|
+virtine_config(%Ld) int handle() {
+  char req[1024];
+  int n = read(0, req, 1024);
+  if (n <= 0) {
+    return -1;
+  }
+  if (req[0] != 'G' || req[1] != 'E' || req[2] != 'T' || req[3] != ' ') {
+    char *bad = "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n";
+    write(0, bad, strlen(bad));
+    return 400;
+  }
+  char path[128];
+  int i = 4;
+  int j = 0;
+  while (i < n && req[i] != ' ' && j < 127) {
+    path[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  path[j] = 0;
+  int size = stat(path);
+  if (size < 0) {
+    char *nf = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+    write(0, nf, strlen(nf));
+    return 404;
+  }
+  int fd = open(path);
+  char body[2048];
+  int m = read(fd, body, 2048);
+  char resp[4096];
+  char *h = "HTTP/1.0 200 OK\r\nContent-Length: ";
+  strcpy(resp, h);
+  int len = strlen(h);
+  char numbuf[16];
+  int nd = itoa(m, numbuf);
+  memcpy(resp + len, numbuf, nd);
+  len = len + nd;
+  resp[len] = 13;
+  len = len + 1;
+  resp[len] = 10;
+  len = len + 1;
+  resp[len] = 13;
+  len = len + 1;
+  resp[len] = 10;
+  len = len + 1;
+  memcpy(resp + len, body, m);
+  len = len + m;
+  write(0, resp, len);
+  close(fd);
+  return 200;
+}
+|}
+    policy_mask
+
+let compile ~snapshot = Vcc.Compile.compile ~name:"fileserver" ~snapshot source
+
+let default_file_body =
+  String.init 1024 (fun i -> Char.chr (65 + (i mod 26)))
+
+let add_default_files env =
+  Wasp.Hostenv.add_file env ~path:"/index.html" default_file_body;
+  Wasp.Hostenv.add_file env ~path:"/small.txt" "hello";
+  Wasp.Hostenv.add_file env ~path:"/page2.html" (String.make 2000 'x');
+  "/index.html"
+
+let request_for ~path =
+  Http.request_to_string (Http.make_request "GET" path)
+
+type served = { status : int; body : string; cycles : int64; hypercalls : int }
+
+let parse_served response_bytes ~cycles ~hypercalls =
+  match Http.parse_response (Bytes.to_string response_bytes) with
+  | Ok r -> { status = r.Http.status; body = r.Http.resp_body; cycles; hypercalls }
+  | Error e -> failwith ("fileserver: bad response: " ^ e)
+
+let serve_virtine w compiled ~path =
+  let vi =
+    match Vcc.Compile.find_virtine compiled "handle" with
+    | Some vi -> vi
+    | None -> failwith "fileserver: no virtine handler"
+  in
+  let client_end, server_end = Wasp.Hostenv.socket_pair (Wasp.Runtime.env w) in
+  ignore (Wasp.Hostenv.send client_end (Bytes.of_string (request_for ~path)));
+  let snapshot_key =
+    if vi.Vcc.Compile.snapshot then Some vi.Vcc.Compile.image.Wasp.Image.name else None
+  in
+  let result =
+    Wasp.Runtime.run w vi.Vcc.Compile.image ~policy:vi.Vcc.Compile.policy
+      ~conn:server_end ?snapshot_key ()
+  in
+  let response = Wasp.Hostenv.recv client_end ~max:8192 in
+  parse_served response ~cycles:result.Wasp.Runtime.cycles
+    ~hypercalls:result.Wasp.Runtime.hypercalls
+
+(* The native handler does the same work without any virtualization: a
+   function call, the same five host syscalls, and the same response
+   assembly (charged as compute proportional to bytes moved). *)
+let serve_native ~env ~clock ~rng ~path =
+  let start = Cycles.Clock.now clock in
+  let charge c = Cycles.Clock.advance_int clock (Cycles.Costs.jitter rng ~pct:0.08 c) in
+  charge Cycles.Costs.function_call;
+  let request = request_for ~path in
+  charge Cycles.Costs.host_read;
+  let status, body =
+    match Http.parse_request request with
+    | Error _ -> (400, "")
+    | Ok req -> (
+        charge (String.length request / 4);
+        charge Cycles.Costs.host_stat;
+        match Wasp.Hostenv.file_size env ~path:req.Http.path with
+        | None -> (404, "")
+        | Some _ -> (
+            charge Cycles.Costs.host_open;
+            match Wasp.Hostenv.open_file env ~path:req.Http.path with
+            | None -> (404, "")
+            | Some fd ->
+                charge Cycles.Costs.host_read;
+                let contents =
+                  match Wasp.Hostenv.read_fd env ~fd ~len:2048 with
+                  | Some b -> Bytes.to_string b
+                  | None -> ""
+                in
+                charge (Cycles.Costs.memcpy_cost (String.length contents));
+                charge Cycles.Costs.host_write;
+                charge Cycles.Costs.host_close;
+                ignore (Wasp.Hostenv.close_fd env ~fd);
+                (200, contents)))
+  in
+  { status; body; cycles = Cycles.Clock.elapsed_since clock start; hypercalls = 0 }

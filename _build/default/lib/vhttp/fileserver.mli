@@ -1,0 +1,37 @@
+(** The §6.3 static-file HTTP server (Figure 13).
+
+    A single-threaded server whose connection-handling function is
+    virtine-annotated. Each request costs exactly the paper's seven host
+    interactions: (1) read() the request, (2) stat() the file, (3) open(),
+    (4) read() the contents, (5) write() the response, (6) close(),
+    (7) exit. The native baseline performs the same syscalls directly,
+    without VM exits or snapshot copies. *)
+
+val source : string
+(** The connection handler in the virtine C dialect
+    ([virtine_config] grants read/write/open/close/stat only). *)
+
+val compile : snapshot:bool -> Vcc.Compile.compiled
+
+val add_default_files : Wasp.Hostenv.t -> string
+(** Populate the host filesystem with the static corpus; returns the
+    path the request generator asks for. *)
+
+val request_for : path:string -> string
+(** Raw request bytes. *)
+
+type served = {
+  status : int;
+  body : string;
+  cycles : int64;         (** service time *)
+  hypercalls : int;
+}
+
+val serve_virtine : Wasp.Runtime.t -> Vcc.Compile.compiled -> path:string -> served
+(** Push one request through a virtine invocation of the handler and
+    parse the response off the connection. *)
+
+val serve_native :
+  env:Wasp.Hostenv.t -> clock:Cycles.Clock.t -> rng:Cycles.Rng.t -> path:string -> served
+(** The baseline: same request handled natively (host syscall costs
+    only, plus the handler's compute). *)

@@ -1,0 +1,141 @@
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+  body : string;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  resp_body : string;
+}
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 201 -> "Created"
+  | 204 -> "No Content"
+  | 400 -> "Bad Request"
+  | 403 -> "Forbidden"
+  | 404 -> "Not Found"
+  | 405 -> "Method Not Allowed"
+  | 500 -> "Internal Server Error"
+  | 503 -> "Service Unavailable"
+  | _ -> "Unknown"
+
+let split_head_body s =
+  let rec find i =
+    if i + 3 >= String.length s then None
+    else if String.sub s i 4 = "\r\n\r\n" then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | Some i -> (String.sub s 0 i, String.sub s (i + 4) (String.length s - i - 4))
+  | None -> (s, "")
+
+let parse_headers lines =
+  let parse_one line =
+    match String.index_opt line ':' with
+    | Some i ->
+        let key = String.trim (String.sub line 0 i) in
+        let value = String.trim (String.sub line (i + 1) (String.length line - i - 1)) in
+        if key = "" then Error (Printf.sprintf "empty header name in %S" line)
+        else Ok (key, value)
+    | None -> Error (Printf.sprintf "malformed header %S" line)
+  in
+  let rec go acc = function
+    | [] -> Ok (List.rev acc)
+    | "" :: rest -> go acc rest
+    | line :: rest -> (
+        match parse_one line with Ok h -> go (h :: acc) rest | Error e -> Error e)
+  in
+  go [] lines
+
+let header_value headers name =
+  List.find_map
+    (fun (k, v) -> if String.lowercase_ascii k = String.lowercase_ascii name then Some v else None)
+    headers
+
+let split_crlf s = String.split_on_char '\n' s |> List.map (fun l ->
+    if String.length l > 0 && l.[String.length l - 1] = '\r' then String.sub l 0 (String.length l - 1) else l)
+
+let parse_request s =
+  let head, body = split_head_body s in
+  match split_crlf head with
+  | [] -> Error "empty request"
+  | request_line :: header_lines -> (
+      match String.split_on_char ' ' request_line with
+      | [ meth; path; version ] ->
+          if meth = "" || path = "" then Error "malformed request line"
+          else begin
+            match parse_headers header_lines with
+            | Error e -> Error e
+            | Ok headers ->
+                let body =
+                  match header_value headers "content-length" with
+                  | Some len -> (
+                      match int_of_string_opt len with
+                      | Some n when n >= 0 && n <= String.length body -> String.sub body 0 n
+                      | Some _ | None -> body)
+                  | None -> body
+                in
+                Ok { meth; path; version; headers; body }
+          end
+      | _ -> Error (Printf.sprintf "malformed request line %S" request_line))
+
+let request_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "%s %s %s\r\n" r.meth r.path r.version);
+  List.iter (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v)) r.headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.body;
+  Buffer.contents buf
+
+let make_request ?(headers = []) ?(body = "") meth path =
+  let headers =
+    if body <> "" then headers @ [ ("Content-Length", string_of_int (String.length body)) ]
+    else headers
+  in
+  { meth; path; version = "HTTP/1.0"; headers; body }
+
+let parse_response s =
+  let head, body = split_head_body s in
+  match split_crlf head with
+  | [] -> Error "empty response"
+  | status_line :: header_lines -> (
+      match String.split_on_char ' ' status_line with
+      | _version :: code :: reason_words -> (
+          match int_of_string_opt code with
+          | Some status -> (
+              match parse_headers header_lines with
+              | Error e -> Error e
+              | Ok headers ->
+                  Ok
+                    {
+                      status;
+                      reason = String.concat " " reason_words;
+                      resp_headers = headers;
+                      resp_body = body;
+                    })
+          | None -> Error (Printf.sprintf "bad status code %S" code))
+      | _ -> Error "malformed status line")
+
+let response_to_string r =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "HTTP/1.0 %d %s\r\n" r.status r.reason);
+  List.iter
+    (fun (k, v) -> Buffer.add_string buf (Printf.sprintf "%s: %s\r\n" k v))
+    r.resp_headers;
+  Buffer.add_string buf "\r\n";
+  Buffer.add_string buf r.resp_body;
+  Buffer.contents buf
+
+let make_response ?(headers = []) ~status body =
+  {
+    status;
+    reason = reason_of_status status;
+    resp_headers = headers @ [ ("Content-Length", string_of_int (String.length body)) ];
+    resp_body = body;
+  }

@@ -1,0 +1,1 @@
+lib/vjs/engine.ml: Buffer Char Float Hashtbl Jsast Jsinterp Jslex Json Jsparse Jsvalue List Printf String

@@ -1,0 +1,1 @@
+lib/vjs/engine.mli: Jsvalue

@@ -1,0 +1,1 @@
+lib/vjs/isolate.ml: Bytes Char Engine Int64 Json Jsvalue List String Vm Wasp

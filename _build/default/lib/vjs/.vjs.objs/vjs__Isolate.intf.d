@@ -1,0 +1,1 @@
+lib/vjs/isolate.mli: Jsvalue Wasp

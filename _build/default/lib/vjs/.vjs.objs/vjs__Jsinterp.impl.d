@@ -1,0 +1,1 @@
+lib/vjs/jsinterp.ml: Char Float Hashtbl Int32 Jsast Jsvalue List Printf String

@@ -1,0 +1,1 @@
+lib/vjs/jsinterp.mli: Jsast Jsvalue

@@ -1,0 +1,1 @@
+lib/vjs/jslex.ml: Buffer Int64 List Printf String

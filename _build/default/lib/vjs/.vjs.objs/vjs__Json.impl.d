@@ -1,0 +1,1 @@
+lib/vjs/json.ml: Buffer Char Hashtbl Jsvalue List Printf String

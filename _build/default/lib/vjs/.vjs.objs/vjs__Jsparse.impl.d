@@ -1,0 +1,1 @@
+lib/vjs/jsparse.ml: Array Jsast Jslex List Printf String

@@ -1,0 +1,1 @@
+lib/vjs/jsparse.mli: Jsast

@@ -1,0 +1,1 @@
+lib/vjs/jsvalue.ml: Array Float Hashtbl Int32 Jsast List Printf String

@@ -1,0 +1,1 @@
+lib/vjs/jsvalue.mli: Hashtbl Jsast

@@ -1,0 +1,1 @@
+lib/vjs/workload.ml: Bytes Char Cycles Engine Int64 Jsvalue List String Vcrypto Vm Wasp

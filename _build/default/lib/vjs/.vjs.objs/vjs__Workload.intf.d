@@ -1,0 +1,1 @@
+lib/vjs/workload.mli: Cycles Wasp

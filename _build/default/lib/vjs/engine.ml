@@ -1,0 +1,153 @@
+open Jsvalue
+
+type t = {
+  charge_cell : (int -> unit) ref;
+  globals : env;
+  interp : Jsinterp.interp;
+  console : Buffer.t;
+}
+
+let charge_of t c = !(t.charge_cell) c
+
+(* Calibrated so the baseline in Figure 14 lands near the paper's 419 us
+   total: ~150 us alloc, ~12 us bindings, ~137 us parse+exec of the
+   base64 workload, ~100 us teardown (cycles at 2.69 GHz). *)
+let context_alloc_cycles = 400_000
+let binding_cycles = 32_000
+let teardown_cycles = 270_000
+let parse_cycles_per_token = 45
+let eval_cycles_per_node = Jsinterp.cost_per_node
+
+let num_method name f = Native (name, fun args ->
+    match args with
+    | v :: _ -> Num (f (to_number v))
+    | [] -> Num Float.nan)
+
+let install_builtins t =
+  let math = Hashtbl.create 8 in
+  Hashtbl.replace math "floor" (num_method "floor" Float.floor);
+  Hashtbl.replace math "ceil" (num_method "ceil" Float.ceil);
+  Hashtbl.replace math "abs" (num_method "abs" Float.abs);
+  Hashtbl.replace math "sqrt" (num_method "sqrt" Float.sqrt);
+  Hashtbl.replace math "min"
+    (Native ("min", fun args -> Num (List.fold_left (fun acc v -> min acc (to_number v)) Float.infinity args)));
+  Hashtbl.replace math "max"
+    (Native ("max", fun args -> Num (List.fold_left (fun acc v -> max acc (to_number v)) Float.neg_infinity args)));
+  Hashtbl.replace math "pow"
+    (Native ("pow", fun args ->
+         match args with
+         | a :: b :: _ -> Num (Float.pow (to_number a) (to_number b))
+         | _ -> Num Float.nan));
+  Hashtbl.replace math "PI" (Num Float.pi);
+  env_define t.globals "Math" (Obj math);
+  let string_obj = Hashtbl.create 4 in
+  Hashtbl.replace string_obj "fromCharCode"
+    (Native ("fromCharCode", fun args ->
+         Str (String.concat ""
+                (List.map (fun v -> String.make 1 (Char.chr (int_of_float (to_number v) land 0xFF))) args))));
+  env_define t.globals "String" (Obj string_obj);
+  env_define t.globals "parseInt"
+    (Native ("parseInt", fun args ->
+         match args with
+         | v :: _ -> (
+             let s = String.trim (to_string v) in
+             (* parse the longest valid integer prefix *)
+             let n = String.length s in
+             let stop = ref 0 in
+             let start = if n > 0 && (s.[0] = '-' || s.[0] = '+') then 1 else 0 in
+             stop := start;
+             while !stop < n && s.[!stop] >= '0' && s.[!stop] <= '9' do
+               incr stop
+             done;
+             if !stop = start then Num Float.nan
+             else
+               match int_of_string_opt (String.sub s 0 !stop) with
+               | Some i -> Num (float_of_int i)
+               | None -> Num Float.nan)
+         | [] -> Num Float.nan));
+    let json = Hashtbl.create 2 in
+  Hashtbl.replace json "stringify"
+    (Native ("stringify", fun args ->
+         match args with v :: _ -> Str (Json.stringify v) | [] -> Str "null"));
+  Hashtbl.replace json "parse"
+    (Native ("parse", fun args ->
+         match args with
+         | v :: _ -> Json.parse (to_string v)
+         | [] -> raise (Js_error "JSON.parse: missing argument")));
+  env_define t.globals "JSON" (Obj json);
+  let print_fn =
+    Native ("print", fun args ->
+        Buffer.add_string t.console (String.concat " " (List.map to_string args));
+        Buffer.add_char t.console '\n';
+        Undefined)
+  in
+  env_define t.globals "print" print_fn;
+  env_define t.globals "console_log" print_fn
+
+let create ?(charge = fun _ -> ()) () =
+  let cell = ref charge in
+  let t =
+    {
+      charge_cell = cell;
+      globals = env_create None;
+      interp = Jsinterp.create ~charge:(fun c -> !cell c) ~max_steps:5_000_000 ();
+      console = Buffer.create 64;
+    }
+  in
+  charge context_alloc_cycles;
+  install_builtins t;
+  charge binding_cycles;
+  t
+
+let register t name f = env_define t.globals name (Native (name, f))
+
+let eval t src =
+  Jsinterp.reset_steps t.interp;
+  match Jslex.tokenize src with
+  | exception Jslex.Error { line; msg } -> Error (Printf.sprintf "SyntaxError (line %d): %s" line msg)
+  | toks -> (
+      charge_of t (List.length toks * parse_cycles_per_token);
+      match Jsparse.parse src with
+      | exception Jsparse.Error { line; msg } ->
+          Error (Printf.sprintf "SyntaxError (line %d): %s" line msg)
+      | prog -> (
+          (* value of the last expression statement, REPL-style *)
+          let result = ref Undefined in
+          let run () =
+            List.iter
+              (fun s ->
+                match s with
+                | Jsast.Sfundecl (name, params, body) ->
+                    env_define t.globals name
+                      (Fun { params; body; env = t.globals; fname = name })
+                | _ -> ())
+              prog;
+            List.iter
+              (fun s ->
+                match s with
+                | Jsast.Sfundecl _ -> ()
+                | Jsast.Sexpr e -> result := Jsinterp.eval_expr t.interp t.globals e
+                | s -> Jsinterp.exec_stmt t.interp t.globals s)
+              prog
+          in
+          match run () with
+          | () -> Ok !result
+          | exception Js_error msg -> Error msg
+          | exception Jsinterp.Throw_exc v -> Error ("uncaught: " ^ to_string v)
+          | exception Jsinterp.Return_exc _ -> Error "return outside function"))
+
+let call t name args =
+  Jsinterp.reset_steps t.interp;
+  match env_lookup t.globals name with
+  | None -> Error (Printf.sprintf "ReferenceError: %s is not defined" name)
+  | Some fv -> (
+      match Jsinterp.call t.interp !fv args with
+      | v -> Ok v
+      | exception Js_error msg -> Error msg
+      | exception Jsinterp.Throw_exc v -> Error ("uncaught: " ^ to_string v))
+
+let destroy t = charge_of t teardown_cycles
+
+let console_output t = Buffer.contents t.console
+
+let set_charge t charge = t.charge_cell := charge

@@ -1,0 +1,131 @@
+type t = {
+  wasp : Wasp.Runtime.t;
+  isolate_key : string;
+  isolate_source : string;
+  isolate_entry : string;
+}
+
+type Wasp.Univ.t += Isolate_engine of Engine.t
+
+let arena_bytes = 48 * 1024
+
+let policy =
+  Wasp.Policy.of_list [ Wasp.Hc.snapshot; Wasp.Hc.get_data; Wasp.Hc.return_data ]
+
+let create wasp ~key ~source ~entry =
+  { wasp; isolate_key = key; isolate_source = source; isolate_entry = entry }
+
+let key t = t.isolate_key
+let source t = t.isolate_source
+let entry t = t.isolate_entry
+
+(* Run one invocation. [decode] turns the guest-side input bytes into the
+   engine-call arguments (charging guest cycles for the decode); [encode]
+   turns the result value into output bytes. *)
+let run t ~input ~decode ~encode =
+  let module N = Wasp.Runtime.Native_ctx in
+  let error = ref None in
+  let result =
+    Wasp.Runtime.run_native t.wasp ~name:("isolate:" ^ t.isolate_key)
+      ~mem_size:(128 * 1024) ~policy ~input ~snapshot_key:t.isolate_key
+      ~body:(fun ctx ~restored ->
+        let charge c = N.charge ctx c in
+        let build ~charged =
+          let e = Engine.create ~charge:(if charged then charge else fun _ -> ()) () in
+          match Engine.eval e t.isolate_source with
+          | Ok _ -> Ok e
+          | Error msg -> Error msg
+        in
+        let engine =
+          match restored with
+          | Some (Isolate_engine e) ->
+              Engine.set_charge e charge;
+              Ok e
+          | Some _ | None -> (
+              let arena = N.alloc ctx arena_bytes in
+              let mem = N.mem ctx in
+              for i = 0 to (arena_bytes / 256) - 1 do
+                Vm.Memory.write_u8 mem (arena + (i * 256)) 0x15
+              done;
+              match build ~charged:true with
+              | Error msg -> Error msg
+              | Ok e ->
+                  N.offer_snapshot_state ctx (fun () ->
+                      match build ~charged:false with
+                      | Ok fresh -> Isolate_engine fresh
+                      | Error msg -> failwith msg);
+                  ignore (N.hypercall ctx Wasp.Hc.snapshot [||]);
+                  Ok e)
+        in
+        match engine with
+        | Error msg ->
+            error := Some msg;
+            -1L
+        | Ok engine -> (
+            (* pull the input through the data channel *)
+            let buf = N.alloc ctx (max 8 (Bytes.length input)) in
+            let n =
+              N.hypercall ctx Wasp.Hc.get_data
+                [| Int64.of_int buf; Int64.of_int (Bytes.length input) |]
+            in
+            let mem = N.mem ctx in
+            let data = Vm.Memory.read_bytes mem ~off:buf ~len:(Int64.to_int n) in
+            match decode ~charge data with
+            | Error msg ->
+                error := Some msg;
+                -1L
+            | Ok args -> (
+                match Engine.call engine t.isolate_entry args with
+                | Error msg ->
+                    error := Some msg;
+                    -1L
+                | Ok v ->
+                    let out = encode v in
+                    let out_addr = N.alloc ctx (max 8 (String.length out)) in
+                    Vm.Memory.write_bytes mem ~off:out_addr (Bytes.of_string out);
+                    N.hypercall ctx Wasp.Hc.return_data
+                      [| Int64.of_int out_addr; Int64.of_int (String.length out) |])))
+      ()
+  in
+  let outcome =
+    match !error with
+    | Some msg -> Error msg
+    | None -> (
+        match result.Wasp.Runtime.output with
+        | Some b -> Ok (Bytes.to_string b)
+        | None -> Error "no output")
+  in
+  (outcome, result.Wasp.Runtime.cycles)
+
+let invoke t ~input =
+  let decode ~charge data =
+    charge (Bytes.length data * 2);
+    Ok
+      [
+        Jsvalue.Arr
+          (Jsvalue.vec_of_list
+             (List.init (Bytes.length data) (fun i ->
+                  Jsvalue.Num (float_of_int (Char.code (Bytes.get data i))))));
+      ]
+  in
+  let encode v = Jsvalue.to_string v in
+  run t ~input ~decode ~encode
+
+let call_json t args =
+  let payload = Json.stringify (Jsvalue.Arr (Jsvalue.vec_of_list args)) in
+  let decode ~charge data =
+    (* parsing the argument JSON is guest work *)
+    charge (Bytes.length data * 8);
+    match Json.parse (Bytes.to_string data) with
+    | Jsvalue.Arr v -> Ok (Jsvalue.vec_to_list v)
+    | _ -> Error "malformed argument payload"
+    | exception Jsvalue.Js_error msg -> Error msg
+  in
+  let encode v = Json.stringify v in
+  let outcome, cycles = run t ~input:(Bytes.of_string payload) ~decode ~encode in
+  match outcome with
+  | Error msg -> (Error msg, cycles)
+  | Ok json -> (
+      match Json.parse json with
+      | v -> (Ok v, cycles)
+      | exception Jsvalue.Js_error msg -> (Error msg, cycles))

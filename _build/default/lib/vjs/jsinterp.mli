@@ -1,0 +1,37 @@
+(** The tree-walking evaluator.
+
+    Every evaluated node charges {!cost_per_node} cycles through the
+    interpreter's charge hook, so the same engine runs with identical
+    semantics on the host (baseline) and inside a virtine (guest-charged)
+    — only where the cycles land differs. A step budget bounds hostile
+    scripts (each top-level entry resets it). *)
+
+type interp
+
+val cost_per_node : int
+
+val create : ?charge:(int -> unit) -> ?max_steps:int -> unit -> interp
+(** [max_steps] defaults to 50M per entry. *)
+
+val reset_steps : interp -> unit
+(** The budget bounds a single top-level entry, not the engine lifetime;
+    {!Engine.eval} and {!Engine.call} reset it. *)
+
+exception Return_exc of Jsvalue.t
+exception Break_exc
+exception Continue_exc
+exception Throw_exc of Jsvalue.t
+(** A guest [throw]; caught by guest [try] or surfaced by the engine. *)
+
+val eval_expr : interp -> Jsvalue.env -> Jsast.expr -> Jsvalue.t
+(** @raise Jsvalue.Js_error on runtime errors. *)
+
+val exec_stmt : interp -> Jsvalue.env -> Jsast.stmt -> unit
+val exec_stmts : interp -> Jsvalue.env -> Jsast.stmt list -> unit
+
+val exec_program : interp -> Jsvalue.env -> Jsast.program -> unit
+(** Hoists function declarations first, as JS does. *)
+
+val call : interp -> Jsvalue.t -> Jsvalue.t list -> Jsvalue.t
+(** Apply a [Fun] or [Native] value.
+    @raise Jsvalue.Js_error if the value is not callable. *)

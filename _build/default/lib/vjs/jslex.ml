@@ -1,0 +1,150 @@
+type token = NUM of float | STR of string | IDENT of string | KW of string | PUNCT of string | EOF
+
+let token_name = function
+  | NUM f -> Printf.sprintf "number %g" f
+  | STR s -> Printf.sprintf "string %S" s
+  | IDENT s -> Printf.sprintf "identifier %s" s
+  | KW s -> Printf.sprintf "'%s'" s
+  | PUNCT s -> Printf.sprintf "'%s'" s
+  | EOF -> "end of input"
+
+exception Error of { line : int; msg : string }
+
+let keywords =
+  [
+    "var"; "let"; "const"; "function"; "return"; "if"; "else"; "while"; "for";
+    "true"; "false"; "null"; "undefined"; "break"; "continue"; "new"; "typeof";
+    "try"; "catch"; "finally"; "throw";
+  ]
+
+(* longest match first *)
+let puncts =
+  [
+    "==="; "!=="; "<<="; ">>=";
+    "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "+="; "-="; "*="; "/="; "%=";
+    "++"; "--";
+    "+"; "-"; "*"; "/"; "%"; "<"; ">"; "="; "("; ")"; "{"; "}"; "["; "]"; ";"; ",";
+    "."; "?"; ":"; "!"; "&"; "|"; "^"; "~";
+  ]
+
+let is_digit c = c >= '0' && c <= '9'
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = '$'
+let is_ident c = is_ident_start c || is_digit c
+
+let tokenize src =
+  let n = String.length src in
+  let pos = ref 0 and line = ref 1 in
+  let out = ref [] in
+  let fail msg = raise (Error { line = !line; msg }) in
+  let peek k = if !pos + k < n then Some src.[!pos + k] else None in
+  let starts_with s =
+    let l = String.length s in
+    !pos + l <= n && String.sub src !pos l = s
+  in
+  while !pos < n do
+    let c = src.[!pos] in
+    if c = '\n' then begin
+      incr line;
+      incr pos
+    end
+    else if c = ' ' || c = '\t' || c = '\r' then incr pos
+    else if starts_with "//" then
+      while !pos < n && src.[!pos] <> '\n' do
+        incr pos
+      done
+    else if starts_with "/*" then begin
+      pos := !pos + 2;
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        if src.[!pos] = '\n' then incr line;
+        if starts_with "*/" then begin
+          closed := true;
+          pos := !pos + 2
+        end
+        else incr pos
+      done;
+      if not !closed then fail "unterminated comment"
+    end
+    else if is_digit c then begin
+      let start = !pos in
+      if starts_with "0x" || starts_with "0X" then begin
+        pos := !pos + 2;
+        while (match peek 0 with
+               | Some c ->
+                   is_digit c || (c >= 'a' && c <= 'f') || (c >= 'A' && c <= 'F')
+               | None -> false)
+        do
+          incr pos
+        done;
+        let text = String.sub src start (!pos - start) in
+        match Int64.of_string_opt text with
+        | Some v -> out := (NUM (Int64.to_float v), !line) :: !out
+        | None -> fail (Printf.sprintf "bad number %s" text)
+      end
+      else begin
+        while (match peek 0 with Some c -> is_digit c | None -> false) do
+          incr pos
+        done;
+        if peek 0 = Some '.' && (match peek 1 with Some c -> is_digit c | None -> false)
+        then begin
+          incr pos;
+          while (match peek 0 with Some c -> is_digit c | None -> false) do
+            incr pos
+          done
+        end;
+        let text = String.sub src start (!pos - start) in
+        match float_of_string_opt text with
+        | Some v -> out := (NUM v, !line) :: !out
+        | None -> fail (Printf.sprintf "bad number %s" text)
+      end
+    end
+    else if is_ident_start c then begin
+      let start = !pos in
+      while (match peek 0 with Some c -> is_ident c | None -> false) do
+        incr pos
+      done;
+      let text = String.sub src start (!pos - start) in
+      if List.mem text keywords then out := (KW text, !line) :: !out
+      else out := (IDENT text, !line) :: !out
+    end
+    else if c = '"' || c = '\'' then begin
+      let quote = c in
+      incr pos;
+      let buf = Buffer.create 16 in
+      let closed = ref false in
+      while (not !closed) && !pos < n do
+        let d = src.[!pos] in
+        if d = quote then begin
+          closed := true;
+          incr pos
+        end
+        else if d = '\\' && !pos + 1 < n then begin
+          (match src.[!pos + 1] with
+          | 'n' -> Buffer.add_char buf '\n'
+          | 't' -> Buffer.add_char buf '\t'
+          | 'r' -> Buffer.add_char buf '\r'
+          | '0' -> Buffer.add_char buf '\000'
+          | '\\' -> Buffer.add_char buf '\\'
+          | '\'' -> Buffer.add_char buf '\''
+          | '"' -> Buffer.add_char buf '"'
+          | e -> fail (Printf.sprintf "bad escape \\%c" e));
+          pos := !pos + 2
+        end
+        else begin
+          if d = '\n' then incr line;
+          Buffer.add_char buf d;
+          incr pos
+        end
+      done;
+      if not !closed then fail "unterminated string";
+      out := (STR (Buffer.contents buf), !line) :: !out
+    end
+    else begin
+      match List.find_opt starts_with puncts with
+      | Some p ->
+          pos := !pos + String.length p;
+          out := (PUNCT p, !line) :: !out
+      | None -> fail (Printf.sprintf "unexpected character %C" c)
+    end
+  done;
+  List.rev ((EOF, !line) :: !out)

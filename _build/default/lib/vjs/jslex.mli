@@ -1,0 +1,21 @@
+(** Lexer for the vjs JavaScript subset. *)
+
+type token =
+  | NUM of float
+  | STR of string
+  | IDENT of string
+  | KW of string
+      (** var, let, function, return, if, else, while, for, true, false,
+          null, undefined, break, continue, new, typeof *)
+  | PUNCT of string
+      (** operators and delimiters, longest-match: === !== == != <= >= &&
+          || << >> += -= *= /= ++ -- + - * / % < > = ( ) { } [ ] ; , . ? :
+          ! & | ^ ~ *)
+  | EOF
+
+val token_name : token -> string
+
+exception Error of { line : int; msg : string }
+
+val tokenize : string -> (token * int) list
+(** Token plus line number; includes trailing EOF. *)

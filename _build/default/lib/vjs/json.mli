@@ -1,0 +1,12 @@
+(** JSON over the vjs value domain.
+
+    Backs the engine's [JSON] global and the host side of
+    {!Isolate.call_json}, where structured values cross the virtine
+    boundary through the checked data channel. *)
+
+val stringify : Jsvalue.t -> string
+(** Functions and [undefined] serialize as [null]; object keys are
+    emitted in sorted order (deterministic output). *)
+
+val parse : string -> Jsvalue.t
+(** @raise Jsvalue.Js_error on malformed input. *)

@@ -1,0 +1,6 @@
+(** Parser for the vjs JavaScript subset. *)
+
+exception Error of { line : int; msg : string }
+
+val parse : string -> Jsast.program
+(** @raise Error (or {!Jslex.Error}) on malformed input. *)

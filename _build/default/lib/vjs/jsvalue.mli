@@ -1,0 +1,64 @@
+(** Runtime values of the vjs JavaScript engine.
+
+    Numbers are IEEE doubles, arrays are growable vectors, objects are
+    string-keyed hash tables, and functions capture their defining
+    environment (closures). [Native] embeds host functions (the
+    [duk_push_c_function] analogue). *)
+
+type t =
+  | Undefined
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of vec
+  | Obj of (string, t) Hashtbl.t
+  | Fun of fn
+  | Native of string * (t list -> t)
+
+and vec = { mutable items : t array; mutable len : int }
+
+and fn = { params : string list; body : Jsast.stmt list; env : env; fname : string }
+
+and env = { tbl : (string, t ref) Hashtbl.t; parent : env option }
+
+exception Js_error of string
+(** Runtime errors (reference errors, type errors, step-budget
+    exhaustion). Catchable by guest [try]. *)
+
+(** {1 Vectors} *)
+
+val vec_create : unit -> vec
+val vec_of_list : t list -> vec
+val vec_get : vec -> int -> t
+(** Out-of-range reads yield [Undefined], as in JS. *)
+
+val vec_set : vec -> int -> t -> unit
+(** Grows the vector (holes become [Undefined]).
+    @raise Js_error on a negative index. *)
+
+val vec_push : vec -> t -> unit
+val vec_pop : vec -> t
+val vec_to_list : vec -> t list
+
+(** {1 Coercions (ECMA-flavoured)} *)
+
+val type_name : t -> string
+(** The [typeof] string. *)
+
+val truthy : t -> bool
+val to_string : t -> string
+val number_to_string : float -> string
+val to_number : t -> float
+val to_int32 : t -> int32
+(** ToInt32, used by the bitwise operators. *)
+
+val strict_equal : t -> t -> bool   (** [===]: no coercion, reference equality for objects. *)
+val loose_equal : t -> t -> bool    (** [==]: number/string/bool coercion. *)
+
+(** {1 Environments} *)
+
+val env_create : env option -> env
+val env_define : env -> string -> t -> unit
+val env_lookup : env -> string -> t ref option
+(** Walks the scope chain. *)

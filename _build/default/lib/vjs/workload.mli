@@ -1,0 +1,30 @@
+(** The §6.5 JavaScript-virtine workload: base64-encode a buffer inside
+    the engine, either on the host (baseline) or in virtine context with
+    the snapshot / no-teardown optimizations of Figure 14.
+
+    The virtine embedding follows the paper exactly: the engine runs with
+    only three hypercalls available — [snapshot], [get_data] and
+    [return_data] — and [get_data]/[snapshot] are once-only, so "if an
+    attacker were to gain remote code execution capabilities, the only
+    permitted hypercall would terminate the virtine". *)
+
+val base64_js_source : string
+(** The untrusted UDF: [encode(data)] over an array of byte values. *)
+
+val make_input : size:int -> bytes
+(** Deterministic pseudo-random input buffer. *)
+
+val reference_encode : bytes -> string
+(** Host-side reference (vcrypto base64) the JS result must match. *)
+
+type outcome = { latency_cycles : int64; output : string }
+
+val run_baseline : clock:Cycles.Clock.t -> input:bytes -> outcome
+(** Allocate a Duktape-style context, bind natives, evaluate the UDF,
+    encode, tear down — all on the host (the paper's 419 us baseline). *)
+
+val run_virtine :
+  Wasp.Runtime.t -> input:bytes -> snapshot:bool -> teardown:bool -> key:string -> outcome
+(** One virtine invocation of the UDF. [snapshot] enables the post-init
+    snapshot (reused across calls under [key]); [teardown] controls
+    whether the engine free cost is paid (NT arms skip it). *)

@@ -1,0 +1,1 @@
+lib/vm/boot.ml: Cycles Gdt List Modes Paging

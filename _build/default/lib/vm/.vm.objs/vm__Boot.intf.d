@@ -1,0 +1,1 @@
+lib/vm/boot.mli: Cycles Memory Modes

@@ -1,0 +1,1 @@
+lib/vm/cpu.ml: Array Cycles Encoding Format Instr Int64 Memory Modes

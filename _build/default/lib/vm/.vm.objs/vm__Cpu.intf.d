@@ -1,0 +1,1 @@
+lib/vm/cpu.mli: Cycles Format Instr Memory Modes

@@ -1,0 +1,1 @@
+lib/vm/gdt.ml: Int64 Memory

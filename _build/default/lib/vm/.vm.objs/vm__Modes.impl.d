@@ -1,0 +1,1 @@
+lib/vm/modes.ml: Format Int64

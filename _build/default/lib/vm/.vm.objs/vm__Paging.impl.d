@@ -1,0 +1,1 @@
+lib/vm/paging.ml: Int64 Memory

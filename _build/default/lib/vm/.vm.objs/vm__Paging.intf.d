@@ -1,0 +1,1 @@
+lib/vm/paging.mli: Memory

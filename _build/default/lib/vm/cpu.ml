@@ -1,0 +1,231 @@
+type fault =
+  | Memory_oob of { addr : int; size : int }
+  | Page_fault of { addr : int }
+  | Invalid_opcode of { addr : int; msg : string }
+  | Division_by_zero of { addr : int }
+
+type exit_reason =
+  | Halt
+  | Io_out of { port : int; value : int64 }
+  | Io_in of { port : int; reg : Instr.reg }
+  | Fault of fault
+  | Out_of_fuel
+
+let pp_fault ppf = function
+  | Memory_oob { addr; size } -> Format.fprintf ppf "memory fault at 0x%x (%d bytes)" addr size
+  | Page_fault { addr } -> Format.fprintf ppf "page fault at 0x%x" addr
+  | Invalid_opcode { addr; msg } -> Format.fprintf ppf "invalid opcode at 0x%x: %s" addr msg
+  | Division_by_zero { addr } -> Format.fprintf ppf "division by zero at 0x%x" addr
+
+let pp_exit ppf = function
+  | Halt -> Format.pp_print_string ppf "halt"
+  | Io_out { port; value } -> Format.fprintf ppf "out(port=0x%x, value=%Ld)" port value
+  | Io_in { port; reg } -> Format.fprintf ppf "in(port=0x%x, r%d)" port reg
+  | Fault f -> Format.fprintf ppf "fault: %a" pp_fault f
+  | Out_of_fuel -> Format.pp_print_string ppf "out of fuel"
+
+type t = {
+  memory : Memory.t;
+  mutable cpu_mode : Modes.t;
+  clock : Cycles.Clock.t;
+  regs : int64 array;
+  mutable pc : int;
+  mutable signed_cmp : int;
+  mutable unsigned_cmp : int;
+  mutable retired : int64;
+}
+
+exception Vm_fault of fault
+
+let create ~mem ~mode ~clock =
+  {
+    memory = mem;
+    cpu_mode = mode;
+    clock;
+    regs = Array.make Instr.num_regs 0L;
+    pc = 0;
+    signed_cmp = 0;
+    unsigned_cmp = 0;
+    retired = 0L;
+  }
+
+let mem t = t.memory
+let mode t = t.cpu_mode
+
+let get_reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- Modes.mask t.cpu_mode v
+
+let pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let set_sp t sp = set_reg t Instr.sp (Int64.of_int sp)
+
+let instructions_retired t = t.retired
+
+let reset t ~mode =
+  t.cpu_mode <- mode;
+  Array.fill t.regs 0 Instr.num_regs 0L;
+  t.pc <- 0;
+  t.signed_cmp <- 0;
+  t.unsigned_cmp <- 0;
+  t.retired <- 0L
+
+(* Address check: guest RAM bounds are enforced by Memory; the mode's
+   architectural limit (1 MB real, 4 GB protected, 1 GB mapped in long
+   mode) is enforced here, faulting like hardware would. *)
+let check_range t addr size =
+  let limit = Modes.address_limit t.cpu_mode in
+  if addr < 0 || addr + size > limit then begin
+    match t.cpu_mode with
+    | Modes.Long -> raise (Vm_fault (Page_fault { addr }))
+    | Modes.Real | Modes.Protected -> raise (Vm_fault (Memory_oob { addr; size }))
+  end
+
+let read_mem t width addr : int64 =
+  let size = Instr.bytes_of_width width in
+  check_range t addr size;
+  match width with
+  | Instr.W8 -> Int64.of_int (Memory.read_u8 t.memory addr)
+  | Instr.W16 -> Int64.of_int (Memory.read_u16 t.memory addr)
+  | Instr.W32 -> Int64.of_int (Memory.read_u32 t.memory addr)
+  | Instr.W64 -> Memory.read_u64 t.memory addr
+
+let write_mem t width addr (v : int64) =
+  let size = Instr.bytes_of_width width in
+  check_range t addr size;
+  match width with
+  | Instr.W8 -> Memory.write_u8 t.memory addr (Int64.to_int (Int64.logand v 0xFFL))
+  | Instr.W16 -> Memory.write_u16 t.memory addr (Int64.to_int (Int64.logand v 0xFFFFL))
+  | Instr.W32 ->
+      Memory.write_u32 t.memory addr (Int64.to_int (Int64.logand v 0xFFFFFFFFL))
+  | Instr.W64 -> Memory.write_u64 t.memory addr v
+
+let operand_value t : Instr.operand -> int64 = function
+  | Reg r -> t.regs.(r)
+  | Imm i -> Modes.mask t.cpu_mode i
+
+let eval_binop t op l r pc =
+  let open Int64 in
+  let sl = Modes.sext t.cpu_mode l and sr = Modes.sext t.cpu_mode r in
+  match (op : Instr.binop) with
+  | Add -> add l r
+  | Sub -> sub l r
+  | Mul -> mul l r
+  | Div ->
+      if sr = 0L then raise (Vm_fault (Division_by_zero { addr = pc })) else div sl sr
+  | Rem ->
+      if sr = 0L then raise (Vm_fault (Division_by_zero { addr = pc })) else rem sl sr
+  | And -> logand l r
+  | Or -> logor l r
+  | Xor -> logxor l r
+  | Shl -> shift_left l (to_int (logand r 63L))
+  | Shr -> shift_right_logical l (to_int (logand r 63L))
+  | Sar -> shift_right sl (to_int (logand r 63L))
+
+let eval_cond t : Instr.cond -> bool = function
+  | Eq -> t.signed_cmp = 0
+  | Ne -> t.signed_cmp <> 0
+  | Lt -> t.signed_cmp < 0
+  | Le -> t.signed_cmp <= 0
+  | Gt -> t.signed_cmp > 0
+  | Ge -> t.signed_cmp >= 0
+  | Ult -> t.unsigned_cmp < 0
+  | Ule -> t.unsigned_cmp <= 0
+  | Ugt -> t.unsigned_cmp > 0
+  | Uge -> t.unsigned_cmp >= 0
+
+let push t v =
+  let sp = Int64.to_int t.regs.(Instr.sp) - 8 in
+  write_mem t Instr.W64 sp v;
+  set_reg t Instr.sp (Int64.of_int sp)
+
+let pop t =
+  let sp = Int64.to_int t.regs.(Instr.sp) in
+  let v = read_mem t Instr.W64 sp in
+  set_reg t Instr.sp (Int64.of_int (sp + 8));
+  v
+
+let fetch t =
+  let read_byte a =
+    check_range t a 1;
+    Memory.read_u8 t.memory a
+  in
+  try Encoding.decode read_byte t.pc with
+  | Encoding.Decode_error { addr; msg } -> raise (Vm_fault (Invalid_opcode { addr; msg }))
+
+let step t : exit_reason option =
+  let start_pc = t.pc in
+  let instr, size = fetch t in
+  Cycles.Clock.advance_int t.clock (Instr.cost instr);
+  t.retired <- Int64.add t.retired 1L;
+  let next = start_pc + size in
+  t.pc <- next;
+  match instr with
+  | Hlt -> Some Halt
+  | Nop -> None
+  | Mov (rd, src) ->
+      set_reg t rd (operand_value t src);
+      None
+  | Bin (op, rd, src) ->
+      set_reg t rd (eval_binop t op t.regs.(rd) (operand_value t src) start_pc);
+      None
+  | Neg rd ->
+      set_reg t rd (Int64.neg (Modes.sext t.cpu_mode t.regs.(rd)));
+      None
+  | Not rd ->
+      set_reg t rd (Int64.lognot t.regs.(rd));
+      None
+  | Cmp (r, src) ->
+      let l = t.regs.(r) and rv = operand_value t src in
+      t.signed_cmp <- Int64.compare (Modes.sext t.cpu_mode l) (Modes.sext t.cpu_mode rv);
+      t.unsigned_cmp <- Int64.unsigned_compare l rv;
+      None
+  | Jmp a ->
+      t.pc <- a;
+      None
+  | Jcc (c, a) ->
+      if eval_cond t c then t.pc <- a;
+      None
+  | Call a ->
+      push t (Int64.of_int next);
+      t.pc <- a;
+      None
+  | Callr r ->
+      push t (Int64.of_int next);
+      t.pc <- Int64.to_int t.regs.(r);
+      None
+  | Ret ->
+      t.pc <- Int64.to_int (pop t);
+      None
+  | Push src ->
+      push t (operand_value t src);
+      None
+  | Pop rd ->
+      set_reg t rd (pop t);
+      None
+  | Load (w, rd, rb, d) ->
+      let addr = Int64.to_int t.regs.(rb) + d in
+      set_reg t rd (read_mem t w addr);
+      None
+  | Store (w, rb, d, src) ->
+      let addr = Int64.to_int t.regs.(rb) + d in
+      write_mem t w addr (operand_value t src);
+      None
+  | Lea (rd, rb, d) ->
+      set_reg t rd (Int64.add t.regs.(rb) (Int64.of_int d));
+      None
+  | Out (port, src) -> Some (Io_out { port; value = operand_value t src })
+  | In (rd, port) -> Some (Io_in { port; reg = rd })
+  | Rdtsc rd ->
+      set_reg t rd (Cycles.Clock.now t.clock);
+      None
+
+let run ?(fuel = 200_000_000) t =
+  let remaining = ref fuel in
+  let rec loop () =
+    if !remaining <= 0 then Out_of_fuel
+    else begin
+      decr remaining;
+      match step t with None -> loop () | Some exit -> exit
+    end
+  in
+  try loop () with Vm_fault f -> Fault f | Memory.Fault { addr; size } -> Fault (Memory_oob { addr; size })

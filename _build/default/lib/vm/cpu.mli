@@ -1,0 +1,53 @@
+(** The vx virtual CPU.
+
+    Executes encoded instructions fetched from guest memory, charging cycle
+    costs against the virtual clock. A CPU never touches anything outside
+    its {!Memory.t}: every fault and every [out] instruction becomes a VM
+    exit that the hypervisor layer (kvmsim/Wasp) interprets. Register
+    results are truncated to the active processor-mode width. *)
+
+type fault =
+  | Memory_oob of { addr : int; size : int }  (** access outside guest RAM *)
+  | Page_fault of { addr : int }              (** beyond the mapped region *)
+  | Invalid_opcode of { addr : int; msg : string }
+  | Division_by_zero of { addr : int }
+
+type exit_reason =
+  | Halt
+  | Io_out of { port : int; value : int64 }
+      (** [out] executed: the hypercall doorbell. The CPU is resumable. *)
+  | Io_in of { port : int; reg : Instr.reg }
+      (** [in] executed: the host should deposit a value with {!set_reg}
+          and resume. *)
+  | Fault of fault
+  | Out_of_fuel  (** instruction budget exhausted (runaway guest). *)
+
+val pp_exit : Format.formatter -> exit_reason -> unit
+
+type t
+
+val create : mem:Memory.t -> mode:Modes.t -> clock:Cycles.Clock.t -> t
+(** Registers and flags zeroed; PC at 0. The caller (boot/Wasp) sets PC
+    and SP before running. *)
+
+val mem : t -> Memory.t
+val mode : t -> Modes.t
+
+val get_reg : t -> Instr.reg -> int64
+val set_reg : t -> Instr.reg -> int64 -> unit
+(** Values are truncated to the mode width on write. *)
+
+val pc : t -> int
+val set_pc : t -> int -> unit
+val set_sp : t -> int -> unit
+
+val instructions_retired : t -> int64
+
+val run : ?fuel:int -> t -> exit_reason
+(** Execute until an exit. [fuel] (default 200M instructions) bounds
+    runaway guests. Resumable: calling [run] again after an I/O exit
+    continues after the I/O instruction. *)
+
+val reset : t -> mode:Modes.t -> unit
+(** Clear registers/flags/PC and switch mode (shell reuse). Guest memory
+    is cleared separately by the pool. *)

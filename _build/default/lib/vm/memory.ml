@@ -1,0 +1,109 @@
+exception Fault of { addr : int; size : int }
+
+let page_size = 4096
+
+type t = { data : bytes; size : int; dirty : Bytes.t }
+
+let create ~size =
+  { data = Bytes.make size '\000'; size; dirty = Bytes.make ((size + page_size - 1) / page_size) '\000' }
+
+let size t = t.size
+
+let check t addr n = if addr < 0 || addr + n > t.size then raise (Fault { addr; size = n })
+
+let mark t addr n =
+  let first = addr / page_size and last = (addr + n - 1) / page_size in
+  for p = first to last do
+    Bytes.unsafe_set t.dirty p '\001'
+  done
+
+let dirty_pages t =
+  let acc = ref [] in
+  for p = Bytes.length t.dirty - 1 downto 0 do
+    if Bytes.unsafe_get t.dirty p = '\001' then acc := p :: !acc
+  done;
+  !acc
+
+let dirty_count t =
+  let n = ref 0 in
+  Bytes.iter (fun c -> if c = '\001' then incr n) t.dirty;
+  !n
+
+let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000' 
+
+let read_u8 t addr =
+  check t addr 1;
+  Char.code (Bytes.unsafe_get t.data addr)
+
+let read_u16 t addr =
+  check t addr 2;
+  Char.code (Bytes.unsafe_get t.data addr)
+  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+
+let read_u32 t addr =
+  check t addr 4;
+  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+let read_u64 t addr =
+  check t addr 8;
+  Bytes.get_int64_le t.data addr
+
+let write_u8 t addr v =
+  check t addr 1;
+  mark t addr 1;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+
+let write_u16 t addr v =
+  check t addr 2;
+  mark t addr 2;
+  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
+  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+
+let write_u32 t addr v =
+  check t addr 4;
+  mark t addr 4;
+  for i = 0 to 3 do
+    Bytes.unsafe_set t.data (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+  done
+
+let write_u64 t addr v =
+  check t addr 8;
+  mark t addr 8;
+  Bytes.set_int64_le t.data addr v
+
+let read_bytes t ~off ~len =
+  check t off len;
+  Bytes.sub t.data off len
+
+let write_bytes t ~off b =
+  let len = Bytes.length b in
+  check t off len;
+  if len > 0 then mark t off len;
+  Bytes.blit b 0 t.data off len
+
+let read_cstring t ~off ~max =
+  check t off 0;
+  let rec find i =
+    if i >= max then raise (Fault { addr = off + i; size = 1 })
+    else if read_u8 t (off + i) = 0 then i
+    else find (i + 1)
+  in
+  let len = find 0 in
+  Bytes.to_string (read_bytes t ~off ~len)
+
+let fill_zero t =
+  if t.size > 0 then mark t 0 t.size;
+  Bytes.fill t.data 0 t.size '\000'
+
+let copy_to ~src ~dst =
+  if src.size <> dst.size then invalid_arg "Memory.copy_to: size mismatch";
+  if dst.size > 0 then mark dst 0 dst.size;
+  Bytes.blit src.data 0 dst.data 0 src.size
+
+let snapshot t = Bytes.copy t.data
+
+let restore t b =
+  if Bytes.length b <> t.size then invalid_arg "Memory.restore: size mismatch";
+  if t.size > 0 then mark t 0 t.size;
+  Bytes.blit b 0 t.data 0 t.size

@@ -1,0 +1,65 @@
+(** Guest physical memory.
+
+    Each virtine owns a private, bounds-checked memory region; this is the
+    mechanism behind the paper's isolation objective that a virtine "may
+    not interact with any data or services outside of its own address
+    space" (§3.1). Out-of-bounds accesses raise {!Fault}, which the CPU
+    reports as a VM exit instead of ever touching host state. *)
+
+exception Fault of { addr : int; size : int }
+(** Raised on any access outside [0, size). *)
+
+type t
+
+val create : size:int -> t
+(** Fresh zeroed memory of [size] bytes. *)
+
+val size : t -> int
+
+val read_u8 : t -> int -> int
+val read_u16 : t -> int -> int
+val read_u32 : t -> int -> int
+(** Little-endian; result in [0, 2^32). *)
+
+val read_u64 : t -> int -> int64
+
+val write_u8 : t -> int -> int -> unit
+val write_u16 : t -> int -> int -> unit
+val write_u32 : t -> int -> int -> unit
+val write_u64 : t -> int -> int64 -> unit
+
+val read_bytes : t -> off:int -> len:int -> bytes
+val write_bytes : t -> off:int -> bytes -> unit
+
+val read_cstring : t -> off:int -> max:int -> string
+(** Read a NUL-terminated string of at most [max] bytes; raises {!Fault}
+    if no terminator is found within bounds (hypercall handlers use this to
+    validate guest-supplied paths without trusting guest lengths). *)
+
+val fill_zero : t -> unit
+(** Zero the whole region (pool cleaning). *)
+
+val copy_to : src:t -> dst:t -> unit
+(** Whole-region copy; sizes must match (snapshot capture/restore). *)
+
+val snapshot : t -> bytes
+(** Copy out the full contents. *)
+
+val restore : t -> bytes -> unit
+(** Overwrite contents from a snapshot of equal size. *)
+
+(** {1 Dirty-page tracking}
+
+    Every write marks its 4 KB page dirty. Copy-on-write virtine resets
+    (the SEUSS-style optimization of §7.2) restore only the pages the
+    previous invocation touched instead of the whole footprint. *)
+
+val page_size : int
+(** 4096. *)
+
+val dirty_pages : t -> int list
+(** Indices of pages written since the last {!clear_dirty}, ascending. *)
+
+val dirty_count : t -> int
+
+val clear_dirty : t -> unit

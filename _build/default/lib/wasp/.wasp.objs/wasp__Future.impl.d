@@ -1,0 +1,1 @@
+lib/wasp/future.ml: List Runtime

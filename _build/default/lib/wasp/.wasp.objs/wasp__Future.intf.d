@@ -1,0 +1,1 @@
+lib/wasp/future.mli: Image Inv Policy Runtime

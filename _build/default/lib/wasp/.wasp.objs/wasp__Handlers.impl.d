@@ -1,0 +1,1 @@
+lib/wasp/handlers.ml: Array Buffer Bytes Cycles Hc Hostenv Int64 Inv Vm

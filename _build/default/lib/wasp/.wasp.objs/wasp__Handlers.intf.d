@@ -1,0 +1,1 @@
+lib/wasp/handlers.mli: Inv

@@ -1,0 +1,1 @@
+lib/wasp/hostenv.ml: Buffer Bytes Hashtbl String

@@ -1,0 +1,1 @@
+lib/wasp/image.ml: Asm Bytes Layout Vm

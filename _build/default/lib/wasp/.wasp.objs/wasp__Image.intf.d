@@ -1,0 +1,1 @@
+lib/wasp/image.mli: Asm Vm

@@ -1,0 +1,1 @@
+lib/wasp/inv.ml: Buffer Cycles Hostenv Vm

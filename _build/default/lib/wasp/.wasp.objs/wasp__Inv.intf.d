@@ -1,0 +1,1 @@
+lib/wasp/inv.mli: Buffer Cycles Hostenv Vm

@@ -1,0 +1,1 @@
+lib/wasp/policy.ml: Format Hc Int64 List

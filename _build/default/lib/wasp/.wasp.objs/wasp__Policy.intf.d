@@ -1,0 +1,1 @@
+lib/wasp/policy.mli: Format

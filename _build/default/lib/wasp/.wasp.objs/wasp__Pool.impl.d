@@ -1,0 +1,1 @@
+lib/wasp/pool.ml: Cycles Hashtbl Int64 Kvmsim Stack Vm

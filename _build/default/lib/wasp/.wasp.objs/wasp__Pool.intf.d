@@ -1,0 +1,1 @@
+lib/wasp/pool.mli: Kvmsim Vm

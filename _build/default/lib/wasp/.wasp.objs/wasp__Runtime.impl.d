@@ -1,0 +1,1 @@
+lib/wasp/runtime.ml: Array Buffer Bytes Cycles Handlers Hashtbl Hc Hostenv Image Int64 Inv Kvmsim Layout List Logs Option Policy Pool Snapshot_store Trace Univ Vm

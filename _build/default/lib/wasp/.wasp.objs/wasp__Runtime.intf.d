@@ -1,0 +1,1 @@
+lib/wasp/runtime.mli: Cycles Hostenv Image Inv Kvmsim Policy Pool Snapshot_store Trace Univ Vm

@@ -1,0 +1,1 @@
+lib/wasp/snapshot_store.ml: Array Bytes Hashtbl Instr List Univ Vm

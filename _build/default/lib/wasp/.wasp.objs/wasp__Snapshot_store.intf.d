@@ -1,0 +1,1 @@
+lib/wasp/snapshot_store.mli: Univ Vm

@@ -1,0 +1,1 @@
+lib/wasp/trace.ml: Format Hc List Vm

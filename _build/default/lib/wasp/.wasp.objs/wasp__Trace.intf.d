@@ -1,0 +1,1 @@
+lib/wasp/trace.mli: Format Vm

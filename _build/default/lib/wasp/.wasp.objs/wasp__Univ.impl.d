@@ -1,0 +1,1 @@
+lib/wasp/univ.ml:

@@ -1,0 +1,24 @@
+type state = Pending of (unit -> Runtime.result) | Done of Runtime.result
+
+type t = { mutable state : state }
+
+let spawn w image ?policy ?handlers ?input ?args ?snapshot_key ?fuel () =
+  {
+    state =
+      Pending
+        (fun () -> Runtime.run w image ?policy ?handlers ?input ?args ?snapshot_key ?fuel ());
+  }
+
+let poll t = match t.state with Done r -> Some r | Pending _ -> None
+
+let join t =
+  match t.state with
+  | Done r -> r
+  | Pending thunk ->
+      let r = thunk () in
+      t.state <- Done r;
+      r
+
+let join_all ts = List.map join ts
+
+let is_done t = match t.state with Done _ -> true | Pending _ -> false

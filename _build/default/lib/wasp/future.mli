@@ -1,0 +1,36 @@
+(** Asynchronous virtines.
+
+    §2: "virtines could, given support in the hypervisor, behave like
+    asynchronous functions or futures" (the goroutine model of Gotee).
+    This module supplies that support: [spawn] captures an invocation,
+    [join] forces it and caches the result, [poll] observes without
+    forcing. [join_all] completes a batch.
+
+    The virtual clock is single-threaded, so cost accounting remains
+    serial — the API provides the programming model (deferred, memoized
+    invocations), not wall-clock overlap. *)
+
+type t
+
+val spawn :
+  Runtime.t ->
+  Image.t ->
+  ?policy:Policy.t ->
+  ?handlers:(int -> Inv.handler option) ->
+  ?input:bytes ->
+  ?args:int64 list ->
+  ?snapshot_key:string ->
+  ?fuel:int ->
+  unit ->
+  t
+(** Capture an invocation without running it. *)
+
+val poll : t -> Runtime.result option
+(** [Some result] once the future has been forced; never forces. *)
+
+val join : t -> Runtime.result
+(** Force the invocation (at most once; the result is cached). *)
+
+val join_all : t list -> Runtime.result list
+
+val is_done : t -> bool

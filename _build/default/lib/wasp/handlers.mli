@@ -1,0 +1,21 @@
+(** Canned hypercall handlers.
+
+    The general-purpose handlers Wasp "provides out-of-the-box" (§5.1):
+    POSIX-like file and socket services that validate every guest-supplied
+    pointer and length before touching host state, then delegate to
+    {!Hostenv}. Each charges the calibrated host-kernel service cost.
+    Custom client handlers can override any of these per invocation. *)
+
+val guest_read_buf : Inv.t -> ptr:int64 -> len:int -> bytes
+(** Validated copy out of guest memory.
+    @raise Validation_failed if the range is not fully inside the guest. *)
+
+val guest_write_buf : Inv.t -> ptr:int64 -> bytes -> unit
+
+exception Validation_failed
+
+val canned : int -> Inv.handler option
+(** The built-in handler for a hypercall number, if one exists. [exit] and
+    [snapshot] are handled by the run loop itself, not here. Handlers
+    return {!Hc.err_fault} (and count a pointer violation) when guest
+    pointers fail validation rather than raising. *)

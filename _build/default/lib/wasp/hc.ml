@@ -1,0 +1,41 @@
+let port = 0x1
+
+let exit_ = 0
+let read = 1
+let write = 2
+let open_ = 3
+let close = 4
+let stat = 5
+let snapshot = 6
+let get_data = 7
+let return_data = 8
+let send = 9
+let recv = 10
+let brk = 11
+let clock = 12
+let getrandom = 13
+
+let count = 14
+
+let name = function
+  | 0 -> "exit"
+  | 1 -> "read"
+  | 2 -> "write"
+  | 3 -> "open"
+  | 4 -> "close"
+  | 5 -> "stat"
+  | 6 -> "snapshot"
+  | 7 -> "get_data"
+  | 8 -> "return_data"
+  | 9 -> "send"
+  | 10 -> "recv"
+  | 11 -> "brk"
+  | 12 -> "clock"
+  | 13 -> "getrandom"
+  | n -> Printf.sprintf "hc%d" n
+
+let err_denied = -1L
+let err_fault = -14L
+let err_badf = -9L
+let err_noent = -2L
+let err_inval = -22L

@@ -1,0 +1,40 @@
+type t = {
+  mem : Vm.Memory.t;
+  env : Hostenv.t;
+  clock : Cycles.Clock.t;
+  rng : Cycles.Rng.t;
+  conn : Hostenv.endpoint option;
+  input : bytes;
+  console : Buffer.t;
+  mutable output : bytes option;
+  mutable got_data : bool;
+  mutable returned_data : bool;
+  mutable snapshot_taken : bool;
+  mutable heap_brk : int;
+  mutable exit_code : int64 option;
+  mutable hypercalls : int;
+  mutable denied : int;
+  mutable pointer_violations : int;
+}
+
+type handler = t -> int64 array -> int64
+
+let create ~mem ~env ~clock ~rng ?conn ~input ~heap_brk () =
+  {
+    mem;
+    env;
+    clock;
+    rng;
+    conn;
+    input;
+    console = Buffer.create 64;
+    output = None;
+    got_data = false;
+    returned_data = false;
+    snapshot_taken = false;
+    heap_brk;
+    exit_code = None;
+    hypercalls = 0;
+    denied = 0;
+    pointer_violations = 0;
+  }

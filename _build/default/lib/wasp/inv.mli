@@ -1,0 +1,41 @@
+(** Per-invocation state shared between the run loop and hypercall
+    handlers: the guest's descriptor table, its connection endpoint, the
+    input/output data channel, and bookkeeping for the once-only
+    hypercalls. *)
+
+type t = {
+  mem : Vm.Memory.t;
+  env : Hostenv.t;
+  clock : Cycles.Clock.t;
+  rng : Cycles.Rng.t;
+  conn : Hostenv.endpoint option;
+      (** fd 0: the connection this invocation serves, if any. *)
+  input : bytes;  (** source for [get_data]. *)
+  console : Buffer.t;  (** sink for [write] to fd 1/2. *)
+  mutable output : bytes option;  (** set by [return_data]. *)
+  mutable got_data : bool;        (** [get_data] is once-only (§6.5). *)
+  mutable returned_data : bool;   (** [return_data] is once-only. *)
+  mutable snapshot_taken : bool;  (** [snapshot] is once-only. *)
+  mutable heap_brk : int;
+  mutable exit_code : int64 option;
+  mutable hypercalls : int;
+  mutable denied : int;
+  mutable pointer_violations : int;
+      (** guest pointers that failed handler validation. *)
+}
+
+type handler = t -> int64 array -> int64
+(** A hypercall handler: receives guest registers r1-r5 and returns the
+    value for r0. Handlers run host-side and must treat every guest
+    argument as hostile (§3.2). *)
+
+val create :
+  mem:Vm.Memory.t ->
+  env:Hostenv.t ->
+  clock:Cycles.Clock.t ->
+  rng:Cycles.Rng.t ->
+  ?conn:Hostenv.endpoint ->
+  input:bytes ->
+  heap_brk:int ->
+  unit ->
+  t

@@ -1,0 +1,20 @@
+(** Guest physical memory layout shared by the toolchain and the runtime.
+
+    {v
+      0x0000 .. 0x04ff   argument / marshalling area (args land at 0x0, §6.1)
+      0x0500 .. 0x0fff   GDT
+      0x1000 .. 0x3fff   page tables (long mode)
+      0x4000 .. 0x7fff   stack (grows down from 0x8000)
+      0x8000 ..          image: code + data, then the heap (brk grows up)
+    v}
+
+    Keeping the stack and tables below the image means a virtine's memory
+    footprint is contiguous from 0, which is what the snapshot cost model
+    measures. *)
+
+val arg_area : int         (** 0x0 *)
+val arg_area_size : int
+val stack_top : int        (** initial SP: 0x8000 *)
+val stack_bottom : int     (** 0x4000; SP below this means overflow *)
+val image_base : int       (** 0x8000 — where Wasp loads images (§5.1) *)
+val default_mem_size : int (** 64 KB default guest region *)

@@ -1,0 +1,24 @@
+type t = Deny_all | Allow_all | Mask of int64 | Custom of (int -> bool)
+
+let deny_all = Deny_all
+let allow_all = Allow_all
+
+let mask_of_list nrs =
+  List.fold_left (fun acc nr -> Int64.logor acc (Int64.shift_left 1L nr)) 0L nrs
+
+let of_list nrs = Mask (mask_of_list nrs)
+
+let allows p nr =
+  nr = Hc.exit_
+  ||
+  match p with
+  | Deny_all -> false
+  | Allow_all -> true
+  | Mask m -> nr >= 0 && nr < 64 && Int64.logand m (Int64.shift_left 1L nr) <> 0L
+  | Custom f -> f nr
+
+let pp ppf = function
+  | Deny_all -> Format.pp_print_string ppf "deny-all"
+  | Allow_all -> Format.pp_print_string ppf "allow-all"
+  | Mask m -> Format.fprintf ppf "mask(0x%Lx)" m
+  | Custom _ -> Format.pp_print_string ppf "custom"

@@ -1,0 +1,28 @@
+(** Hypercall policies.
+
+    Virtines live in a default-deny environment (§2): the client must
+    expressly permit every externally observable behaviour. [exit] is the
+    sole built-in capability. The C extensions map [virtine] to
+    {!deny_all}, [virtine_permissive] to {!allow_all} and
+    [virtine_config(cfg)] to a {!of_mask} bitmask (§5.3). *)
+
+type t =
+  | Deny_all
+  | Allow_all
+  | Mask of int64   (** bit n set = hypercall n permitted. *)
+  | Custom of (int -> bool)
+      (** client-supplied predicate over hypercall numbers. *)
+
+val deny_all : t
+val allow_all : t
+
+val of_list : int list -> t
+(** Policy permitting exactly the given hypercall numbers. *)
+
+val mask_of_list : int list -> int64
+
+val allows : t -> int -> bool
+(** [allows p nr]: [exit] is always allowed; everything else must be
+    granted by the policy. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,66 @@
+type shell = {
+  vm : Kvmsim.Kvm.vm;
+  vcpu : Kvmsim.Kvm.vcpu;
+  mem : Vm.Memory.t;
+  mem_size : int;
+}
+
+type clean_mode = Sync | Async
+
+type stats = {
+  mutable created : int;
+  mutable reused : int;
+  mutable cleans : int;
+  mutable background_cycles : int64;
+}
+
+type t = {
+  sys : Kvmsim.Kvm.system;
+  shells : (int, shell Stack.t) Hashtbl.t;
+  clean : clean_mode;
+  stats : stats;
+}
+
+let create sys ~clean =
+  {
+    sys;
+    shells = Hashtbl.create 8;
+    clean;
+    stats = { created = 0; reused = 0; cleans = 0; background_cycles = 0L };
+  }
+
+let stats t = t.stats
+
+let bucket t mem_size =
+  match Hashtbl.find_opt t.shells mem_size with
+  | Some s -> s
+  | None ->
+      let s = Stack.create () in
+      Hashtbl.replace t.shells mem_size s;
+      s
+
+let acquire t ~mem_size ~mode =
+  let stack = bucket t mem_size in
+  match Stack.pop_opt stack with
+  | Some shell ->
+      t.stats.reused <- t.stats.reused + 1;
+      Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
+      (shell, true)
+  | None ->
+      t.stats.created <- t.stats.created + 1;
+      let vm = Kvmsim.Kvm.create_vm t.sys in
+      let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+      let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+      ({ vm; vcpu; mem; mem_size }, false)
+
+let release t shell =
+  t.stats.cleans <- t.stats.cleans + 1;
+  Vm.Memory.fill_zero shell.mem;
+  let cost = Cycles.Costs.memset_cost shell.mem_size in
+  (match t.clean with
+  | Sync -> Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) cost
+  | Async ->
+      t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int cost));
+  Stack.push shell (bucket t shell.mem_size)
+
+let size t = Hashtbl.fold (fun _ s acc -> acc + Stack.length s) t.shells 0

@@ -1,0 +1,43 @@
+(** The virtine shell pool (§5.2, Figure 6).
+
+    Creating a hardware virtual context is the expensive part of a
+    virtine ([KVM_CREATE_VM] allocates the VMCS/VMCB in the kernel).
+    Wasp therefore recycles contexts: when a virtine returns, its memory
+    is cleared — "preventing information leakage" — and the shell is
+    cached for the next request. Cleaning can be charged synchronously
+    (Wasp+C in Figure 8) or deferred to background work (Wasp+CA), which
+    brings provisioning within a few percent of a bare vmrun. *)
+
+type shell = {
+  vm : Kvmsim.Kvm.vm;
+  vcpu : Kvmsim.Kvm.vcpu;
+  mem : Vm.Memory.t;
+  mem_size : int;
+}
+
+type clean_mode = Sync | Async
+
+type stats = {
+  mutable created : int;     (** shells built from scratch *)
+  mutable reused : int;      (** pool hits *)
+  mutable cleans : int;
+  mutable background_cycles : int64;  (** async cleaning work *)
+}
+
+type t
+
+val create : Kvmsim.Kvm.system -> clean:clean_mode -> t
+
+val stats : t -> stats
+
+val acquire : t -> mem_size:int -> mode:Vm.Modes.t -> shell * bool
+(** Returns a clean shell and whether it came from the pool. A fresh
+    shell charges the full KVM creation path; a pooled one only resets
+    vCPU state. *)
+
+val release : t -> shell -> unit
+(** Clear the shell (memset of the guest region, charged according to the
+    clean mode) and return it to the pool. *)
+
+val size : t -> int
+(** Shells currently cached. *)

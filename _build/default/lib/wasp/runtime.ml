@@ -1,0 +1,426 @@
+let src = Logs.Src.create "wasp" ~doc:"Wasp micro-hypervisor runtime"
+
+module Log = (val Logs.src_log src : Logs.LOG)
+
+type clean_mode = [ `Sync | `Async ]
+
+type reset_mode = [ `Memcpy | `Cow ]
+
+type run_stats = {
+  mutable invocations : int;
+  mutable exited : int;
+  mutable faulted : int;
+  mutable fuel_exhausted : int;
+  mutable hypercalls : int;
+  mutable denied : int;
+  mutable snapshot_restores : int;
+}
+
+type t = {
+  sys : Kvmsim.Kvm.system;
+  pool : Pool.t;
+  pool_enabled : bool;
+  snapshot_store : Snapshot_store.t;
+  hostenv : Hostenv.t;
+  boot_rng : Cycles.Rng.t;
+  mutable tracer : Trace.t option;
+  reset : reset_mode;
+  run_stats : run_stats;
+  retained : (string, Pool.shell) Hashtbl.t;
+      (* CoW mode: one shell per snapshot key, kept dirty between
+         invocations; the next restore rewrites only the dirty pages *)
+}
+
+let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy) () =
+  let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz () in
+  let clean = match clean with `Sync -> Pool.Sync | `Async -> Pool.Async in
+  {
+    sys;
+    pool = Pool.create sys ~clean;
+    pool_enabled = pool;
+    snapshot_store = Snapshot_store.create ();
+    hostenv = Hostenv.create ();
+    boot_rng = Cycles.Rng.split (Kvmsim.Kvm.rng sys);
+    tracer = None;
+    reset;
+    run_stats =
+      {
+        invocations = 0;
+        exited = 0;
+        faulted = 0;
+        fuel_exhausted = 0;
+        hypercalls = 0;
+        denied = 0;
+        snapshot_restores = 0;
+      };
+    retained = Hashtbl.create 8;
+  }
+
+let clock t = Kvmsim.Kvm.clock t.sys
+let rng t = Kvmsim.Kvm.rng t.sys
+let env t = t.hostenv
+let kvm t = t.sys
+let pool_stats t = Pool.stats t.pool
+let snapshots t = t.snapshot_store
+let drop_snapshot t ~key = Snapshot_store.clear t.snapshot_store ~key
+
+let stats t = t.run_stats
+
+let record_result t (outcome_kind : [ `Exited | `Faulted | `Fuel ]) ~hypercalls ~denied
+    ~from_snapshot =
+  let s = t.run_stats in
+  s.invocations <- s.invocations + 1;
+  (match outcome_kind with
+  | `Exited -> s.exited <- s.exited + 1
+  | `Faulted -> s.faulted <- s.faulted + 1
+  | `Fuel -> s.fuel_exhausted <- s.fuel_exhausted + 1);
+  s.hypercalls <- s.hypercalls + hypercalls;
+  s.denied <- s.denied + denied;
+  if from_snapshot then s.snapshot_restores <- s.snapshot_restores + 1
+
+let set_trace t tr = t.tracer <- tr
+let trace t = t.tracer
+let emit t e = match t.tracer with Some tr -> Trace.record tr e | None -> ()
+
+type outcome = Exited of int64 | Faulted of Vm.Cpu.fault | Fuel_exhausted
+
+type result = {
+  outcome : outcome;
+  return_value : int64;
+  output : bytes option;
+  console : string;
+  cycles : int64;
+  hypercalls : int;
+  denied : int;
+  pointer_violations : int;
+  from_snapshot : bool;
+  from_pool : bool;
+}
+
+let charge t cycles = Cycles.Clock.advance_int (clock t) cycles
+
+let acquire_shell t ~mem_size ~mode =
+  if t.pool_enabled then Pool.acquire t.pool ~mem_size ~mode
+  else begin
+    let stats = Pool.stats t.pool in
+    stats.created <- stats.created + 1;
+    let vm = Kvmsim.Kvm.create_vm t.sys in
+    let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+    let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+    (({ vm; vcpu; mem; mem_size } : Pool.shell), false)
+  end
+
+let release_shell t shell = if t.pool_enabled then Pool.release t.pool shell
+
+(* Dispatch one hypercall: policy check, then client override or canned
+   handler. Returns the value for r0 and whether execution should stop. *)
+let dispatch t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot nr args =
+  inv.hypercalls <- inv.hypercalls + 1;
+  emit t (Trace.Hypercall { nr; allowed = Policy.allows policy nr });
+  if not (Policy.allows policy nr) then begin
+    inv.denied <- inv.denied + 1;
+    Log.debug (fun m -> m "policy denied hypercall %s" (Hc.name nr));
+    Hc.err_denied
+  end
+  else if nr = Hc.exit_ then begin
+    inv.exit_code <- Some (if Array.length args > 0 then args.(0) else 0L);
+    0L
+  end
+  else if nr = Hc.snapshot then begin
+    if inv.snapshot_taken then Hc.err_inval
+    else begin
+      inv.snapshot_taken <- true;
+      take_snapshot ()
+    end
+  end
+  else begin
+    match handlers nr with
+    | Some h -> h inv args
+    | None -> (
+        match Handlers.canned nr with
+        | Some h -> h inv args
+        | None ->
+            Log.debug (fun m -> m "unhandled hypercall %s" (Hc.name nr));
+            Hc.err_inval)
+  end
+
+let no_overrides (_ : int) : Inv.handler option = None
+
+let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?input
+    ?(args = []) ?conn ?snapshot_key ?(fuel = 50_000_000) ?inspect () =
+  let start = Cycles.Clock.now (clock t) in
+  (* CoW mode retains one shell per snapshot key across invocations *)
+  let retained_shell =
+    match (t.reset, snapshot_key) with
+    | `Cow, Some key -> Hashtbl.find_opt t.retained key
+    | (`Cow | `Memcpy), _ -> None
+  in
+  let shell, from_pool =
+    match retained_shell with
+    | Some s -> (s, true)
+    | None -> acquire_shell t ~mem_size:image.mem_size ~mode:image.mode
+  in
+  emit t (Trace.Provisioned { from_pool; mem_size = image.mem_size });
+  let cpu = Kvmsim.Kvm.vcpu_cpu shell.vcpu in
+  let mem = shell.mem in
+  (* Load image or restore snapshot. *)
+  let snapshot_entry =
+    match snapshot_key with
+    | Some key -> Snapshot_store.find t.snapshot_store ~key
+    | None -> None
+  in
+  let from_snapshot = snapshot_entry <> None in
+  (match snapshot_entry with
+  | Some entry when retained_shell <> None ->
+      (* SEUSS-style reset: only the dirty pages are rewritten *)
+      let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
+      emit t
+        (Trace.Snapshot_restored { key = Option.value ~default:"?" snapshot_key; bytes });
+      charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
+  | Some entry ->
+      let copied = Snapshot_store.restore entry ~mem ~cpu in
+      emit t
+        (Trace.Snapshot_restored
+           { key = Option.value ~default:"?" snapshot_key; bytes = copied });
+      charge t (Cycles.Costs.memcpy_cost copied)
+  | None ->
+      Vm.Memory.write_bytes mem ~off:image.origin image.code;
+      emit t (Trace.Image_loaded { name = image.name; bytes = Bytes.length image.code });
+      charge t (Cycles.Costs.memcpy_cost (Bytes.length image.code));
+      let _components =
+        Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:image.mode
+      in
+      emit t (Trace.Booted { mode = image.mode });
+      Vm.Cpu.set_pc cpu image.entry;
+      Vm.Cpu.set_sp cpu Layout.stack_top);
+  (* Marshal arguments at guest address 0 (§6.1: "the argument, n, is
+     loaded into the virtine's address space at address 0x0"). *)
+  let input_bytes =
+    match (input, args) with
+    | Some b, [] -> b
+    | None, [] -> Bytes.empty
+    | None, args ->
+        let b = Bytes.create (8 * List.length args) in
+        List.iteri (fun i v -> Bytes.set_int64_le b (8 * i) v) args;
+        b
+    | Some _, _ :: _ -> invalid_arg "Runtime.run: pass either ~input or ~args, not both"
+  in
+  if Bytes.length input_bytes > 0 then begin
+    if Bytes.length input_bytes > Layout.arg_area_size then
+      invalid_arg "Runtime.run: input exceeds the argument area";
+    Vm.Memory.write_bytes mem ~off:Layout.arg_area input_bytes;
+    charge t (Cycles.Costs.memcpy_cost (Bytes.length input_bytes))
+  end;
+  let inv =
+    Inv.create ~mem ~env:t.hostenv ~clock:(clock t) ~rng:(rng t) ?conn ~input:input_bytes
+      ~heap_brk:(Image.footprint image) ()
+  in
+  let take_snapshot () =
+    match snapshot_key with
+    | None -> Hc.err_inval
+    | Some key ->
+        let footprint =
+          Snapshot_store.capture t.snapshot_store ~key ~mem ~cpu ~native_state:None
+        in
+        emit t (Trace.Snapshot_captured { key; bytes = footprint });
+        charge t (Cycles.Costs.memcpy_cost footprint);
+        0L
+  in
+  (* The VM loop: KVM_RUN until the virtine exits, servicing hypercalls. *)
+  let retired_at_start = Vm.Cpu.instructions_retired cpu in
+  let fuel_left () =
+    fuel - Int64.to_int (Int64.sub (Vm.Cpu.instructions_retired cpu) retired_at_start)
+  in
+  let rec loop () =
+    if fuel_left () <= 0 then Fuel_exhausted
+    else begin
+      match Kvmsim.Kvm.run ~fuel:(fuel_left ()) shell.vcpu with
+      | Kvmsim.Kvm.Hlt -> Exited (Vm.Cpu.get_reg cpu 0)
+      | Kvmsim.Kvm.Io_out { port; value } ->
+          if port = Hc.port then begin
+            let nr = Int64.to_int value in
+            let args = Array.init 5 (fun i -> Vm.Cpu.get_reg cpu (i + 1)) in
+            let r0 = dispatch t ~policy ~handlers ~inv ~take_snapshot nr args in
+            Vm.Cpu.set_reg cpu 0 r0;
+            match inv.exit_code with Some code -> Exited code | None -> loop ()
+          end
+          else begin
+            (* Unknown port: no externally observable behaviour; swallow. *)
+            Vm.Cpu.set_reg cpu 0 Hc.err_denied;
+            loop ()
+          end
+      | Kvmsim.Kvm.Io_in { port = _; reg } ->
+          Vm.Cpu.set_reg cpu reg 0L;
+          loop ()
+      | Kvmsim.Kvm.Fault f -> Faulted f
+      | Kvmsim.Kvm.Out_of_fuel -> Fuel_exhausted
+    end
+  in
+  let outcome = loop () in
+  (match inspect with Some f -> f mem cpu | None -> ());
+  let return_value =
+    match outcome with Exited v -> v | Faulted _ | Fuel_exhausted -> Vm.Cpu.get_reg cpu 0
+  in
+  (match (t.reset, snapshot_key) with
+  | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
+      (* keep the dirty shell for the next CoW reset; no cleaning *)
+      Hashtbl.replace t.retained key shell
+  | (`Cow | `Memcpy), _ -> release_shell t shell);
+  let cycles = Cycles.Clock.elapsed_since (clock t) start in
+  emit t
+    (Trace.Finished
+       { exited = (match outcome with Exited _ -> true | _ -> false); cycles });
+  record_result t
+    (match outcome with Exited _ -> `Exited | Faulted _ -> `Faulted | Fuel_exhausted -> `Fuel)
+    ~hypercalls:inv.hypercalls ~denied:inv.denied ~from_snapshot;
+  {
+    outcome;
+    return_value;
+    output = inv.output;
+    console = Buffer.contents inv.console;
+    cycles;
+    hypercalls = inv.hypercalls;
+    denied = inv.denied;
+    pointer_violations = inv.pointer_violations;
+    from_snapshot;
+    from_pool;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Native payloads                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Native_ctx = struct
+  type ctx = {
+    runtime : t;
+    inv : Inv.t;
+    policy : Policy.t;
+    handlers : int -> Inv.handler option;
+    snapshot_key : string option;
+    shell : Pool.shell;
+    mutable snapshot_factory : (unit -> Univ.t) option;
+  }
+
+  let mem c = c.inv.Inv.mem
+  let rng c = c.inv.Inv.rng
+  let charge c cycles = Cycles.Clock.advance_int c.inv.Inv.clock cycles
+
+  let alloc c size =
+    let inv = c.inv in
+    let aligned = (size + 7) land lnot 7 in
+    let addr = inv.Inv.heap_brk in
+    if addr + aligned > Vm.Memory.size inv.Inv.mem then raise Out_of_memory;
+    inv.Inv.heap_brk <- addr + aligned;
+    addr
+
+  let offer_snapshot_state c factory = c.snapshot_factory <- Some factory
+
+  let hypercall c nr args =
+    (* Same crossing cost as an [out]-triggered exit. *)
+    charge c Cycles.Costs.hypercall_guest_side;
+    charge c Cycles.Costs.hypercall_round_trip;
+    let take_snapshot () =
+      match c.snapshot_key with
+      | None -> Hc.err_inval
+      | Some key ->
+          let cpu = Kvmsim.Kvm.vcpu_cpu c.shell.vcpu in
+          let footprint =
+            Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
+              ~native_state:c.snapshot_factory
+          in
+          charge c (Cycles.Costs.memcpy_cost footprint);
+          0L
+    in
+    let full_args = Array.make 5 0L in
+    Array.blit args 0 full_args 0 (min (Array.length args) 5);
+    dispatch c.runtime ~policy:c.policy ~handlers:c.handlers ~inv:c.inv ~take_snapshot nr
+      full_args
+end
+
+let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.Long)
+    ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?(input = Bytes.empty) ?conn
+    ?snapshot_key ~body () =
+  ignore name;
+  let start = Cycles.Clock.now (clock t) in
+  let retained_shell =
+    match (t.reset, snapshot_key) with
+    | `Cow, Some key -> Hashtbl.find_opt t.retained key
+    | (`Cow | `Memcpy), _ -> None
+  in
+  let shell, from_pool =
+    match retained_shell with
+    | Some s -> (s, true)
+    | None -> acquire_shell t ~mem_size ~mode
+  in
+  let cpu = Kvmsim.Kvm.vcpu_cpu shell.vcpu in
+  let mem = shell.mem in
+  let snapshot_entry =
+    match snapshot_key with
+    | Some key -> Snapshot_store.find t.snapshot_store ~key
+    | None -> None
+  in
+  let from_snapshot = snapshot_entry <> None in
+  let restored =
+    match snapshot_entry with
+    | Some entry ->
+        (match retained_shell with
+        | Some _ ->
+            let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
+            charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
+        | None ->
+            let copied = Snapshot_store.restore entry ~mem ~cpu in
+            charge t (Cycles.Costs.memcpy_cost copied));
+        (match entry.Snapshot_store.native_state with Some f -> Some (f ()) | None -> None)
+    | None ->
+        let _components =
+          Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:mode
+        in
+        None
+  in
+  let inv =
+    Inv.create ~mem ~env:t.hostenv ~clock:(clock t) ~rng:(rng t) ?conn ~input
+      ~heap_brk:Layout.image_base ()
+  in
+  let ctx =
+    {
+      Native_ctx.runtime = t;
+      inv;
+      policy;
+      handlers;
+      snapshot_key;
+      shell;
+      snapshot_factory = None;
+    }
+  in
+  (* Restore the heap break past the snapshot's footprint so fresh
+     allocations do not clobber restored state. *)
+  (match snapshot_entry with
+  | Some entry -> inv.Inv.heap_brk <- max inv.Inv.heap_brk entry.Snapshot_store.footprint
+  | None -> ());
+  let outcome =
+    match body ctx ~restored with
+    | rv -> (
+        match inv.Inv.exit_code with Some code -> Exited code | None -> Exited rv)
+    | exception Vm.Memory.Fault { addr; size } ->
+        Faulted (Vm.Cpu.Memory_oob { addr; size })
+  in
+  (match (t.reset, snapshot_key) with
+  | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
+      Hashtbl.replace t.retained key shell
+  | (`Cow | `Memcpy), _ -> release_shell t shell);
+  let return_value = match outcome with Exited v -> v | _ -> 0L in
+  record_result t
+    (match outcome with Exited _ -> `Exited | Faulted _ -> `Faulted | Fuel_exhausted -> `Fuel)
+    ~hypercalls:inv.Inv.hypercalls ~denied:inv.Inv.denied ~from_snapshot;
+  {
+    outcome;
+    return_value;
+    output = inv.Inv.output;
+    console = Buffer.contents inv.Inv.console;
+    cycles = Cycles.Clock.elapsed_since (clock t) start;
+    hypercalls = inv.Inv.hypercalls;
+    denied = inv.Inv.denied;
+    pointer_violations = inv.Inv.pointer_violations;
+    from_snapshot;
+    from_pool;
+  }

@@ -1,0 +1,156 @@
+(** The Wasp runtime: an embeddable micro-hypervisor for virtines (§5).
+
+    A virtine client links against this library, registers host resources
+    (files, sockets) and invokes functions as virtines. Each invocation
+    provisions a hardware context (from the shell pool when warm), loads
+    the image or restores a snapshot, marshals arguments into the guest at
+    address 0, runs the guest, interposes on every hypercall under the
+    client's policy, and recycles the shell. *)
+
+type t
+
+type clean_mode = [ `Sync | `Async ]
+
+type reset_mode = [ `Memcpy | `Cow ]
+(** How snapshotted virtines are reset between invocations. [`Memcpy]
+    copies the whole footprint (the paper's implementation); [`Cow]
+    retains a shell per snapshot key and restores only the pages the
+    previous invocation dirtied — the SEUSS-style copy-on-write reset the
+    paper anticipates in §7.2. *)
+
+val create :
+  ?seed:int ->
+  ?freq_ghz:float ->
+  ?pool:bool ->
+  ?clean:clean_mode ->
+  ?reset:reset_mode ->
+  unit ->
+  t
+(** A fresh runtime. [pool] (default true) enables shell caching;
+    [clean] (default [`Sync]) selects Figure 8's Wasp+C vs Wasp+CA
+    cleaning; [reset] (default [`Memcpy]) selects the snapshot reset
+    mechanism. *)
+
+val clock : t -> Cycles.Clock.t
+val rng : t -> Cycles.Rng.t
+val env : t -> Hostenv.t
+val kvm : t -> Kvmsim.Kvm.system
+val pool_stats : t -> Pool.stats
+val snapshots : t -> Snapshot_store.t
+
+val drop_snapshot : t -> key:string -> unit
+(** Forget a captured snapshot (e.g. the image changed). *)
+
+type run_stats = {
+  mutable invocations : int;
+  mutable exited : int;          (** clean exits *)
+  mutable faulted : int;         (** contained guest faults *)
+  mutable fuel_exhausted : int;  (** runaway guests killed *)
+  mutable hypercalls : int;      (** across all invocations *)
+  mutable denied : int;
+  mutable snapshot_restores : int;
+}
+
+val stats : t -> run_stats
+(** Aggregate counters across every invocation this runtime has run
+    (images and native payloads). *)
+
+val set_trace : t -> Trace.t option -> unit
+(** Attach (or detach) an event trace; subsequent invocations record
+    provisioning, loads/restores, hypercalls and exits into it. *)
+
+val trace : t -> Trace.t option
+
+(** {1 Invocation} *)
+
+type outcome =
+  | Exited of int64                 (** exit hypercall or clean halt *)
+  | Faulted of Vm.Cpu.fault         (** the virtine died in isolation *)
+  | Fuel_exhausted                  (** runaway guest, killed by Wasp *)
+
+type result = {
+  outcome : outcome;
+  return_value : int64;   (** r0 at exit / the exit hypercall's argument *)
+  output : bytes option;  (** published via [return_data] *)
+  console : string;       (** bytes written to fd 1/2 *)
+  cycles : int64;          (** end-to-end invocation latency *)
+  hypercalls : int;
+  denied : int;
+  pointer_violations : int;
+  from_snapshot : bool;
+  from_pool : bool;
+}
+
+val run :
+  t ->
+  Image.t ->
+  ?policy:Policy.t ->
+  ?handlers:(int -> Inv.handler option) ->
+  ?input:bytes ->
+  ?args:int64 list ->
+  ?conn:Hostenv.endpoint ->
+  ?snapshot_key:string ->
+  ?fuel:int ->
+  ?inspect:(Vm.Memory.t -> Vm.Cpu.t -> unit) ->
+  unit ->
+  result
+(** Run [image] as a virtine.
+
+    - [policy] defaults to {!Policy.deny_all} (§2: default-deny).
+    - [handlers] overrides canned handlers per hypercall number.
+    - [input] is copied into the argument area at guest address 0
+      (and is also the [get_data] source).
+    - [args] are written as little-endian 64-bit words at address 0
+      after [input] would be (use one or the other).
+    - [snapshot_key] enables snapshotting: the first run executes the
+      [snapshot] hypercall path and captures state; later runs restore it
+      and skip boot.
+    - [inspect] observes guest memory and registers after exit, before
+      the shell is cleaned (used by milestone experiments). *)
+
+(** {1 Native-payload virtines}
+
+    A native payload runs host-implemented code {i in virtine context}:
+    it may only touch the virtine's guest memory and must reach all
+    external services through the same policy-checked hypercall path,
+    with the same charged crossing costs. This is how we embed the
+    JavaScript engine (§6.5) without compiling it to vx code. *)
+
+module Native_ctx : sig
+  type ctx
+
+  val mem : ctx -> Vm.Memory.t
+  val rng : ctx -> Cycles.Rng.t
+
+  val charge : ctx -> int -> unit
+  (** Account guest-side computation. *)
+
+  val alloc : ctx -> int -> int
+  (** Bump-allocate guest heap memory; returns a guest address.
+      Raises [Out_of_memory] if the region is exhausted. *)
+
+  val hypercall : ctx -> int -> int64 array -> int64
+  (** Cross into the client: charges the full exit/entry round trip, then
+      applies policy and handlers exactly as an [out] instruction would. *)
+
+  val offer_snapshot_state : ctx -> (unit -> Univ.t) -> unit
+  (** Register the factory stored alongside a [snapshot] hypercall; on
+      restore it materializes the state the memory image represents. *)
+end
+
+val run_native :
+  t ->
+  name:string ->
+  ?mem_size:int ->
+  ?mode:Vm.Modes.t ->
+  ?policy:Policy.t ->
+  ?handlers:(int -> Inv.handler option) ->
+  ?input:bytes ->
+  ?conn:Hostenv.endpoint ->
+  ?snapshot_key:string ->
+  body:(Native_ctx.ctx -> restored:Univ.t option -> int64) ->
+  unit ->
+  result
+(** Provision a shell, boot (or restore the snapshot, in which case
+    [restored] carries the materialized state), run [body], and recycle
+    the shell. *)

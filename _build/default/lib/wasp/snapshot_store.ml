@@ -1,0 +1,75 @@
+type entry = {
+  mem_image : bytes;
+  footprint : int;
+  regs : int64 array;
+  pc : int;
+  mode : Vm.Modes.t;
+  native_state : (unit -> Univ.t) option;
+}
+
+type t = (string, entry) Hashtbl.t
+
+let create () = Hashtbl.create 16
+
+let trim_length b =
+  let rec go i = if i < 0 then 0 else if Bytes.get b i <> '\000' then i + 1 else go (i - 1) in
+  go (Bytes.length b - 1)
+
+let capture t ~key ~mem ~cpu ~native_state =
+  let full = Vm.Memory.snapshot mem in
+  let footprint = trim_length full in
+  let mem_image = Bytes.sub full 0 footprint in
+  let regs = Array.init Instr.num_regs (fun r -> Vm.Cpu.get_reg cpu r) in
+  let entry =
+    {
+      mem_image;
+      footprint;
+      regs;
+      pc = Vm.Cpu.pc cpu;
+      mode = Vm.Cpu.mode cpu;
+      native_state;
+    }
+  in
+  Hashtbl.replace t key entry;
+  footprint
+
+let find t ~key = Hashtbl.find_opt t key
+
+let restore_regs entry ~cpu =
+  Vm.Cpu.reset cpu ~mode:entry.mode;
+  Array.iteri (fun r v -> Vm.Cpu.set_reg cpu r v) entry.regs;
+  Vm.Cpu.set_pc cpu entry.pc
+
+let restore entry ~mem ~cpu =
+  Vm.Memory.write_bytes mem ~off:0 entry.mem_image;
+  restore_regs entry ~cpu;
+  Vm.Memory.clear_dirty mem;
+  entry.footprint
+
+let restore_cow entry ~mem ~cpu =
+  let page = Vm.Memory.page_size in
+  let dirty = Vm.Memory.dirty_pages mem in
+  let bytes = ref 0 in
+  List.iter
+    (fun p ->
+      let start = p * page in
+      let stop = min (start + page) (Vm.Memory.size mem) in
+      let from_image = min stop entry.footprint in
+      if from_image > start then begin
+        Vm.Memory.write_bytes mem ~off:start
+          (Bytes.sub entry.mem_image start (from_image - start));
+        bytes := !bytes + (from_image - start)
+      end;
+      if stop > from_image then begin
+        let zero_from = max start from_image in
+        Vm.Memory.write_bytes mem ~off:zero_from (Bytes.make (stop - zero_from) '\000');
+        bytes := !bytes + (stop - zero_from)
+      end)
+    dirty;
+  restore_regs entry ~cpu;
+  Vm.Memory.clear_dirty mem;
+  (List.length dirty, !bytes)
+
+let clear t ~key = Hashtbl.remove t key
+let reset t = Hashtbl.reset t
+let count t = Hashtbl.length t

@@ -1,0 +1,55 @@
+(** Snapshot registry (§5.2, Figure 7).
+
+    The first execution of a function boots its environment, initializes
+    its runtime and then hypercalls [snapshot]; later executions restore
+    the captured state (a memcpy of the memory footprint) and skip the
+    boot path entirely. The restore cost is exactly the copy, which is
+    why Figure 12's curve is memory-bandwidth bound.
+
+    Snapshot state is deliberately shared across future virtines of the
+    same function — the paper warns that "care must be taken in describing
+    what memory is saved" — so the registry is keyed explicitly. *)
+
+type entry = {
+  mem_image : bytes;             (** guest memory from 0 to [footprint] *)
+  footprint : int;
+  regs : int64 array;
+  pc : int;
+  mode : Vm.Modes.t;
+  native_state : (unit -> Univ.t) option;
+      (** for native-payload virtines: rebuilds the embedded runtime state
+          the memory image represents (see {!Runtime.run_native}). *)
+}
+
+type t
+
+val create : unit -> t
+
+val capture :
+  t ->
+  key:string ->
+  mem:Vm.Memory.t ->
+  cpu:Vm.Cpu.t ->
+  native_state:(unit -> Univ.t) option ->
+  int
+(** Capture guest state under [key]; the memory image is trimmed to its
+    footprint (index of the last nonzero byte). Returns the footprint in
+    bytes so the caller can charge the copy. *)
+
+val find : t -> key:string -> entry option
+
+val restore : entry -> mem:Vm.Memory.t -> cpu:Vm.Cpu.t -> int
+(** Blit the memory image back and reinstate registers/PC/mode; the
+    target memory must be at least as large as the footprint and is
+    assumed clean beyond it. Returns the bytes copied. *)
+
+val restore_cow : entry -> mem:Vm.Memory.t -> cpu:Vm.Cpu.t -> int * int
+(** Copy-on-write reset: restore only the pages dirtied since the last
+    restore (from the memory image below the footprint, zero above it)
+    and reinstate registers. Returns (pages, bytes) copied. Only valid
+    when [mem] already held this snapshot's state before the dirtying
+    run — i.e. on a retained shell. *)
+
+val clear : t -> key:string -> unit
+val reset : t -> unit
+val count : t -> int

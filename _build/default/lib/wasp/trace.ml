@@ -1,0 +1,49 @@
+type event =
+  | Provisioned of { from_pool : bool; mem_size : int }
+  | Image_loaded of { name : string; bytes : int }
+  | Snapshot_restored of { key : string; bytes : int }
+  | Snapshot_captured of { key : string; bytes : int }
+  | Booted of { mode : Vm.Modes.t }
+  | Hypercall of { nr : int; allowed : bool }
+  | Finished of { exited : bool; cycles : int64 }
+
+let pp_event ppf = function
+  | Provisioned { from_pool; mem_size } ->
+      Format.fprintf ppf "provisioned (%s, %d KB)"
+        (if from_pool then "pooled" else "fresh")
+        (mem_size / 1024)
+  | Image_loaded { name; bytes } -> Format.fprintf ppf "loaded image %s (%d B)" name bytes
+  | Snapshot_restored { key; bytes } ->
+      Format.fprintf ppf "restored snapshot %s (%d B)" key bytes
+  | Snapshot_captured { key; bytes } ->
+      Format.fprintf ppf "captured snapshot %s (%d B)" key bytes
+  | Booted { mode } -> Format.fprintf ppf "booted to %a" Vm.Modes.pp mode
+  | Hypercall { nr; allowed } ->
+      Format.fprintf ppf "hypercall %s: %s" (Hc.name nr) (if allowed then "ok" else "denied")
+  | Finished { exited; cycles } ->
+      Format.fprintf ppf "finished (%s, %Ld cycles)" (if exited then "exit" else "abnormal") cycles
+
+type t = { mutable items : event list; mutable n : int; capacity : int }
+
+let create ?(capacity = 4096) () = { items = []; n = 0; capacity }
+
+let record t e =
+  t.items <- e :: t.items;
+  t.n <- t.n + 1;
+  if t.n > 2 * t.capacity then begin
+    (* amortized trim: keep the newest [capacity] *)
+    t.items <- List.filteri (fun i _ -> i < t.capacity) t.items;
+    t.n <- t.capacity
+  end
+
+let events t = List.rev (List.filteri (fun i _ -> i < t.capacity) t.items)
+
+let clear t =
+  t.items <- [];
+  t.n <- 0
+
+let hypercalls t =
+  List.filter_map (function Hypercall { nr; allowed } -> Some (nr, allowed) | _ -> None)
+    (events t)
+
+let count t = min t.n t.capacity

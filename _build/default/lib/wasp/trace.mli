@@ -1,0 +1,34 @@
+(** Execution tracing.
+
+    An optional per-runtime event log recording what each invocation did:
+    provisioning, image loads vs snapshot restores, every hypercall with
+    its policy outcome, and the exit. Useful for debugging virtine
+    clients and for asserting isolation properties in tests. *)
+
+type event =
+  | Provisioned of { from_pool : bool; mem_size : int }
+  | Image_loaded of { name : string; bytes : int }
+  | Snapshot_restored of { key : string; bytes : int }
+  | Snapshot_captured of { key : string; bytes : int }
+  | Booted of { mode : Vm.Modes.t }
+  | Hypercall of { nr : int; allowed : bool }
+  | Finished of { exited : bool; cycles : int64 }
+
+val pp_event : Format.formatter -> event -> unit
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring buffer of the most recent [capacity] (default 4096) events. *)
+
+val record : t -> event -> unit
+val events : t -> event list
+(** Oldest first. *)
+
+val clear : t -> unit
+
+val hypercalls : t -> (int * bool) list
+(** Just the hypercall events: (number, allowed). *)
+
+val count : t -> int
+(** Events currently retained. *)

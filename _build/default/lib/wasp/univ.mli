@@ -1,0 +1,5 @@
+(** Open universal type for embedding client state in Wasp structures
+    (e.g. a language runtime's engine context inside a snapshot entry).
+    Clients extend it: [type Univ.t += My_state of foo]. *)
+
+type t = ..

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Baselines Int64 Kvmsim Printf Stats Vm Wasp

@@ -1,0 +1,1 @@
+test/test_claims.ml: Alcotest Array Baselines Cycles Int64 Kvmsim List Printf Stats Vcc Vhttp Vjs Vm Wasp

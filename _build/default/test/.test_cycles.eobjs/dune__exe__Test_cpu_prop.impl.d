@@ -1,0 +1,1 @@
+test/test_cpu_prop.ml: Alcotest Asm Bytes Cycles Encoding Format Instr Int64 List Option Printf QCheck QCheck_alcotest Vm

@@ -1,0 +1,1 @@
+test/test_cycles.ml: Alcotest Clock Costs Cycles Int64 Printf Rng

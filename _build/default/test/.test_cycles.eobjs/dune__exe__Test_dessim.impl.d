@@ -1,0 +1,1 @@
+test/test_dessim.ml: Alcotest Cycles Dessim Int64 List

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Array Bytes Char Cycles Int64 List Printf QCheck QCheck_alcotest String Vcc Wasp

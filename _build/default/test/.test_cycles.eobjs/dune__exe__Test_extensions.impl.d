@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Asm Bytes Cycles Disasm Encoding Format Instr Int64 List Serverless String Vhttp Wasp

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Bytes Int64 List Option Printf Serverless String Vcc Vcrypto Vhttp Vjs Wasp

@@ -1,0 +1,1 @@
+test/test_isa.ml: Alcotest Asm Bytes Encoding Instr Int64 List QCheck QCheck_alcotest String

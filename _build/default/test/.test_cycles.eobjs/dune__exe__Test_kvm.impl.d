@@ -1,0 +1,1 @@
+test/test_kvm.ml: Alcotest Cycles Encoding Instr Int64 Kvmsim Printf Vm

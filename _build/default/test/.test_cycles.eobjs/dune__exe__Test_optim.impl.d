@@ -1,0 +1,1 @@
+test/test_optim.ml: Alcotest Asm Cycles List Printf String Vcc Wasp

@@ -1,0 +1,1 @@
+test/test_serverless.ml: Alcotest Array Bytes Cycles Int64 List Printf Serverless Stats Vjs Wasp

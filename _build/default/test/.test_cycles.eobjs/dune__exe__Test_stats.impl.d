@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Descriptive List Report Stats String

@@ -1,0 +1,1 @@
+test/test_vcc.ml: Alcotest Asm Char Cycles Int64 List Printf String Vcc Vm Wasp

@@ -1,0 +1,1 @@
+test/test_vcrypto.ml: Alcotest Bytes Char Cycles Hashtbl Int64 List Printf QCheck QCheck_alcotest String Vcrypto Wasp

@@ -1,0 +1,1 @@
+test/test_vdb.ml: Alcotest Hashtbl List Vdb Vjs Wasp

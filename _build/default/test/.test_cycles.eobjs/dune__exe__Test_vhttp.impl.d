@@ -1,0 +1,1 @@
+test/test_vhttp.ml: Alcotest Bytes Cycles Int64 List Printf String Vcc Vhttp Wasp

@@ -1,0 +1,1 @@
+test/test_vjs.ml: Alcotest Cycles List Printf String Vjs Wasp

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Asm Bytes Cycles Format Int64 List Printf Vm

@@ -1,0 +1,1 @@
+test/test_wasp.ml: Alcotest Asm Bytes Int64 List Printf Vcc Vjs Vm Wasp

@@ -1,0 +1,1 @@
+test/test_wasp_prop.ml: Alcotest Bytes Cycles Int64 Kvmsim List Option Printf QCheck QCheck_alcotest String Vm Wasp

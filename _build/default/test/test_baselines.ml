@@ -1,0 +1,102 @@
+(* Tests for the Figure 2/8 context-creation baselines. *)
+
+let sys () = Kvmsim.Kvm.open_dev ~seed:77 ()
+
+let mean_of f sys n =
+  let xs = Array.init n (fun _ -> Int64.to_float (f sys)) in
+  Stats.Descriptive.mean (Stats.Descriptive.tukey_filter xs)
+
+let test_function_call_tiny () =
+  let s = sys () in
+  let m = mean_of Baselines.Contexts.function_call s 200 in
+  Alcotest.(check bool) (Printf.sprintf "~10 cycles, got %.1f" m) true (m > 2.0 && m < 50.0)
+
+let test_figure2_ordering () =
+  (* function < vmrun < pthread < kvm-cold < process *)
+  let s = sys () in
+  let fn = mean_of Baselines.Contexts.function_call s 100 in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare s in
+  let vmrun =
+    Stats.Descriptive.mean
+      (Array.init 100 (fun _ -> Int64.to_float (Baselines.Contexts.Vmrun_floor.measure floor)))
+  in
+  let thread = mean_of Baselines.Contexts.pthread_create_join s 100 in
+  let kvm = mean_of Baselines.Contexts.kvm_cold s 50 in
+  let proc = mean_of Baselines.Contexts.process_spawn s 50 in
+  Alcotest.(check bool) (Printf.sprintf "fn %.0f < vmrun %.0f" fn vmrun) true (fn < vmrun);
+  Alcotest.(check bool) (Printf.sprintf "vmrun %.0f < pthread %.0f" vmrun thread) true
+    (vmrun < thread);
+  Alcotest.(check bool) (Printf.sprintf "pthread %.0f < kvm %.0f" thread kvm) true (thread < kvm);
+  Alcotest.(check bool) (Printf.sprintf "kvm %.0f < process %.0f" kvm proc) true (kvm < proc)
+
+let test_vmrun_floor_magnitude () =
+  let s = sys () in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare s in
+  let v = Int64.to_float (Baselines.Contexts.Vmrun_floor.measure floor) in
+  (* the ioctl + checks + entry + exit path is ~10K cycles (~3.5 us) *)
+  Alcotest.(check bool) (Printf.sprintf "vmrun %.0f in [6K, 16K]" v) true
+    (v > 6_000.0 && v < 16_000.0)
+
+let test_kvm_cold_actually_runs_guest () =
+  let s = sys () in
+  ignore (Baselines.Contexts.kvm_cold s);
+  let stats = Kvmsim.Kvm.stats s in
+  Alcotest.(check int) "vm created" 1 stats.Kvmsim.Kvm.vm_creations;
+  Alcotest.(check int) "one run" 1 stats.Kvmsim.Kvm.runs
+
+let test_sgx_create_vs_ecall () =
+  let s = sys () in
+  let create = Int64.to_float (Baselines.Contexts.Sgx.create s ~enclave_kb:4096) in
+  let ecall = Int64.to_float (Baselines.Contexts.Sgx.ecall s) in
+  Alcotest.(check bool) "create far above ecall" true (create > 50.0 *. ecall);
+  (* ECALL ~5 us = ~13.5K cycles *)
+  Alcotest.(check bool) (Printf.sprintf "ecall %.0f in [8K, 25K]" ecall) true
+    (ecall > 8_000.0 && ecall < 25_000.0)
+
+let test_sgx_create_scales_with_size () =
+  let s = sys () in
+  let small = Baselines.Contexts.Sgx.create s ~enclave_kb:64 in
+  let big = Baselines.Contexts.Sgx.create s ~enclave_kb:4096 in
+  Alcotest.(check bool) "EADD per page dominates" true (big > Int64.mul 4L small)
+
+let test_wasp_vs_baselines_figure8 () =
+  (* Wasp pooled provisioning must land between vmrun and pthread *)
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  (* the minimal shell-provisioning image is real-mode: no GDT, no paging
+     (Figure 8 measures provisioning, not a long-mode boot) *)
+  let img = Wasp.Image.of_asm_string ~name:"hlt" ~mode:Vm.Modes.Real "hlt" in
+  ignore (Wasp.Runtime.run w img ());
+  (* warm *)
+  let warm = (Wasp.Runtime.run w img ()).Wasp.Runtime.cycles in
+  let s = sys () in
+  let floor = Baselines.Contexts.Vmrun_floor.prepare s in
+  let vmrun = Baselines.Contexts.Vmrun_floor.measure floor in
+  let thread = Baselines.Contexts.pthread_create_join s in
+  Alcotest.(check bool)
+    (Printf.sprintf "vmrun %Ld <= wasp+CA %Ld" vmrun warm)
+    true (warm >= vmrun);
+  Alcotest.(check bool)
+    (Printf.sprintf "wasp+CA %Ld < pthread %Ld" warm thread)
+    true (warm < thread);
+  (* paper: caching brings provisioning within a few percent of vmrun;
+     allow up to 2x in the simulation *)
+  Alcotest.(check bool)
+    (Printf.sprintf "wasp+CA %Ld within 2x of vmrun %Ld" warm vmrun)
+    true
+    (Int64.to_float warm < 2.0 *. Int64.to_float vmrun)
+
+let () =
+  Alcotest.run "baselines"
+    [
+      ( "contexts",
+        [
+          Alcotest.test_case "function call tiny" `Quick test_function_call_tiny;
+          Alcotest.test_case "figure 2 ordering" `Quick test_figure2_ordering;
+          Alcotest.test_case "vmrun floor magnitude" `Quick test_vmrun_floor_magnitude;
+          Alcotest.test_case "kvm cold runs guest" `Quick test_kvm_cold_actually_runs_guest;
+          Alcotest.test_case "sgx create vs ecall" `Quick test_sgx_create_vs_ecall;
+          Alcotest.test_case "sgx scales with size" `Quick test_sgx_create_scales_with_size;
+          Alcotest.test_case "wasp between vmrun and pthread" `Quick
+            test_wasp_vs_baselines_figure8;
+        ] );
+    ]

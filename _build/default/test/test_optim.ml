@@ -1,0 +1,210 @@
+(* Tests for the optimizer: constant folding, dead-branch elimination,
+   the peephole pass, and semantic preservation (differential). *)
+
+module Ast = Vcc.Ast
+module Optim = Vcc.Optim
+
+let fold_expr_str s = Optim.fold_expr (Vcc.Parser.parse_expr_string s)
+
+let check_folds_to s expected =
+  match (fold_expr_str s).Ast.desc with
+  | Ast.Int_lit v -> Alcotest.(check int64) s expected v
+  | _ -> Alcotest.failf "%s did not fold to a literal" s
+
+let check_not_literal s =
+  match (fold_expr_str s).Ast.desc with
+  | Ast.Int_lit _ -> Alcotest.failf "%s folded but should not" s
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* Folding                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_fold_arith () =
+  check_folds_to "1 + 2 * 3" 7L;
+  check_folds_to "(10 - 4) * (2 + 1)" 18L;
+  check_folds_to "-(5)" (-5L);
+  check_folds_to "~0" (-1L);
+  check_folds_to "100 / 7" 14L;
+  check_folds_to "100 % 7" 2L
+
+let test_fold_comparisons_small () =
+  check_folds_to "3 < 5" 1L;
+  check_folds_to "5 == 5" 1L;
+  check_folds_to "5 != 5" 0L;
+  check_folds_to "1 && 2" 1L;
+  check_folds_to "0 || 0" 0L
+
+let test_fold_keeps_div_by_zero () =
+  (* must not fold: the fault belongs to runtime semantics *)
+  check_not_literal "1 / 0";
+  check_not_literal "1 % 0"
+
+let test_fold_respects_mode_safety () =
+  (* 70000 does not fit in 16-bit; >> is not truncation-homomorphic, so
+     it must not fold; << is, so it may *)
+  check_not_literal "70000 >> 1";
+  check_folds_to "70000 << 1" 140000L;
+  check_folds_to "70000 + 1" 70001L
+
+let test_fold_identities () =
+  (* x + 0, x * 1 simplify away even with a variable operand *)
+  (match (fold_expr_str "x + 0").Ast.desc with
+  | Ast.Var "x" -> ()
+  | _ -> Alcotest.fail "x + 0 should simplify to x");
+  match (fold_expr_str "1 * x").Ast.desc with
+  | Ast.Var "x" -> ()
+  | _ -> Alcotest.fail "1 * x should simplify to x"
+
+let test_fold_ternary () =
+  check_folds_to "1 ? 42 : badly_typed" 42L;
+  check_folds_to "0 ? whatever : 9" 9L
+
+let test_fold_dead_branches () =
+  let prog =
+    Vcc.Parser.parse
+      "int f() { if (0) { return 1; } if (1) { return 2; } while (0) { return 3; } return 4; }"
+  in
+  let folded = Optim.fold_program prog in
+  (* the while(0) disappears entirely *)
+  let f = List.hd folded.Ast.funcs in
+  let rec has_while = function
+    | [] -> false
+    | Ast.While _ :: _ -> true
+    | Ast.Block b :: rest | Ast.If (_, b, []) :: rest -> has_while b || has_while rest
+    | _ :: rest -> has_while rest
+  in
+  Alcotest.(check bool) "while(0) removed" false (has_while f.Ast.body)
+
+let test_fold_count_decreases () =
+  let prog = Vcc.Parser.parse "int f() { return 1 + 2 + 3 + 4 + 5; }" in
+  let before = Optim.fold_count prog in
+  let after = Optim.fold_count (Optim.fold_program prog) in
+  Alcotest.(check bool) (Printf.sprintf "%d -> %d literals" before after) true (after < before)
+
+(* ------------------------------------------------------------------ *)
+(* Peephole                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let test_peephole_push_pop () =
+  let items = [ Asm.Insn (Asm.SPush (Asm.OReg 0)); Asm.Insn (Asm.SPop 1) ] in
+  match Optim.peephole items with
+  | [ Asm.Insn (Asm.SMov (1, Asm.OReg 0)) ] -> ()
+  | _ -> Alcotest.fail "push/pop should become mov"
+
+let test_peephole_push_pop_same_reg () =
+  let items = [ Asm.Insn (Asm.SPush (Asm.OReg 2)); Asm.Insn (Asm.SPop 2) ] in
+  Alcotest.(check int) "eliminated" 0 (List.length (Optim.peephole items))
+
+let test_peephole_self_move () =
+  let items = [ Asm.Insn (Asm.SMov (3, Asm.OReg 3)); Asm.Insn Asm.SRet ] in
+  Alcotest.(check int) "self-move dropped" 1 (List.length (Optim.peephole items))
+
+let test_peephole_jump_to_next () =
+  let items = [ Asm.Insn (Asm.SJmp (Asm.Lbl "l")); Asm.Label "l"; Asm.Insn Asm.SRet ] in
+  match Optim.peephole items with
+  | [ Asm.Label "l"; Asm.Insn Asm.SRet ] -> ()
+  | _ -> Alcotest.fail "jump-to-next should vanish"
+
+let test_peephole_dead_mov () =
+  let items =
+    [ Asm.Insn (Asm.SMov (0, Asm.OImm 1L)); Asm.Insn (Asm.SMov (0, Asm.OImm 2L)) ]
+  in
+  match Optim.peephole items with
+  | [ Asm.Insn (Asm.SMov (0, Asm.OImm 2L)) ] -> ()
+  | _ -> Alcotest.fail "dead mov should drop"
+
+let test_peephole_keeps_dependent_mov () =
+  (* mov r0, 1; mov r0, r0+?? -- here: mov r0, r0 is a self-move, but
+     mov r0, imm; mov r1, r0 must keep both *)
+  let items =
+    [ Asm.Insn (Asm.SMov (0, Asm.OImm 1L)); Asm.Insn (Asm.SMov (1, Asm.OReg 0)) ]
+  in
+  Alcotest.(check int) "both kept" 2 (List.length (Optim.peephole items))
+
+let test_peephole_label_barrier () =
+  (* a label between push and pop must block the rewrite: something can
+     jump to the label with a different stack *)
+  let items =
+    [ Asm.Insn (Asm.SPush (Asm.OReg 0)); Asm.Label "x"; Asm.Insn (Asm.SPop 1) ]
+  in
+  Alcotest.(check int) "not rewritten" 3 (List.length (Optim.peephole items))
+
+(* ------------------------------------------------------------------ *)
+(* Semantic preservation                                                *)
+(* ------------------------------------------------------------------ *)
+
+let sample_programs =
+  [
+    ("int f(int a) { return (2 + 3) * a + (10 / 2); }", [ 7L ]);
+    ("int f(int a) { if (1 < 2) { return a * (4 - 4 + 1); } return 0 / 1; }", [ 42L ]);
+    ("int f(int a) { int x = 3 * 3; while (0) { x = 100; } return x + a + 0; }", [ 5L ]);
+    ( "int f(int a) { int s = 0; for (int i = 0; i < 2 + 3; i++) { s += i * 1; } return s + (a ? 1 : 0); }",
+      [ 9L ] );
+    ("int f(int a) { char buf[4]; buf[0] = 65 + 1; return buf[0] + a; }", [ 1L ]);
+    ("int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }", [ 11L ]);
+  ]
+
+let test_optimized_matches_unoptimized () =
+  List.iter
+    (fun (src, args) ->
+      let fname =
+        if String.length src > 4 && String.sub src 0 7 = "int fib" then "fib" else "f"
+      in
+      let plain = Vcc.Compile.compile ~optimize:false src in
+      let opt = Vcc.Compile.compile ~optimize:true src in
+      let clock = Cycles.Clock.create () in
+      let a = Vcc.Compile.invoke_native ~clock plain fname args () in
+      let b = Vcc.Compile.invoke_native ~clock opt fname args () in
+      Alcotest.(check int64) src a b)
+    sample_programs
+
+let test_optimized_faster_or_equal () =
+  let src = "int f(int a) { return (1 + 2 + 3 + 4) * a + (100 / 5) + (7 < 9 ? 1 : 2); }" in
+  let cycles optimize =
+    let c = Vcc.Compile.compile ~optimize src in
+    let clock = Cycles.Clock.create () in
+    ignore (Vcc.Compile.invoke_native ~clock c "f" [ 3L ] ());
+    Cycles.Clock.now clock
+  in
+  let plain = cycles false and opt = cycles true in
+  Alcotest.(check bool) (Printf.sprintf "opt %Ld <= plain %Ld" opt plain) true (opt <= plain)
+
+let test_optimized_virtine_still_correct () =
+  let src = "virtine int f(int a) { return (6 * 7) + a * (2 - 1); }" in
+  let c = Vcc.Compile.compile ~optimize:true src in
+  let w = Wasp.Runtime.create () in
+  let r = Vcc.Compile.invoke w c "f" [ 8L ] () in
+  Alcotest.(check int64) "42 + 8" 50L r.Wasp.Runtime.return_value
+
+let () =
+  Alcotest.run "optim"
+    [
+      ( "folding",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_fold_arith;
+          Alcotest.test_case "comparisons" `Quick test_fold_comparisons_small;
+          Alcotest.test_case "div by zero kept" `Quick test_fold_keeps_div_by_zero;
+          Alcotest.test_case "mode safety" `Quick test_fold_respects_mode_safety;
+          Alcotest.test_case "identities" `Quick test_fold_identities;
+          Alcotest.test_case "ternary" `Quick test_fold_ternary;
+          Alcotest.test_case "dead branches" `Quick test_fold_dead_branches;
+          Alcotest.test_case "literal count shrinks" `Quick test_fold_count_decreases;
+        ] );
+      ( "peephole",
+        [
+          Alcotest.test_case "push/pop to mov" `Quick test_peephole_push_pop;
+          Alcotest.test_case "push/pop same reg" `Quick test_peephole_push_pop_same_reg;
+          Alcotest.test_case "self move" `Quick test_peephole_self_move;
+          Alcotest.test_case "jump to next" `Quick test_peephole_jump_to_next;
+          Alcotest.test_case "dead mov" `Quick test_peephole_dead_mov;
+          Alcotest.test_case "dependent mov kept" `Quick test_peephole_keeps_dependent_mov;
+          Alcotest.test_case "label barrier" `Quick test_peephole_label_barrier;
+        ] );
+      ( "preservation",
+        [
+          Alcotest.test_case "matches unoptimized" `Quick test_optimized_matches_unoptimized;
+          Alcotest.test_case "faster or equal" `Quick test_optimized_faster_or_equal;
+          Alcotest.test_case "virtine still correct" `Quick test_optimized_virtine_still_correct;
+        ] );
+    ]

@@ -1,0 +1,180 @@
+(* Tests for the Vespid serverless platform, the container baseline, and
+   the load generator. *)
+
+let js_b64 = Vjs.Workload.base64_js_source
+
+let test_vespid_invoke_correct () =
+  let w = Wasp.Runtime.create () in
+  let v = Serverless.Vespid.create w in
+  Serverless.Vespid.register v ~name:"b64" ~source:js_b64 ~entry:"encode";
+  let input = Vjs.Workload.make_input ~size:120 in
+  match Serverless.Vespid.invoke v ~name:"b64" ~input with
+  | Ok out ->
+      Alcotest.(check string) "matches reference" (Vjs.Workload.reference_encode input) out
+  | Error e -> Alcotest.fail e
+
+let test_vespid_unknown_function () =
+  let w = Wasp.Runtime.create () in
+  let v = Serverless.Vespid.create w in
+  match Serverless.Vespid.invoke v ~name:"nope" ~input:Bytes.empty with
+  | exception Serverless.Vespid.Unknown_function "nope" -> ()
+  | _ -> Alcotest.fail "expected Unknown_function"
+
+let test_vespid_warm_faster_than_cold () =
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let v = Serverless.Vespid.create w in
+  Serverless.Vespid.register v ~name:"b64" ~source:js_b64 ~entry:"encode";
+  let input = Vjs.Workload.make_input ~size:120 in
+  let _, cold = Serverless.Vespid.invoke_timed v ~name:"b64" ~input in
+  let _, warm = Serverless.Vespid.invoke_timed v ~name:"b64" ~input in
+  Alcotest.(check bool) (Printf.sprintf "warm %Ld < cold %Ld" warm cold) true (warm < cold)
+
+let test_vespid_isolates_functions () =
+  (* one function's JS error must not affect another's invocation *)
+  let w = Wasp.Runtime.create () in
+  let v = Serverless.Vespid.create w in
+  Serverless.Vespid.register v ~name:"bad" ~source:"function boom(d) { return nonexistent(); }"
+    ~entry:"boom";
+  Serverless.Vespid.register v ~name:"b64" ~source:js_b64 ~entry:"encode";
+  (match Serverless.Vespid.invoke v ~name:"bad" ~input:Bytes.empty with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected JS error");
+  let input = Vjs.Workload.make_input ~size:33 in
+  match Serverless.Vespid.invoke v ~name:"b64" ~input with
+  | Ok out -> Alcotest.(check string) "healthy" (Vjs.Workload.reference_encode input) out
+  | Error e -> Alcotest.fail e
+
+let test_vespid_registered () =
+  let w = Wasp.Runtime.create () in
+  let v = Serverless.Vespid.create w in
+  Serverless.Vespid.register v ~name:"a" ~source:js_b64 ~entry:"encode";
+  Serverless.Vespid.register v ~name:"b" ~source:js_b64 ~entry:"encode";
+  Alcotest.(check (list string)) "registered" [ "a"; "b" ] (Serverless.Vespid.registered v)
+
+(* ------------------------------------------------------------------ *)
+(* Container baseline                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let ow () =
+  let clock = Cycles.Clock.create () in
+  let t = Serverless.Openwhisk.create ~clock () in
+  Serverless.Openwhisk.register t ~name:"b64" ~source:js_b64 ~entry:"encode";
+  (t, clock)
+
+let test_openwhisk_correct () =
+  let t, _ = ow () in
+  let input = Vjs.Workload.make_input ~size:90 in
+  match Serverless.Openwhisk.invoke t ~now:0L ~name:"b64" ~input with
+  | Ok out, _ ->
+      Alcotest.(check string) "matches reference" (Vjs.Workload.reference_encode input) out
+  | Error e, _ -> Alcotest.fail e
+
+let test_openwhisk_cold_then_warm () =
+  let t, clock = ow () in
+  let input = Vjs.Workload.make_input ~size:90 in
+  let _, cold = Serverless.Openwhisk.invoke t ~now:0L ~name:"b64" ~input in
+  (* the container is busy until the first request completes *)
+  let _, warm = Serverless.Openwhisk.invoke t ~now:(Int64.add cold 1000L) ~name:"b64" ~input in
+  Alcotest.(check int) "one cold start" 1 (Serverless.Openwhisk.cold_starts t);
+  Alcotest.(check int) "one warm hit" 1 (Serverless.Openwhisk.warm_hits t);
+  let ms = Cycles.Clock.to_ms clock in
+  Alcotest.(check bool)
+    (Printf.sprintf "cold %.0fms >> warm %.1fms" (ms cold) (ms warm))
+    true
+    (Int64.to_float cold > 10.0 *. Int64.to_float warm);
+  (* cold start is hundreds of milliseconds *)
+  Alcotest.(check bool) "cold > 300ms" true (ms cold > 300.0)
+
+let test_openwhisk_keepalive_expiry () =
+  let t, _ = ow () in
+  let input = Vjs.Workload.make_input ~size:10 in
+  let _, first = Serverless.Openwhisk.invoke t ~now:0L ~name:"b64" ~input in
+  (* past the keep-alive window: container reaped, cold again *)
+  let long_after = Int64.add first (Int64.add Serverless.Openwhisk.keepalive_cycles 10_000_000L) in
+  ignore (Serverless.Openwhisk.invoke t ~now:long_after ~name:"b64" ~input);
+  Alcotest.(check int) "two cold starts" 2 (Serverless.Openwhisk.cold_starts t)
+
+(* ------------------------------------------------------------------ *)
+(* Load generator                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_loadgen_buckets_cover_profile () =
+  let buckets =
+    Serverless.Loadgen.run
+      ~service:(fun ~now:_ -> 2_690_000L (* 1 ms *))
+      ~profile:[ { Serverless.Loadgen.duration_s = 2.0; clients = 2 } ]
+      ()
+  in
+  Alcotest.(check bool) "at least 2 buckets" true (List.length buckets >= 2);
+  let total = List.fold_left (fun a b -> a + b.Serverless.Loadgen.completed) 0 buckets in
+  Alcotest.(check bool) (Printf.sprintf "completed %d > 0" total) true (total > 0)
+
+let test_loadgen_more_clients_more_throughput () =
+  let run clients =
+    let buckets =
+      Serverless.Loadgen.run
+        ~service:(fun ~now:_ -> 2_690_000L)
+        ~profile:[ { Serverless.Loadgen.duration_s = 3.0; clients } ]
+        ()
+    in
+    List.fold_left (fun a b -> a + b.Serverless.Loadgen.completed) 0 buckets
+  in
+  let low = run 1 and high = run 8 in
+  Alcotest.(check bool) (Printf.sprintf "%d < %d" low high) true (low < high)
+
+let test_loadgen_slow_service_increases_latency () =
+  let mean_latency service_cycles =
+    let buckets =
+      Serverless.Loadgen.run
+        ~service:(fun ~now:_ -> service_cycles)
+        ~profile:[ { Serverless.Loadgen.duration_s = 3.0; clients = 4 } ]
+        ()
+    in
+    let vals =
+      List.filter_map
+        (fun b ->
+          if b.Serverless.Loadgen.completed > 0 then Some b.Serverless.Loadgen.mean_ms
+          else None)
+        buckets
+    in
+    Stats.Descriptive.mean (Array.of_list vals)
+  in
+  let fast = mean_latency 2_690_000L and slow = mean_latency 26_900_000L in
+  Alcotest.(check bool) (Printf.sprintf "%.2fms < %.2fms" fast slow) true (fast < slow)
+
+let test_bursty_profile_shape () =
+  let p = Serverless.Loadgen.bursty_profile in
+  Alcotest.(check int) "five phases" 5 (List.length p);
+  let clients = List.map (fun ph -> ph.Serverless.Loadgen.clients) p in
+  (match clients with
+  | [ a; b; c; d; e ] ->
+      Alcotest.(check bool) "two bursts" true (b > a && b > c && d > c && d > e)
+  | _ -> Alcotest.fail "unexpected profile")
+
+let () =
+  Alcotest.run "serverless"
+    [
+      ( "vespid",
+        [
+          Alcotest.test_case "invoke correct" `Quick test_vespid_invoke_correct;
+          Alcotest.test_case "unknown function" `Quick test_vespid_unknown_function;
+          Alcotest.test_case "warm faster" `Quick test_vespid_warm_faster_than_cold;
+          Alcotest.test_case "isolates functions" `Quick test_vespid_isolates_functions;
+          Alcotest.test_case "registered list" `Quick test_vespid_registered;
+        ] );
+      ( "openwhisk",
+        [
+          Alcotest.test_case "correct" `Quick test_openwhisk_correct;
+          Alcotest.test_case "cold then warm" `Quick test_openwhisk_cold_then_warm;
+          Alcotest.test_case "keepalive expiry" `Quick test_openwhisk_keepalive_expiry;
+        ] );
+      ( "loadgen",
+        [
+          Alcotest.test_case "buckets cover profile" `Quick test_loadgen_buckets_cover_profile;
+          Alcotest.test_case "clients scale throughput" `Quick
+            test_loadgen_more_clients_more_throughput;
+          Alcotest.test_case "slow service slower" `Quick
+            test_loadgen_slow_service_increases_latency;
+          Alcotest.test_case "bursty profile shape" `Quick test_bursty_profile_shape;
+        ] );
+    ]

@@ -1,0 +1,331 @@
+(* Tests for the vjs JavaScript engine and the Figure 14 workload. *)
+
+module V = Vjs.Jsvalue
+
+let eval_num src =
+  let e = Vjs.Engine.create () in
+  match Vjs.Engine.eval e src with
+  | Ok (V.Num n) -> n
+  | Ok v -> Alcotest.failf "expected number, got %s" (V.to_string v)
+  | Error msg -> Alcotest.failf "js error: %s" msg
+
+let eval_str src =
+  let e = Vjs.Engine.create () in
+  match Vjs.Engine.eval e src with
+  | Ok (V.Str s) -> s
+  | Ok v -> Alcotest.failf "expected string, got %s" (V.to_string v)
+  | Error msg -> Alcotest.failf "js error: %s" msg
+
+let eval_value src =
+  let e = Vjs.Engine.create () in
+  match Vjs.Engine.eval e src with
+  | Ok v -> v
+  | Error msg -> Alcotest.failf "js error: %s" msg
+
+let fnum = Alcotest.(check (float 1e-9))
+
+let test_arithmetic () =
+  fnum "arith" 14.0 (eval_num "2 + 3 * 4");
+  fnum "paren" 20.0 (eval_num "(2 + 3) * 4");
+  fnum "float div" 2.5 (eval_num "5 / 2");
+  fnum "mod" 1.0 (eval_num "7 % 3");
+  fnum "neg" (-6.0) (eval_num "-2 * 3")
+
+let test_variables () =
+  fnum "var" 15.0 (eval_num "var x = 5; x * 3");
+  fnum "assign" 7.0 (eval_num "var x = 1; x = 7; x");
+  fnum "compound" 12.0 (eval_num "var x = 3; x += 9; x")
+
+let test_strings () =
+  Alcotest.(check string) "concat" "hello world" (eval_str {|"hello" + " " + "world"|});
+  fnum "length" 5.0 (eval_num {|"hello".length|});
+  Alcotest.(check string) "charAt" "e" (eval_str {|"hello".charAt(1)|});
+  fnum "charCodeAt" 104.0 (eval_num {|"hello".charCodeAt(0)|});
+  Alcotest.(check string) "fromCharCode" "AB" (eval_str "String.fromCharCode(65, 66)");
+  Alcotest.(check string) "substring" "ell" (eval_str {|"hello".substring(1, 4)|});
+  fnum "indexOf" 2.0 (eval_num {|"hello".indexOf("ll")|});
+  Alcotest.(check string) "upper" "HI" (eval_str {|"hi".toUpperCase()|});
+  Alcotest.(check string) "number to string" "42x" (eval_str {|42 + "x"|})
+
+let test_bitwise () =
+  (* JS ToInt32 semantics *)
+  fnum "and" 4.0 (eval_num "12 & 6");
+  fnum "or" 14.0 (eval_num "12 | 6");
+  fnum "xor" 10.0 (eval_num "12 ^ 6");
+  fnum "shl" 48.0 (eval_num "12 << 2");
+  fnum "shr" 3.0 (eval_num "12 >> 2");
+  fnum "not" (-13.0) (eval_num "~12")
+
+let test_comparisons () =
+  fnum "lt true" 1.0 (eval_num "(1 < 2) ? 1 : 0");
+  fnum "strict eq" 0.0 (eval_num {|(1 === "1") ? 1 : 0|});
+  fnum "loose eq" 1.0 (eval_num {|(1 == "1") ? 1 : 0|});
+  fnum "strict neq" 1.0 (eval_num {|(1 !== "1") ? 1 : 0|})
+
+let test_control_flow () =
+  fnum "if" 10.0 (eval_num "var x = 0; if (true) { x = 10; } else { x = 20; } x");
+  fnum "while" 45.0
+    (eval_num "var s = 0; var i = 0; while (i < 10) { s += i; i++; } s");
+  fnum "for" 45.0 (eval_num "var s = 0; for (var i = 0; i < 10; i++) { s += i; } s");
+  fnum "break" 3.0
+    (eval_num "var i = 0; while (true) { if (i === 3) { break; } i++; } i");
+  fnum "continue" 25.0
+    (eval_num
+       "var s = 0; for (var i = 0; i < 10; i++) { if (i % 2 === 0) { continue; } s += i; } s")
+
+let test_functions () =
+  fnum "call" 7.0 (eval_num "function add(a, b) { return a + b; } add(3, 4)");
+  fnum "recursion" 120.0
+    (eval_num "function fact(n) { if (n < 2) { return 1; } return n * fact(n - 1); } fact(5)");
+  fnum "hoisting" 9.0 (eval_num "var r = sq(3); function sq(x) { return x * x; } r");
+  fnum "expression fn" 16.0 (eval_num "var f = function(x) { return x * x; }; f(4)")
+
+let test_closures () =
+  fnum "closure" 15.0
+    (eval_num
+       {|function adder(n) { return function(x) { return x + n; }; }
+         var add5 = adder(5);
+         add5(10)|});
+  fnum "closure state" 3.0
+    (eval_num
+       {|function counter() { var c = 0; return function() { c = c + 1; return c; }; }
+         var next = counter();
+         next(); next(); next()|})
+
+let test_arrays () =
+  fnum "literal index" 20.0 (eval_num "var a = [10, 20, 30]; a[1]");
+  fnum "length" 3.0 (eval_num "[1,2,3].length");
+  fnum "push" 4.0 (eval_num "var a = [1,2,3]; a.push(9); a.length");
+  fnum "pop" 3.0 (eval_num "var a = [1,2,3]; a.pop()");
+  Alcotest.(check string) "join" "1-2-3" (eval_str {|[1,2,3].join("-")|});
+  fnum "assign element" 99.0 (eval_num "var a = [0]; a[0] = 99; a[0]");
+  fnum "grow" 5.0 (eval_num "var a = []; a[4] = 1; a.length")
+
+let test_objects () =
+  fnum "literal" 42.0 (eval_num "var o = { x: 42 }; o.x");
+  fnum "assign prop" 10.0 (eval_num "var o = {}; o.y = 10; o.y");
+  fnum "index string" 7.0 (eval_num {|var o = { k: 7 }; o["k"]|});
+  Alcotest.(check string) "typeof" "object" (eval_str "typeof {}")
+
+let test_array_higher_order () =
+  fnum "map" 6.0 (eval_num "[1,2,3].map(function(x) { return x * 2; })[2]");
+  fnum "filter" 2.0 (eval_num "[1,2,3,4].filter(function(x) { return x % 2 === 0; }).length");
+  fnum "reduce" 10.0 (eval_num "[1,2,3,4].reduce(function(a, x) { return a + x; }, 0)");
+  fnum "reduce no seed" 24.0 (eval_num "[2,3,4].reduce(function(a, x) { return a * x; })");
+  fnum "forEach" 12.0
+    (eval_num "var s = 0; [1,2,3].forEach(function(x) { s += x * 2; }); s");
+  fnum "concat" 5.0 (eval_num "[1,2].concat([3,4,5]).length");
+  fnum "reverse" 3.0 (eval_num "[1,2,3].reverse()[0]")
+
+let test_json () =
+  Alcotest.(check string) "stringify object" {|{"a":1,"b":[true,null,"x"]}|}
+    (eval_str {|JSON.stringify({ a: 1, b: [true, null, "x"] })|});
+  Alcotest.(check string) "stringify escapes" "\"a\\nb\"" (eval_str "JSON.stringify(\"a\\nb\")");
+  fnum "parse number" 42.0 (eval_num {|JSON.parse("42")|});
+  fnum "parse nested" 7.0
+    (eval_num "JSON.parse(\"{\\\"x\\\": [1, {\\\"y\\\": 7}]}\").x[1].y");
+  fnum "roundtrip" 3.0
+    (eval_num {|JSON.parse(JSON.stringify({ k: [1, 2, 3] })).k.length|});
+  (* parse errors surface as JS errors, not crashes *)
+  let e = Vjs.Engine.create () in
+  match Vjs.Engine.eval e {|JSON.parse("{bad json")|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected parse error"
+
+let test_try_catch () =
+  fnum "catch" 7.0 (eval_num {|var r = 0; try { throw 7; r = 1; } catch (e) { r = e; } r|});
+  fnum "no throw" 1.0 (eval_num "var r = 0; try { r = 1; } catch (e) { r = 2; } r");
+  fnum "finally always" 3.0
+    (eval_num "var r = 0; try { r = 1; } finally { r = 3; } r");
+  fnum "finally after catch" 5.0
+    (eval_num "var r = 0; try { throw 1; } catch (e) { r = 4; } finally { r = r + 1; } r");
+  Alcotest.(check string) "throw value" "boom"
+    (eval_str {|var r = ""; try { throw "boom"; } catch (e) { r = e; } r|});
+  (* runtime errors are catchable *)
+  fnum "catch runtime error" 9.0
+    (eval_num "var r = 0; try { undefined_fn(); } catch (e) { r = 9; } r");
+  (* throws propagate through calls *)
+  fnum "propagation" 42.0
+    (eval_num
+       {|function inner() { throw 42; }
+         function outer() { inner(); return 0; }
+         var r = 0;
+         try { outer(); } catch (e) { r = e; }
+         r|})
+
+let test_uncaught_throw_is_error () =
+  let e = Vjs.Engine.create () in
+  (match Vjs.Engine.eval e "throw 5;" with
+  | Error msg -> Alcotest.(check bool) "uncaught" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected error");
+  (* engine survives *)
+  match Vjs.Engine.eval e "1 + 1" with
+  | Ok (V.Num 2.0) -> ()
+  | _ -> Alcotest.fail "engine should survive a throw"
+
+let test_math_builtins () =
+  fnum "floor" 3.0 (eval_num "Math.floor(3.9)");
+  fnum "max" 9.0 (eval_num "Math.max(1, 9, 4)");
+  fnum "abs" 5.0 (eval_num "Math.abs(0 - 5)");
+  fnum "pow" 8.0 (eval_num "Math.pow(2, 3)")
+
+let test_truthiness () =
+  fnum "empty string falsy" 0.0 (eval_num {|"" ? 1 : 0|});
+  fnum "zero falsy" 0.0 (eval_num "0 ? 1 : 0");
+  fnum "null falsy" 0.0 (eval_num "null ? 1 : 0");
+  fnum "object truthy" 1.0 (eval_num "({}) ? 1 : 0");
+  (* && returns the first falsy operand without evaluating the rest *)
+  match eval_value "false && missing_fn()" with
+  | V.Bool false -> ()
+  | v -> Alcotest.failf "shortcircuit: got %s" (V.to_string v)
+
+let test_errors () =
+  let e = Vjs.Engine.create () in
+  (match Vjs.Engine.eval e "undefined_variable_xyz" with
+  | Error msg -> Alcotest.(check bool) "reference error" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Vjs.Engine.eval e "var x = (" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected syntax error");
+  (* the engine survives errors *)
+  match Vjs.Engine.eval e "1 + 1" with
+  | Ok (V.Num 2.0) -> ()
+  | _ -> Alcotest.fail "engine should survive"
+
+let test_step_budget () =
+  let e = Vjs.Engine.create () in
+  match Vjs.Engine.eval e "while (true) { }" with
+  | Error msg -> Alcotest.(check bool) "budget error" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "expected step budget error"
+
+let test_native_bindings () =
+  let e = Vjs.Engine.create () in
+  Vjs.Engine.register e "host_add" (fun args ->
+      match args with
+      | [ V.Num a; V.Num b ] -> V.Num (a +. b)
+      | _ -> V.Undefined);
+  match Vjs.Engine.eval e "host_add(20, 22)" with
+  | Ok (V.Num 42.0) -> ()
+  | other ->
+      Alcotest.failf "binding failed: %s"
+        (match other with Ok v -> V.to_string v | Error e -> e)
+
+let test_print_console () =
+  let e = Vjs.Engine.create () in
+  (match Vjs.Engine.eval e {|print("hello", 42)|} with Ok _ -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check string) "console" "hello 42\n" (Vjs.Engine.console_output e)
+
+let test_engine_charges () =
+  let total = ref 0 in
+  let e = Vjs.Engine.create ~charge:(fun c -> total := !total + c) () in
+  Alcotest.(check bool) "alloc charged" true (!total >= Vjs.Engine.context_alloc_cycles);
+  let before = !total in
+  (match Vjs.Engine.eval e "1 + 1" with Ok _ -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check bool) "eval charged" true (!total > before);
+  let before = !total in
+  Vjs.Engine.destroy e;
+  Alcotest.(check int) "teardown charged" (before + Vjs.Engine.teardown_cycles) !total
+
+(* ------------------------------------------------------------------ *)
+(* The base64 workload (§6.5)                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_workload_baseline_correct () =
+  let input = Vjs.Workload.make_input ~size:300 in
+  let clock = Cycles.Clock.create () in
+  let out = Vjs.Workload.run_baseline ~clock ~input in
+  Alcotest.(check string) "matches reference" (Vjs.Workload.reference_encode input) out.output;
+  Alcotest.(check bool) "charged" true (out.latency_cycles > 0L)
+
+let test_workload_baseline_sizes () =
+  let clock = Cycles.Clock.create () in
+  List.iter
+    (fun size ->
+      let input = Vjs.Workload.make_input ~size in
+      let out = Vjs.Workload.run_baseline ~clock ~input in
+      Alcotest.(check string)
+        (Printf.sprintf "size %d" size)
+        (Vjs.Workload.reference_encode input)
+        out.output)
+    [ 0; 1; 2; 3; 4; 100 ]
+
+let test_workload_virtine_correct () =
+  let w = Wasp.Runtime.create () in
+  let input = Vjs.Workload.make_input ~size:300 in
+  let out = Vjs.Workload.run_virtine w ~input ~snapshot:false ~teardown:true ~key:"k1" in
+  Alcotest.(check string) "virtine output" (Vjs.Workload.reference_encode input) out.output
+
+let test_workload_snapshot_correct_and_faster () =
+  let w = Wasp.Runtime.create () in
+  let input = Vjs.Workload.make_input ~size:300 in
+  let r1 = Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:true ~key:"k2" in
+  let r2 = Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:true ~key:"k2" in
+  Alcotest.(check string) "still correct" (Vjs.Workload.reference_encode input) r2.output;
+  Alcotest.(check bool)
+    (Printf.sprintf "snapshot faster: %Ld < %Ld" r2.latency_cycles r1.latency_cycles)
+    true
+    (r2.latency_cycles < r1.latency_cycles)
+
+let test_workload_nt_faster () =
+  let w = Wasp.Runtime.create () in
+  let input = Vjs.Workload.make_input ~size:300 in
+  (* warm both snapshot keys *)
+  ignore (Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:true ~key:"kt");
+  ignore (Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:false ~key:"knt");
+  let with_td = Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:true ~key:"kt" in
+  let no_td = Vjs.Workload.run_virtine w ~input ~snapshot:true ~teardown:false ~key:"knt" in
+  Alcotest.(check bool)
+    (Printf.sprintf "NT faster: %Ld < %Ld" no_td.latency_cycles with_td.latency_cycles)
+    true
+    (no_td.latency_cycles < with_td.latency_cycles)
+
+let test_workload_baseline_latency_ballpark () =
+  (* the paper's baseline is 419 us; ours should be the same order *)
+  let clock = Cycles.Clock.create () in
+  let input = Vjs.Workload.make_input ~size:1024 in
+  let out = Vjs.Workload.run_baseline ~clock ~input in
+  let us = Cycles.Clock.to_us clock out.latency_cycles in
+  Alcotest.(check bool) (Printf.sprintf "baseline %.0f us in [150, 1200]" us) true
+    (us > 150.0 && us < 1200.0)
+
+let () =
+  Alcotest.run "vjs"
+    [
+      ( "language",
+        [
+          Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+          Alcotest.test_case "variables" `Quick test_variables;
+          Alcotest.test_case "strings" `Quick test_strings;
+          Alcotest.test_case "bitwise" `Quick test_bitwise;
+          Alcotest.test_case "comparisons" `Quick test_comparisons;
+          Alcotest.test_case "control flow" `Quick test_control_flow;
+          Alcotest.test_case "functions" `Quick test_functions;
+          Alcotest.test_case "closures" `Quick test_closures;
+          Alcotest.test_case "arrays" `Quick test_arrays;
+          Alcotest.test_case "objects" `Quick test_objects;
+          Alcotest.test_case "array higher-order" `Quick test_array_higher_order;
+          Alcotest.test_case "JSON" `Quick test_json;
+          Alcotest.test_case "try/catch/finally" `Quick test_try_catch;
+          Alcotest.test_case "uncaught throw" `Quick test_uncaught_throw_is_error;
+          Alcotest.test_case "math builtins" `Quick test_math_builtins;
+          Alcotest.test_case "truthiness" `Quick test_truthiness;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "errors" `Quick test_errors;
+          Alcotest.test_case "step budget" `Quick test_step_budget;
+          Alcotest.test_case "native bindings" `Quick test_native_bindings;
+          Alcotest.test_case "print/console" `Quick test_print_console;
+          Alcotest.test_case "cost charging" `Quick test_engine_charges;
+        ] );
+      ( "workload",
+        [
+          Alcotest.test_case "baseline correct" `Quick test_workload_baseline_correct;
+          Alcotest.test_case "baseline sizes" `Quick test_workload_baseline_sizes;
+          Alcotest.test_case "virtine correct" `Quick test_workload_virtine_correct;
+          Alcotest.test_case "snapshot faster" `Quick test_workload_snapshot_correct_and_faster;
+          Alcotest.test_case "no-teardown faster" `Quick test_workload_nt_faster;
+          Alcotest.test_case "baseline latency ballpark" `Quick
+            test_workload_baseline_latency_ballpark;
+        ] );
+    ]
