@@ -1,0 +1,27 @@
+# Convenience entry points; everything below is plain dune.
+
+TRACE := /tmp/wasp-trace.json
+
+.PHONY: all check test bench trace-smoke clean
+
+all:
+	dune build
+
+# tier-1 gate: full build + every test suite
+check:
+	dune build
+	dune runtest
+
+test: check
+
+bench:
+	dune exec bench/main.exe
+
+# telemetry smoke: emit a Chrome trace from an instrumented run, then
+# validate it (JSON parses, phase spans present)
+trace-smoke:
+	dune exec bin/wasprun.exe -- --example --trace-json $(TRACE) --metrics
+	dune exec bin/wasprun.exe -- --check-trace $(TRACE)
+
+clean:
+	dune clean

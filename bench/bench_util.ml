@@ -19,3 +19,28 @@ let note fmt = Printf.printf ("  " ^^ fmt ^^ "\n")
 let header name paper_ref =
   print_string (Stats.Report.section name);
   Printf.printf "(reproduces %s)\n\n%!" paper_ref
+
+(* Telemetry: opt-in with `bench/main.exe -- --telemetry ...`. Spans are
+   capacity-bounded, so attaching a hub to a many-thousand-trial
+   experiment still yields a usable aggregate summary (dropped spans are
+   reported; the metrics registry never drops). *)
+
+let telemetry_enabled = ref false
+
+let attach_telemetry w =
+  if not !telemetry_enabled then None
+  else begin
+    let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+    Wasp.Runtime.set_telemetry w (Some hub);
+    Some hub
+  end
+
+let report_telemetry ?(label = "telemetry") hub =
+  match hub with
+  | None -> ()
+  | Some h ->
+      print_newline ();
+      print_string (Telemetry.Summary.render ~title:(label ^ ": where did the cycles go") h);
+      print_newline ();
+      print_string (Telemetry.Prometheus.to_text (Telemetry.Hub.metrics h));
+      print_newline ()

@@ -18,6 +18,7 @@ let run () =
   let compiled_snap = Vcc.Compile.compile ~snapshot:true ~name:"fib11s" fib_src in
   let w_plain = Wasp.Runtime.create ~seed:0xF1611 ~clean:`Async () in
   let w_snap = Wasp.Runtime.create ~seed:0xF1612 ~clean:`Async () in
+  let hub = Bench_util.attach_telemetry w_snap in
   let rows = ref [] in
   let amortized = ref None in
   List.iter
@@ -78,4 +79,5 @@ let run () =
         n
         (native /. Bench_util.freq_ghz /. 1e3)
   | None -> Bench_util.note "overheads not amortized within the sweep");
-  Bench_util.note "snapshot vs no-snapshot speedup at fib(0) reproduces the paper's ~2.5x"
+  Bench_util.note "snapshot vs no-snapshot speedup at fib(0) reproduces the paper's ~2.5x";
+  Bench_util.report_telemetry ~label:"fig11 snapshot arm" hub

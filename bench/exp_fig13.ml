@@ -87,18 +87,18 @@ let run () =
                buckets)
         in
         let tput = Stats.Descriptive.harmonic_mean rates in
-        (arm.name, lat_summary, tput))
+        (arm.name, lat, lat_summary, tput))
       arms
   in
   let base_tput =
-    match results with (_, _, t) :: _ -> t | [] -> 1.0
+    match results with (_, _, _, t) :: _ -> t | [] -> 1.0
   in
   let base_lat =
-    match results with (_, (s : Stats.Descriptive.summary), _) :: _ -> s.mean | [] -> 1.0
+    match results with (_, _, (s : Stats.Descriptive.summary), _) :: _ -> s.mean | [] -> 1.0
   in
   let rows =
     List.map
-      (fun (name, (s : Stats.Descriptive.summary), tput) ->
+      (fun (name, _, (s : Stats.Descriptive.summary), tput) ->
         [
           name;
           Printf.sprintf "%.1f" (s.mean /. Bench_util.freq_ghz /. 1e3);
@@ -113,6 +113,13 @@ let run () =
        ~header:
          [ "configuration"; "mean latency (us)"; "vs native"; "throughput (req/s)"; "tput delta" ]
        rows);
+  (* tail latency per arm, from the same request samples as the means above *)
+  print_string
+    (Stats.Report.percentile_table ~title:"request latency percentiles" ~unit_label:"us"
+       (List.map
+          (fun (name, lat, _, _) ->
+            (name, Array.map (fun c -> c /. Bench_util.freq_ghz /. 1e3) lat))
+          results));
   Bench_util.note "each virtine request = 7 hypercalls: read, stat, open, read, write, close, exit";
   Bench_util.note
     "paper: snapshotted virtines lose ~12%% throughput (C7: <20%%); plain virtines lose more"

@@ -31,6 +31,8 @@ let list_experiments () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  let telemetry, args = List.partition (fun a -> a = "--telemetry") args in
+  if telemetry <> [] then Bench_util.telemetry_enabled := true;
   match args with
   | [ "--list" ] -> list_experiments ()
   | [] ->

@@ -3,6 +3,10 @@
 
      wasprun FILE.vxa [--mode real|protected|long] [--allow read,write,...]
      wasprun --example         # run a built-in demo image
+     wasprun --example --trace-json t.json --metrics
+                               # telemetry: Chrome trace + metrics dump
+     wasprun --check-trace t.json
+                               # validate a trace-event dump (CI smoke)
 *)
 
 open Cmdliner
@@ -13,6 +17,11 @@ let read_file path =
   let s = really_input_string ic n in
   close_in ic;
   s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
 
 let example_source =
   {|
@@ -37,49 +46,113 @@ let hc_by_name =
     ("clock", Wasp.Hc.clock); ("getrandom", Wasp.Hc.getrandom);
   ]
 
-let run file example mode allow all =
-  let source =
-    if example then Some example_source
-    else match file with Some f -> Some (read_file f) | None -> None
-  in
-  match source with
-  | None ->
-      prerr_endline "error: pass an assembly file or --example";
-      1
-  | Some src -> (
-      match Asm.assemble_string ~origin:Wasp.Layout.image_base src with
-      | exception Asm.Asm_error msg ->
-          Printf.eprintf "assembly error: %s\n" msg;
-          1
-      | program ->
-          let image = Wasp.Image.of_program ~name:"wasprun" ~mode program in
-          let policy =
-            if all then Wasp.Policy.allow_all
-            else
-              Wasp.Policy.of_list
-                (List.filter_map (fun n -> List.assoc_opt n hc_by_name) allow)
+(* Validate a Chrome trace-event dump: well-formed JSON, a non-empty
+   traceEvents array, and the invocation phase spans present. *)
+let check_trace path =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "trace invalid: %s\n" m; 1) fmt in
+  match Vjs.Json.parse (read_file path) with
+  | exception Vjs.Jsvalue.Js_error msg -> fail "JSON parse error: %s" msg
+  | exception Sys_error msg -> fail "%s" msg
+  | Vjs.Jsvalue.Obj tbl -> (
+      match Hashtbl.find_opt tbl "traceEvents" with
+      | Some (Vjs.Jsvalue.Arr v) ->
+          let events = Vjs.Jsvalue.vec_to_list v in
+          let names =
+            List.filter_map
+              (function
+                | Vjs.Jsvalue.Obj o -> (
+                    match Hashtbl.find_opt o "name" with
+                    | Some (Vjs.Jsvalue.Str s) -> Some s
+                    | _ -> None)
+                | _ -> None)
+              events
           in
-          let w = Wasp.Runtime.create () in
-          Printf.printf "loaded %d bytes at 0x%x (%s mode), policy %s\n"
-            (Wasp.Image.size image) image.Wasp.Image.origin
-            (Vm.Modes.to_string image.Wasp.Image.mode)
-            (Format.asprintf "%a" Wasp.Policy.pp policy);
-          let r = Wasp.Runtime.run w image ~policy () in
-          if r.Wasp.Runtime.console <> "" then
-            Printf.printf "--- console ---\n%s---------------\n" r.Wasp.Runtime.console;
-          (match r.Wasp.Runtime.outcome with
-          | Wasp.Runtime.Exited code ->
-              Printf.printf "exited with %Ld  [%.1f us, %d hypercalls, %d denied]\n" code
-                (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
-                r.Wasp.Runtime.hypercalls r.Wasp.Runtime.denied;
-              0
-          | Wasp.Runtime.Faulted f ->
-              Printf.printf "faulted: %s\n"
-                (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+          let required = [ "invocation"; "provision"; "boot"; "execute"; "clean" ] in
+          let missing = List.filter (fun n -> not (List.mem n names)) required in
+          if events = [] then fail "empty traceEvents"
+          else if missing <> [] then
+            fail "missing spans: %s" (String.concat ", " missing)
+          else begin
+            Printf.printf "trace ok: %d events, phases covered\n" (List.length events);
+            0
+          end
+      | _ -> fail "no traceEvents array")
+  | _ -> fail "top level is not an object"
+
+let run file example mode allow all trace_json metrics check =
+  match check with
+  | Some path -> check_trace path
+  | None -> (
+      let source =
+        if example then Some example_source
+        else match file with Some f -> Some (read_file f) | None -> None
+      in
+      match source with
+      | None ->
+          prerr_endline "error: pass an assembly file or --example";
+          1
+      | Some src -> (
+          match Asm.assemble_string ~origin:Wasp.Layout.image_base src with
+          | exception Asm.Asm_error msg ->
+              Printf.eprintf "assembly error: %s\n" msg;
               1
-          | Wasp.Runtime.Fuel_exhausted ->
-              print_endline "out of fuel";
-              1))
+          | program ->
+              let image = Wasp.Image.of_program ~name:"wasprun" ~mode program in
+              let policy =
+                if all then Wasp.Policy.allow_all
+                else
+                  Wasp.Policy.of_list
+                    (List.filter_map (fun n -> List.assoc_opt n hc_by_name) allow)
+              in
+              let w = Wasp.Runtime.create () in
+              let hub =
+                if trace_json <> None || metrics then begin
+                  let h = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+                  Wasp.Runtime.set_telemetry w (Some h);
+                  Some h
+                end
+                else None
+              in
+              Printf.printf "loaded %d bytes at 0x%x (%s mode), policy %s\n"
+                (Wasp.Image.size image) image.Wasp.Image.origin
+                (Vm.Modes.to_string image.Wasp.Image.mode)
+                (Format.asprintf "%a" Wasp.Policy.pp policy);
+              let r = Wasp.Runtime.run w image ~policy () in
+              if r.Wasp.Runtime.console <> "" then
+                Printf.printf "--- console ---\n%s---------------\n" r.Wasp.Runtime.console;
+              let trace_write_failed =
+                match (trace_json, hub) with
+                | Some path, Some h -> (
+                    match write_file path (Telemetry.Chrome.to_json h) with
+                    | () ->
+                        Printf.printf
+                          "trace written to %s (load it in about://tracing or Perfetto)\n" path;
+                        false
+                    | exception Sys_error msg ->
+                        Printf.eprintf "error: cannot write trace: %s\n" msg;
+                        true)
+                | _ -> false
+              in
+              (match hub with
+              | Some h when metrics ->
+                  print_newline ();
+                  print_string (Telemetry.Summary.render h);
+                  print_newline ();
+                  print_string (Telemetry.Prometheus.to_text (Telemetry.Hub.metrics h))
+              | _ -> ());
+              (match r.Wasp.Runtime.outcome with
+              | Wasp.Runtime.Exited code ->
+                  Printf.printf "exited with %Ld  [%.1f us, %d hypercalls, %d denied]\n" code
+                    (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
+                    r.Wasp.Runtime.hypercalls r.Wasp.Runtime.denied;
+                  if trace_write_failed then 1 else 0
+              | Wasp.Runtime.Faulted f ->
+                  Printf.printf "faulted: %s\n"
+                    (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+                  1
+              | Wasp.Runtime.Fuel_exhausted ->
+                  print_endline "out of fuel";
+                  1)))
 
 let () =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.vxa") in
@@ -97,9 +170,29 @@ let () =
       & info [ "allow" ] ~docv:"HC,..." ~doc:"Hypercalls to permit (default deny)")
   in
   let all = Arg.(value & flag & info [ "permissive" ] ~doc:"Allow all hypercalls") in
+  let trace_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-json" ] ~docv:"FILE"
+          ~doc:"Write a Chrome trace-event JSON dump of the invocation's spans to $(docv)")
+  in
+  let metrics =
+    Arg.(
+      value & flag
+      & info [ "metrics" ]
+          ~doc:"Print the telemetry summary and Prometheus-style metrics after the run")
+  in
+  let check =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "check-trace" ] ~docv:"FILE"
+          ~doc:"Validate a previously written trace-event JSON dump and exit")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
-      Term.(const run $ file $ example $ mode $ allow $ all)
+      Term.(const run $ file $ example $ mode $ allow $ all $ trace_json $ metrics $ check)
   in
   exit (Cmd.eval' cmd)

@@ -2,6 +2,7 @@ type system = {
   clock : Cycles.Clock.t;
   rng : Cycles.Rng.t;
   stats : stats;
+  mutable telemetry : Telemetry.Hub.t option;
 }
 
 and stats = {
@@ -28,24 +29,37 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz () =
     clock = Cycles.Clock.create ?freq_ghz ();
     rng = Cycles.Rng.create ~seed;
     stats = { vm_creations = 0; vcpu_creations = 0; runs = 0; io_exits = 0; fault_exits = 0 };
+    telemetry = None;
   }
 
 let clock sys = sys.clock
 let rng sys = sys.rng
 let stats sys = sys.stats
 
+let set_telemetry sys hub = sys.telemetry <- hub
+
+let kspan sys name f =
+  match sys.telemetry with None -> f () | Some h -> Telemetry.Hub.with_span h name f
+
+let kincr sys name =
+  match sys.telemetry with None -> () | Some h -> Telemetry.Hub.incr h name
+
 let charge sys cycles = Cycles.Clock.advance_int sys.clock (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
 
 let create_vm sys =
-  charge sys Cycles.Costs.kvm_create_vm;
-  sys.stats.vm_creations <- sys.stats.vm_creations + 1;
-  { sys; memory = None }
+  kincr sys "kvm_vm_creations_total";
+  kspan sys "kvm_create_vm" (fun () ->
+      charge sys Cycles.Costs.kvm_create_vm;
+      sys.stats.vm_creations <- sys.stats.vm_creations + 1;
+      { sys; memory = None })
 
 let set_user_memory_region vm ~size =
-  charge vm.sys Cycles.Costs.kvm_memory_region;
-  let mem = Vm.Memory.create ~size in
-  vm.memory <- Some mem;
-  mem
+  (* the EPT/memslot build transition *)
+  kspan vm.sys "kvm_memory_region" (fun () ->
+      charge vm.sys Cycles.Costs.kvm_memory_region;
+      let mem = Vm.Memory.create ~size in
+      vm.memory <- Some mem;
+      mem)
 
 let vm_memory vm =
   match vm.memory with
@@ -55,10 +69,12 @@ let vm_memory vm =
 let vm_system vm = vm.sys
 
 let create_vcpu vm ~mode =
-  charge vm.sys Cycles.Costs.kvm_create_vcpu;
-  vm.sys.stats.vcpu_creations <- vm.sys.stats.vcpu_creations + 1;
-  let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:vm.sys.clock in
-  { parent = vm; cpu }
+  kincr vm.sys "kvm_vcpu_creations_total";
+  kspan vm.sys "kvm_create_vcpu" (fun () ->
+      charge vm.sys Cycles.Costs.kvm_create_vcpu;
+      vm.sys.stats.vcpu_creations <- vm.sys.stats.vcpu_creations + 1;
+      let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:vm.sys.clock in
+      { parent = vm; cpu })
 
 let vcpu_cpu v = v.cpu
 let vcpu_vm v = v.parent
@@ -68,18 +84,26 @@ let reset_vcpu v ~mode = Vm.Cpu.reset v.cpu ~mode
 let run ?fuel v =
   let sys = v.parent.sys in
   sys.stats.runs <- sys.stats.runs + 1;
-  charge sys (Cycles.Costs.ioctl_syscall + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
-  let exit = Vm.Cpu.run ?fuel v.cpu in
-  charge sys Cycles.Costs.vmexit;
+  kincr sys "kvm_runs_total";
+  let exit =
+    kspan sys "vcpu_run" (fun () ->
+        charge sys (Cycles.Costs.ioctl_syscall + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
+        let exit = Vm.Cpu.run ?fuel v.cpu in
+        charge sys Cycles.Costs.vmexit;
+        exit)
+  in
   match exit with
   | Vm.Cpu.Halt -> Hlt
   | Vm.Cpu.Io_out { port; value } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
+      kincr sys "kvm_io_exits_total";
       Io_out { port; value }
   | Vm.Cpu.Io_in { port; reg } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
+      kincr sys "kvm_io_exits_total";
       Io_in { port; reg }
   | Vm.Cpu.Fault f ->
       sys.stats.fault_exits <- sys.stats.fault_exits + 1;
+      kincr sys "kvm_fault_exits_total";
       Fault f
   | Vm.Cpu.Out_of_fuel -> Out_of_fuel

@@ -35,6 +35,12 @@ val clock : system -> Cycles.Clock.t
 val rng : system -> Cycles.Rng.t
 val stats : system -> stats
 
+val set_telemetry : system -> Telemetry.Hub.t option -> unit
+(** Attach (or detach) a telemetry hub; subsequent KVM transitions
+    (vm-create, memslot/EPT build, vcpu-create, [KVM_RUN]) open spans and
+    bump [kvm_*] counters on it. The hub must share this system's
+    clock. *)
+
 val create_vm : system -> vm
 (** [KVM_CREATE_VM]: charges the in-kernel allocation cost. *)
 

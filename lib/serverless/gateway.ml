@@ -2,6 +2,8 @@ type t = { platform : Vespid.t }
 
 let create platform = { platform }
 
+let hub t = Wasp.Runtime.telemetry (Vespid.runtime t.platform)
+
 let respond ?headers ~status body =
   Vhttp.Http.response_to_string (Vhttp.Http.make_response ?headers ~status body)
 
@@ -25,29 +27,44 @@ let parse_register_target seg =
       in
       (name, Option.value ~default:"main" entry)
 
+let route t (req : Vhttp.Http.request) =
+  match (req.Vhttp.Http.meth, split_path req.Vhttp.Http.path) with
+  | "GET", [ "functions" ] ->
+      respond ~status:200 (String.concat "\n" (Vespid.registered t.platform) ^ "\n")
+  | "POST", [ "register"; target ] ->
+      let name, entry = parse_register_target target in
+      if name = "" then respond ~status:400 "missing function name\n"
+      else if req.Vhttp.Http.body = "" then respond ~status:400 "missing source body\n"
+      else begin
+        Vespid.register t.platform ~name ~source:req.Vhttp.Http.body ~entry;
+        respond ~status:201 (Printf.sprintf "registered %s (entry %s)\n" name entry)
+      end
+  | "POST", [ "invoke"; name ] -> (
+      match
+        Vespid.invoke t.platform ~name ~input:(Bytes.of_string req.Vhttp.Http.body)
+      with
+      | Ok out -> respond ~status:200 out
+      | Error e -> respond ~status:500 (Printf.sprintf "function error: %s\n" e)
+      | exception Vespid.Unknown_function _ ->
+          respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
+  | ("GET" | "POST"), _ -> respond ~status:404 "no such route\n"
+  | _, _ -> respond ~status:405 "method not allowed\n"
+
 let handle t raw =
+  (match hub t with
+  | Some h -> Telemetry.Hub.incr h "gateway_requests_total"
+  | None -> ());
   match Vhttp.Http.parse_request raw with
-  | Error e -> respond ~status:400 (Printf.sprintf "bad request: %s\n" e)
+  | Error e ->
+      (match hub t with
+      | Some h -> Telemetry.Hub.incr h "gateway_bad_requests_total"
+      | None -> ());
+      respond ~status:400 (Printf.sprintf "bad request: %s\n" e)
   | Ok req -> (
-      match (req.Vhttp.Http.meth, split_path req.Vhttp.Http.path) with
-      | "GET", [ "functions" ] ->
-          respond ~status:200
-            (String.concat "\n" (Vespid.registered t.platform) ^ "\n")
-      | "POST", [ "register"; target ] ->
-          let name, entry = parse_register_target target in
-          if name = "" then respond ~status:400 "missing function name\n"
-          else if req.Vhttp.Http.body = "" then respond ~status:400 "missing source body\n"
-          else begin
-            Vespid.register t.platform ~name ~source:req.Vhttp.Http.body ~entry;
-            respond ~status:201 (Printf.sprintf "registered %s (entry %s)\n" name entry)
-          end
-      | "POST", [ "invoke"; name ] -> (
-          match
-            Vespid.invoke t.platform ~name ~input:(Bytes.of_string req.Vhttp.Http.body)
-          with
-          | Ok out -> respond ~status:200 out
-          | Error e -> respond ~status:500 (Printf.sprintf "function error: %s\n" e)
-          | exception Vespid.Unknown_function _ ->
-              respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
-      | ("GET" | "POST"), _ -> respond ~status:404 "no such route\n"
-      | _, _ -> respond ~status:405 "method not allowed\n")
+      match hub t with
+      | None -> route t req
+      | Some h ->
+          Telemetry.Hub.with_span h
+            ~args:[ ("method", req.Vhttp.Http.meth); ("path", req.Vhttp.Http.path) ]
+            "route"
+            (fun () -> route t req))

@@ -4,6 +4,8 @@ exception Unknown_function of string
 
 let create wasp = { wasp; functions = Hashtbl.create 8 }
 
+let runtime t = t.wasp
+
 let register t ~name ~source ~entry =
   Hashtbl.replace t.functions name
     (Vjs.Isolate.create t.wasp ~key:("vespid:" ^ name) ~source ~entry)
@@ -12,7 +14,22 @@ let registered t = Hashtbl.fold (fun k _ acc -> k :: acc) t.functions [] |> List
 
 let invoke_timed t ~name ~input =
   match Hashtbl.find_opt t.functions name with
-  | Some isolate -> Vjs.Isolate.invoke isolate ~input
+  | Some isolate -> (
+      let go () =
+        let outcome, cycles = Vjs.Isolate.invoke isolate ~input in
+        (match Wasp.Runtime.telemetry t.wasp with
+        | Some hub ->
+            Telemetry.Hub.incr hub "vespid_invocations_total";
+            Telemetry.Hub.observe hub "vespid_invoke_cycles" cycles;
+            (match outcome with
+            | Error _ -> Telemetry.Hub.incr hub "vespid_errors_total"
+            | Ok _ -> ())
+        | None -> ());
+        (outcome, cycles)
+      in
+      match Wasp.Runtime.telemetry t.wasp with
+      | None -> go ()
+      | Some hub -> Telemetry.Hub.with_span hub ~args:[ ("function", name) ] "invoke" go)
   | None -> raise (Unknown_function name)
 
 let invoke t ~name ~input = fst (invoke_timed t ~name ~input)

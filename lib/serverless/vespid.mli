@@ -13,6 +13,12 @@ exception Unknown_function of string
 
 val create : Wasp.Runtime.t -> t
 
+val runtime : t -> Wasp.Runtime.t
+(** The Wasp runtime invocations execute on (also where the platform
+    finds the telemetry hub: each invocation opens a per-request
+    [invoke] span and bumps the [vespid_*] metrics when one is
+    attached). *)
+
 val register : t -> name:string -> source:string -> entry:string -> unit
 (** Register a JS function. [entry] names the function the platform calls
     with the request payload (an array of byte values). *)

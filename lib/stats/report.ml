@@ -88,6 +88,52 @@ let series ?title ~header points =
   in
   table ?title ~header rows
 
+let percentile_table ?title ?(unit_label = "") rows =
+  let u = if unit_label = "" then "" else Printf.sprintf " (%s)" unit_label in
+  let header = [ "label"; "n"; "p50" ^ u; "p90" ^ u; "p99" ^ u; "max" ^ u ] in
+  let fmt v = Printf.sprintf "%.2f" v in
+  let body =
+    List.map
+      (fun (label, xs) ->
+        if Array.length xs = 0 then [ label; "0"; "-"; "-"; "-"; "-" ]
+        else
+          [
+            label;
+            string_of_int (Array.length xs);
+            fmt (Descriptive.percentile xs 50.0);
+            fmt (Descriptive.percentile xs 90.0);
+            fmt (Descriptive.percentile xs 99.0);
+            fmt (Descriptive.maximum xs);
+          ])
+      rows
+  in
+  table ?title ~header body
+
+let histogram ?title ?(width = 50) entries =
+  let cmax = List.fold_left (fun acc (_, c) -> max acc c) 0 entries in
+  let label_w = List.fold_left (fun acc (l, _) -> max acc (String.length l)) 0 entries in
+  let count_w =
+    List.fold_left (fun acc (_, c) -> max acc (String.length (string_of_int c))) 0 entries
+  in
+  let buf = Buffer.create 256 in
+  (match title with
+  | Some t ->
+      Buffer.add_string buf t;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  List.iter
+    (fun (label, count) ->
+      let n =
+        if cmax <= 0 || count <= 0 then 0
+        else max 1 (count * width / cmax)
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "%s %s %s\n" (pad Left label_w label)
+           (pad Right count_w (string_of_int count))
+           (String.make n '#')))
+    entries;
+  Buffer.contents buf
+
 let section name =
   let bar = String.make (String.length name + 8) '=' in
   Printf.sprintf "\n%s\n=== %s ===\n%s\n" bar name bar

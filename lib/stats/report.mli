@@ -23,5 +23,17 @@ val series :
 (** [series ~header points] renders an x column plus one column per series
     value, for figure-style line data. *)
 
+val percentile_table :
+  ?title:string -> ?unit_label:string -> (string * float array) list -> string
+(** [percentile_table rows] renders one row per labeled sample set with
+    n, p50, p90, p99 and max columns (linear-interpolated percentiles via
+    {!Descriptive.percentile}). [unit_label] annotates the value columns,
+    e.g. ["us"]. Empty sample sets render as dashes. *)
+
+val histogram : ?title:string -> ?width:int -> (string * int) list -> string
+(** [histogram entries] renders labeled integer counts as horizontal bars
+    scaled to the largest count — used for bucketed latency
+    distributions. *)
+
 val section : string -> string
 (** A visually distinct section banner. *)

@@ -1,0 +1,19 @@
+type t = { clk : Cycles.Clock.t; sink : Span.sink; registry : Metrics.t }
+
+let create ?capacity ~clock () =
+  { clk = clock; sink = Span.create ?capacity ~clock (); registry = Metrics.create () }
+
+let clock t = t.clk
+let spans t = t.sink
+let metrics t = t.registry
+
+let enter t ?args name = Span.enter t.sink ?args name
+let leave t ?args () = Span.leave t.sink ?args ()
+let with_span t ?args name f = Span.with_span t.sink ?args name f
+let instant t ?args name = Span.instant t.sink ?args name
+
+let incr t ?by name = Metrics.incr ?by (Metrics.counter t.registry name)
+let observe t name v = Metrics.observe (Metrics.histogram t.registry name) v
+let set_gauge t name v = Metrics.set (Metrics.gauge t.registry name) v
+
+let clear_spans t = Span.clear t.sink

@@ -1,0 +1,34 @@
+(** A telemetry hub: one span sink plus one metrics registry, stamped
+    from one virtual clock.
+
+    This is the object instrumentation sites share. A {!Wasp.Runtime}
+    (and, through it, the pool, the KVM simulation and the serverless
+    layer) is given a hub with [Wasp.Runtime.set_telemetry]; exporters
+    ({!Chrome}, {!Prometheus}, {!Summary}) read it back out. *)
+
+type t
+
+val create : ?capacity:int -> clock:Cycles.Clock.t -> unit -> t
+(** [capacity] bounds the span sink (default 65536 items). The hub MUST
+    be created with the clock of the runtime it instruments, or span
+    stamps will not line up with charged cycles. *)
+
+val clock : t -> Cycles.Clock.t
+val spans : t -> Span.sink
+val metrics : t -> Metrics.t
+
+(** {1 Span conveniences} *)
+
+val enter : t -> ?args:(string * string) list -> string -> unit
+val leave : t -> ?args:(string * string) list -> unit -> unit
+val with_span : t -> ?args:(string * string) list -> string -> (unit -> 'a) -> 'a
+val instant : t -> ?args:(string * string) list -> string -> unit
+
+(** {1 Metric conveniences (find-or-register by name)} *)
+
+val incr : t -> ?by:int -> string -> unit
+val observe : t -> string -> int64 -> unit
+val set_gauge : t -> string -> float -> unit
+
+val clear_spans : t -> unit
+(** Drop retained spans (e.g. between benchmark arms); metrics persist. *)

@@ -1,0 +1,135 @@
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_buckets : int array;
+  mutable h_count : int;
+  mutable h_sum : int64;
+  mutable h_min : int64;
+  mutable h_max : int64;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t = { tbl : (string, metric) Hashtbl.t; mutable order : string list (* newest first *) }
+
+let num_buckets = 63
+
+let create () = { tbl = Hashtbl.create 32; order = [] }
+
+let register t name metric =
+  Hashtbl.replace t.tbl name metric;
+  t.order <- name :: t.order
+
+let counter t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Counter c) -> c
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | None ->
+      let c = { c_name = name; c_help = help; c_value = 0 } in
+      register t name (Counter c);
+      c
+
+let gauge t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Gauge g) -> g
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | None ->
+      let g = { g_name = name; g_help = help; g_value = 0.0 } in
+      register t name (Gauge g);
+      g
+
+let histogram t ?(help = "") name =
+  match Hashtbl.find_opt t.tbl name with
+  | Some (Histogram h) -> h
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | None ->
+      let h =
+        {
+          h_name = name;
+          h_help = help;
+          h_buckets = Array.make num_buckets 0;
+          h_count = 0;
+          h_sum = 0L;
+          h_min = Int64.max_int;
+          h_max = 0L;
+        }
+      in
+      register t name (Histogram h);
+      h
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let set g v = g.g_value <- v
+
+(* Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i). *)
+let bucket_index v =
+  if Int64.compare v 1L < 0 then 0
+  else begin
+    let v = Int64.to_int v in
+    let rec find i = if i >= num_buckets - 1 || v < 1 lsl i then i else find (i + 1) in
+    find 1
+  end
+
+let bucket_bounds i =
+  if i < 0 || i >= num_buckets then invalid_arg "Metrics.bucket_bounds";
+  let lo = if i = 0 then 0L else Int64.of_int (1 lsl (i - 1)) in
+  let hi = if i >= num_buckets - 1 then Int64.max_int else Int64.of_int (1 lsl i) in
+  (lo, hi)
+
+let observe h v =
+  let v = if Int64.compare v 0L < 0 then 0L else v in
+  let i = bucket_index v in
+  h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  h.h_count <- h.h_count + 1;
+  h.h_sum <- Int64.add h.h_sum v;
+  if Int64.compare v h.h_min < 0 then h.h_min <- v;
+  if Int64.compare v h.h_max > 0 then h.h_max <- v
+
+let percentile h p =
+  if p < 0.0 || p > 100.0 then invalid_arg "Metrics.percentile: p outside [0,100]";
+  if h.h_count = 0 then 0.0
+  else begin
+    let target = p /. 100.0 *. float_of_int h.h_count in
+    let clamp v =
+      let lo = Int64.to_float h.h_min and hi = Int64.to_float h.h_max in
+      Float.min hi (Float.max lo v)
+    in
+    let rec go i cum =
+      if i >= num_buckets then clamp (Int64.to_float h.h_max)
+      else begin
+        let c = h.h_buckets.(i) in
+        if c > 0 && float_of_int (cum + c) >= target then begin
+          let lo, hi = bucket_bounds i in
+          let frac = Float.max 0.0 ((target -. float_of_int cum) /. float_of_int c) in
+          clamp (Int64.to_float lo +. ((Int64.to_float hi -. Int64.to_float lo) *. frac))
+        end
+        else go (i + 1) (cum + c)
+      end
+    in
+    go 0 0
+  end
+
+let nonempty_buckets h =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then begin
+      let lo, hi = bucket_bounds i in
+      acc := (lo, hi, h.h_buckets.(i)) :: !acc
+    end
+  done;
+  !acc
+
+let cumulative_buckets h =
+  let cum = ref 0 in
+  List.map
+    (fun (_, hi, c) ->
+      cum := !cum + c;
+      (hi, !cum))
+    (nonempty_buckets h)
+
+let find t name = Hashtbl.find_opt t.tbl name
+
+let to_list t =
+  List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order

@@ -1,0 +1,64 @@
+(** Metrics registry: named counters, gauges and log-bucketed cycle
+    histograms.
+
+    Registration is idempotent — asking for a counter that already exists
+    returns the existing one — so instrumentation sites can look metrics
+    up by name without threading handles around. Histograms bucket values
+    by powers of two (bucket 0 holds zeros, bucket [i >= 1] holds
+    [[2^(i-1), 2^i)]) and answer percentile queries by linear
+    interpolation within the crossing bucket, clamped to the observed
+    min/max — exact for constant inputs and deterministic always. *)
+
+type counter = private { c_name : string; c_help : string; mutable c_value : int }
+type gauge = private { g_name : string; g_help : string; mutable g_value : float }
+
+type histogram = private {
+  h_name : string;
+  h_help : string;
+  h_buckets : int array;   (** 63 log2 buckets *)
+  mutable h_count : int;
+  mutable h_sum : int64;
+  mutable h_min : int64;
+  mutable h_max : int64;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+type t
+
+val create : unit -> t
+
+val counter : t -> ?help:string -> string -> counter
+(** Find-or-register. @raise Invalid_argument if the name is already a
+    different kind of metric. *)
+
+val gauge : t -> ?help:string -> string -> gauge
+val histogram : t -> ?help:string -> string -> histogram
+
+val incr : ?by:int -> counter -> unit
+val set : gauge -> float -> unit
+
+val observe : histogram -> int64 -> unit
+(** Record one sample (negative values count as 0). *)
+
+val percentile : histogram -> float -> float
+(** [percentile h p] with [p] in [0,100]; 0.0 on an empty histogram.
+    @raise Invalid_argument if [p] is outside [0,100]. *)
+
+val bucket_index : int64 -> int
+(** The bucket a value lands in. *)
+
+val bucket_bounds : int -> int64 * int64
+(** [(lo, hi)] of bucket [i]: values [v] with [lo <= v < hi]. *)
+
+val nonempty_buckets : histogram -> (int64 * int64 * int) list
+(** [(lo, hi, count)] for each occupied bucket, ascending. *)
+
+val cumulative_buckets : histogram -> (int64 * int) list
+(** [(upper_bound, cumulative_count)] per occupied bucket, ascending —
+    the Prometheus [le] series. *)
+
+val find : t -> string -> metric option
+
+val to_list : t -> metric list
+(** All metrics in registration order (deterministic export order). *)

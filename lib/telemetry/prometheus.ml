@@ -1,0 +1,30 @@
+let to_text registry =
+  let buf = Buffer.create 1024 in
+  let preamble name help kind =
+    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+  in
+  List.iter
+    (fun metric ->
+      match metric with
+      | Metrics.Counter c ->
+          preamble c.Metrics.c_name c.Metrics.c_help "counter";
+          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.Metrics.c_name c.Metrics.c_value)
+      | Metrics.Gauge g ->
+          preamble g.Metrics.g_name g.Metrics.g_help "gauge";
+          Buffer.add_string buf (Printf.sprintf "%s %g\n" g.Metrics.g_name g.Metrics.g_value)
+      | Metrics.Histogram h ->
+          preamble h.Metrics.h_name h.Metrics.h_help "histogram";
+          List.iter
+            (fun (le, cum) ->
+              Buffer.add_string buf
+                (Printf.sprintf "%s_bucket{le=\"%Ld\"} %d\n" h.Metrics.h_name le cum))
+            (Metrics.cumulative_buckets h);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.Metrics.h_name h.Metrics.h_count);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_sum %Ld\n" h.Metrics.h_name h.Metrics.h_sum);
+          Buffer.add_string buf
+            (Printf.sprintf "%s_count %d\n" h.Metrics.h_name h.Metrics.h_count))
+    (Metrics.to_list registry);
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Prometheus text-format exporter.
+
+    Renders a metrics registry in the plain-text exposition format:
+    [# HELP] / [# TYPE] preambles, counters and gauges as single samples,
+    histograms as cumulative [_bucket{le="..."}] series plus [_sum] and
+    [_count]. Metrics appear in registration order, so output is
+    deterministic. *)
+
+val to_text : Metrics.t -> string

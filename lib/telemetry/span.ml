@@ -1,0 +1,118 @@
+type span = {
+  name : string;
+  start_cycles : int64;
+  duration : int64;
+  depth : int;
+  seq : int;
+  args : (string * string) list;
+}
+
+type item =
+  | Complete of span
+  | Instant of {
+      i_name : string;
+      i_at : int64;
+      i_depth : int;
+      i_seq : int;
+      i_args : (string * string) list;
+    }
+
+type frame = {
+  f_name : string;
+  f_start : int64;
+  f_depth : int;
+  f_seq : int;
+  f_args : (string * string) list;
+}
+
+type sink = {
+  clk : Cycles.Clock.t;
+  capacity : int;
+  mutable stack : frame list;
+  mutable finished : item list; (* finish order, newest first *)
+  mutable n : int;
+  mutable dropped_n : int;
+  mutable next_seq : int;
+}
+
+let create ?(capacity = 65536) ~clock () =
+  { clk = clock; capacity; stack = []; finished = []; n = 0; dropped_n = 0; next_seq = 0 }
+
+let clock s = s.clk
+
+let push_item s item =
+  if s.n >= s.capacity then s.dropped_n <- s.dropped_n + 1
+  else begin
+    s.finished <- item :: s.finished;
+    s.n <- s.n + 1
+  end
+
+let fresh_seq s =
+  let q = s.next_seq in
+  s.next_seq <- q + 1;
+  q
+
+let enter s ?(args = []) name =
+  let frame =
+    {
+      f_name = name;
+      f_start = Cycles.Clock.now s.clk;
+      f_depth = List.length s.stack;
+      f_seq = fresh_seq s;
+      f_args = args;
+    }
+  in
+  s.stack <- frame :: s.stack
+
+let leave s ?(args = []) () =
+  match s.stack with
+  | [] -> ()
+  | f :: rest ->
+      s.stack <- rest;
+      push_item s
+        (Complete
+           {
+             name = f.f_name;
+             start_cycles = f.f_start;
+             duration = Cycles.Clock.elapsed_since s.clk f.f_start;
+             depth = f.f_depth;
+             seq = f.f_seq;
+             args = f.f_args @ args;
+           })
+
+let with_span s ?args name f =
+  enter s ?args name;
+  match f () with
+  | v ->
+      leave s ();
+      v
+  | exception e ->
+      leave s ();
+      raise e
+
+let instant s ?(args = []) name =
+  push_item s
+    (Instant
+       {
+         i_name = name;
+         i_at = Cycles.Clock.now s.clk;
+         i_depth = List.length s.stack;
+         i_seq = fresh_seq s;
+         i_args = args;
+       })
+
+let item_seq = function Complete sp -> sp.seq | Instant i -> i.i_seq
+
+let items s = List.sort (fun a b -> compare (item_seq a) (item_seq b)) s.finished
+
+let spans s =
+  List.filter_map (function Complete sp -> Some sp | Instant _ -> None) (items s)
+
+let depth s = List.length s.stack
+let count s = s.n
+let dropped s = s.dropped_n
+
+let clear s =
+  s.finished <- [];
+  s.n <- 0;
+  s.dropped_n <- 0

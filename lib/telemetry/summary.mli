@@ -1,0 +1,13 @@
+(** ASCII "where did the cycles go" summary.
+
+    Reconstructs the span tree from a hub's sink, aggregates by call
+    path, and renders (via {!Stats.Report}):
+
+    - a flame-style table — one row per path, indented by depth, with
+      invocation count, total cycles, self cycles (total minus children)
+      and the share of root wall time;
+    - per-path latency percentiles (p50/p90/p99, microseconds);
+    - the log2-bucket distribution of [wasp_invocation_cycles] when that
+      histogram is populated. *)
+
+val render : ?title:string -> Hub.t -> string

@@ -19,6 +19,7 @@ type t = {
   shells : (int, shell Stack.t) Hashtbl.t;
   clean : clean_mode;
   stats : stats;
+  mutable telemetry : Telemetry.Hub.t option;
 }
 
 let create sys ~clean =
@@ -27,9 +28,19 @@ let create sys ~clean =
     shells = Hashtbl.create 8;
     clean;
     stats = { created = 0; reused = 0; cleans = 0; background_cycles = 0L };
+    telemetry = None;
   }
 
 let stats t = t.stats
+
+let set_telemetry t hub = t.telemetry <- hub
+
+let size t = Hashtbl.fold (fun _ s acc -> acc + Stack.length s) t.shells 0
+
+let note_size t =
+  match t.telemetry with
+  | None -> ()
+  | Some h -> Telemetry.Hub.set_gauge h "wasp_pool_size" (float_of_int (size t))
 
 let bucket t mem_size =
   match Hashtbl.find_opt t.shells mem_size with
@@ -41,26 +52,48 @@ let bucket t mem_size =
 
 let acquire t ~mem_size ~mode =
   let stack = bucket t mem_size in
-  match Stack.pop_opt stack with
-  | Some shell ->
-      t.stats.reused <- t.stats.reused + 1;
-      Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
-      (shell, true)
-  | None ->
-      t.stats.created <- t.stats.created + 1;
-      let vm = Kvmsim.Kvm.create_vm t.sys in
-      let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
-      let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
-      ({ vm; vcpu; mem; mem_size }, false)
+  let result =
+    match Stack.pop_opt stack with
+    | Some shell ->
+        t.stats.reused <- t.stats.reused + 1;
+        (match t.telemetry with
+        | Some h ->
+            Telemetry.Hub.incr h "wasp_pool_hits_total";
+            Telemetry.Hub.instant h "pool_hit"
+        | None -> ());
+        Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
+        (shell, true)
+    | None ->
+        t.stats.created <- t.stats.created + 1;
+        (match t.telemetry with
+        | Some h ->
+            Telemetry.Hub.incr h "wasp_pool_misses_total";
+            Telemetry.Hub.instant h "pool_miss"
+        | None -> ());
+        let vm = Kvmsim.Kvm.create_vm t.sys in
+        let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+        let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+        ({ vm; vcpu; mem; mem_size }, false)
+  in
+  note_size t;
+  result
 
 let release t shell =
   t.stats.cleans <- t.stats.cleans + 1;
+  (match t.telemetry with
+  | Some h -> Telemetry.Hub.incr h "wasp_pool_cleans_total"
+  | None -> ());
   Vm.Memory.fill_zero shell.mem;
   let cost = Cycles.Costs.memset_cost shell.mem_size in
   (match t.clean with
   | Sync -> Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) cost
   | Async ->
-      t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int cost));
-  Stack.push shell (bucket t shell.mem_size)
-
-let size t = Hashtbl.fold (fun _ s acc -> acc + Stack.length s) t.shells 0
+      t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int cost);
+      (match t.telemetry with
+      | Some h ->
+          Telemetry.Hub.instant h ~args:[ ("cycles", string_of_int cost) ] "async_clean";
+          Telemetry.Hub.set_gauge h "wasp_pool_background_cycles"
+            (Int64.to_float t.stats.background_cycles)
+      | None -> ()));
+  Stack.push shell (bucket t shell.mem_size);
+  note_size t

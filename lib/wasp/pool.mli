@@ -30,6 +30,12 @@ val create : Kvmsim.Kvm.system -> clean:clean_mode -> t
 
 val stats : t -> stats
 
+val set_telemetry : t -> Telemetry.Hub.t option -> unit
+(** Attach (or detach) a telemetry hub: hits/misses/cleans become
+    [wasp_pool_*] counters and instant events, async cleaning updates the
+    [wasp_pool_background_cycles] gauge, and the cached-shell count is
+    tracked by the [wasp_pool_size] gauge. *)
+
 val acquire : t -> mem_size:int -> mode:Vm.Modes.t -> shell * bool
 (** Returns a clean shell and whether it came from the pool. A fresh
     shell charges the full KVM creation path; a pooled one only resets

@@ -24,6 +24,7 @@ type t = {
   hostenv : Hostenv.t;
   boot_rng : Cycles.Rng.t;
   mutable tracer : Trace.t option;
+  mutable telemetry : Telemetry.Hub.t option;
   reset : reset_mode;
   run_stats : run_stats;
   retained : (string, Pool.shell) Hashtbl.t;
@@ -42,6 +43,7 @@ let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `
     hostenv = Hostenv.create ();
     boot_rng = Cycles.Rng.split (Kvmsim.Kvm.rng sys);
     tracer = None;
+    telemetry = None;
     reset;
     run_stats =
       {
@@ -66,19 +68,56 @@ let drop_snapshot t ~key = Snapshot_store.clear t.snapshot_store ~key
 
 let stats t = t.run_stats
 
+let set_telemetry t hub =
+  t.telemetry <- hub;
+  Pool.set_telemetry t.pool hub;
+  Kvmsim.Kvm.set_telemetry t.sys hub;
+  match t.tracer with Some tr -> Trace.mirror tr hub | None -> ()
+
+let telemetry t = t.telemetry
+
+(* Telemetry shims: all no-ops when no hub is attached. *)
+let tspan t ?args name f =
+  match t.telemetry with None -> f () | Some h -> Telemetry.Hub.with_span h ?args name f
+
+let tincr t ?by name =
+  match t.telemetry with None -> () | Some h -> Telemetry.Hub.incr h ?by name
+
+let tobserve t name v =
+  match t.telemetry with None -> () | Some h -> Telemetry.Hub.observe h name v
+
 let record_result t (outcome_kind : [ `Exited | `Faulted | `Fuel ]) ~hypercalls ~denied
     ~from_snapshot =
   let s = t.run_stats in
   s.invocations <- s.invocations + 1;
+  tincr t "wasp_invocations_total";
   (match outcome_kind with
-  | `Exited -> s.exited <- s.exited + 1
-  | `Faulted -> s.faulted <- s.faulted + 1
-  | `Fuel -> s.fuel_exhausted <- s.fuel_exhausted + 1);
+  | `Exited ->
+      s.exited <- s.exited + 1;
+      tincr t "wasp_exited_total"
+  | `Faulted ->
+      s.faulted <- s.faulted + 1;
+      tincr t "wasp_faulted_total"
+  | `Fuel ->
+      s.fuel_exhausted <- s.fuel_exhausted + 1;
+      tincr t "wasp_fuel_exhausted_total");
   s.hypercalls <- s.hypercalls + hypercalls;
   s.denied <- s.denied + denied;
-  if from_snapshot then s.snapshot_restores <- s.snapshot_restores + 1
+  tincr t ~by:hypercalls "wasp_hypercalls_total";
+  tincr t ~by:denied "wasp_denied_hypercalls_total";
+  if from_snapshot then begin
+    s.snapshot_restores <- s.snapshot_restores + 1;
+    tincr t "wasp_snapshot_restores_total"
+  end
 
-let set_trace t tr = t.tracer <- tr
+let set_trace t tr =
+  (match tr with
+  | Some tr ->
+      Trace.attach_clock tr (clock t);
+      Trace.mirror tr t.telemetry
+  | None -> ());
+  t.tracer <- tr
+
 let trace t = t.tracer
 let emit t e = match t.tracer with Some tr -> Trace.record tr e | None -> ()
 
@@ -115,39 +154,47 @@ let release_shell t shell = if t.pool_enabled then Pool.release t.pool shell
 (* Dispatch one hypercall: policy check, then client override or canned
    handler. Returns the value for r0 and whether execution should stop. *)
 let dispatch t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot nr args =
-  inv.hypercalls <- inv.hypercalls + 1;
-  emit t (Trace.Hypercall { nr; allowed = Policy.allows policy nr });
-  if not (Policy.allows policy nr) then begin
-    inv.denied <- inv.denied + 1;
-    Log.debug (fun m -> m "policy denied hypercall %s" (Hc.name nr));
-    Hc.err_denied
-  end
-  else if nr = Hc.exit_ then begin
-    inv.exit_code <- Some (if Array.length args > 0 then args.(0) else 0L);
-    0L
-  end
-  else if nr = Hc.snapshot then begin
-    if inv.snapshot_taken then Hc.err_inval
-    else begin
-      inv.snapshot_taken <- true;
-      take_snapshot ()
-    end
-  end
-  else begin
-    match handlers nr with
-    | Some h -> h inv args
-    | None -> (
-        match Handlers.canned nr with
+  let allowed = Policy.allows policy nr in
+  tspan t ~args:[ ("nr", Hc.name nr); ("allowed", string_of_bool allowed) ] "hypercall"
+    (fun () ->
+      inv.hypercalls <- inv.hypercalls + 1;
+      emit t (Trace.Hypercall { nr; allowed });
+      if not allowed then begin
+        inv.denied <- inv.denied + 1;
+        Log.debug (fun m -> m "policy denied hypercall %s" (Hc.name nr));
+        Hc.err_denied
+      end
+      else if nr = Hc.exit_ then begin
+        inv.exit_code <- Some (if Array.length args > 0 then args.(0) else 0L);
+        0L
+      end
+      else if nr = Hc.snapshot then begin
+        if inv.snapshot_taken then Hc.err_inval
+        else begin
+          inv.snapshot_taken <- true;
+          take_snapshot ()
+        end
+      end
+      else begin
+        match handlers nr with
         | Some h -> h inv args
-        | None ->
-            Log.debug (fun m -> m "unhandled hypercall %s" (Hc.name nr));
-            Hc.err_inval)
-  end
+        | None -> (
+            match Handlers.canned nr with
+            | Some h -> h inv args
+            | None ->
+                Log.debug (fun m -> m "unhandled hypercall %s" (Hc.name nr));
+                Hc.err_inval)
+      end)
 
 let no_overrides (_ : int) : Inv.handler option = None
 
-let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?input
-    ?(args = []) ?conn ?snapshot_key ?(fuel = 50_000_000) ?inspect () =
+(* The invocation body. Every charged cycle between [start] and the end
+   of the [clean] phase falls inside exactly one phase span (provision,
+   image_load/boot or snapshot_restore, marshal, execute, clean) and the
+   virtual clock only moves when charged, so the depth-1 phase durations
+   tile the invocation: they sum exactly to the reported [cycles]. *)
+let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot_key ~fuel
+    ~inspect =
   let start = Cycles.Clock.now (clock t) in
   (* CoW mode retains one shell per snapshot key across invocations *)
   let retained_shell =
@@ -156,9 +203,10 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
     | (`Cow | `Memcpy), _ -> None
   in
   let shell, from_pool =
-    match retained_shell with
-    | Some s -> (s, true)
-    | None -> acquire_shell t ~mem_size:image.mem_size ~mode:image.mode
+    tspan t "provision" (fun () ->
+        match retained_shell with
+        | Some s -> (s, true)
+        | None -> acquire_shell t ~mem_size:image.mem_size ~mode:image.mode)
   in
   emit t (Trace.Provisioned { from_pool; mem_size = image.mem_size });
   let cpu = Kvmsim.Kvm.vcpu_cpu shell.vcpu in
@@ -172,27 +220,42 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
   let from_snapshot = snapshot_entry <> None in
   (match snapshot_entry with
   | Some entry when retained_shell <> None ->
-      (* SEUSS-style reset: only the dirty pages are rewritten *)
-      let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
-      emit t
-        (Trace.Snapshot_restored { key = Option.value ~default:"?" snapshot_key; bytes });
-      charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
+      tspan t
+        ~args:[ ("key", Option.value ~default:"?" snapshot_key); ("kind", "cow") ]
+        "snapshot_restore"
+        (fun () ->
+          (* SEUSS-style reset: only the dirty pages are rewritten *)
+          let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
+          emit t
+            (Trace.Snapshot_restored
+               { key = Option.value ~default:"?" snapshot_key; bytes });
+          charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes))
   | Some entry ->
-      let copied = Snapshot_store.restore entry ~mem ~cpu in
-      emit t
-        (Trace.Snapshot_restored
-           { key = Option.value ~default:"?" snapshot_key; bytes = copied });
-      charge t (Cycles.Costs.memcpy_cost copied)
+      tspan t
+        ~args:[ ("key", Option.value ~default:"?" snapshot_key); ("kind", "memcpy") ]
+        "snapshot_restore"
+        (fun () ->
+          let copied = Snapshot_store.restore entry ~mem ~cpu in
+          emit t
+            (Trace.Snapshot_restored
+               { key = Option.value ~default:"?" snapshot_key; bytes = copied });
+          charge t (Cycles.Costs.memcpy_cost copied))
   | None ->
-      Vm.Memory.write_bytes mem ~off:image.origin image.code;
-      emit t (Trace.Image_loaded { name = image.name; bytes = Bytes.length image.code });
-      charge t (Cycles.Costs.memcpy_cost (Bytes.length image.code));
-      let _components =
-        Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:image.mode
-      in
-      emit t (Trace.Booted { mode = image.mode });
-      Vm.Cpu.set_pc cpu image.entry;
-      Vm.Cpu.set_sp cpu Layout.stack_top);
+      tspan t ~args:[ ("image", image.name) ] "image_load" (fun () ->
+          Vm.Memory.write_bytes mem ~off:image.origin image.code;
+          emit t (Trace.Image_loaded { name = image.name; bytes = Bytes.length image.code });
+          charge t (Cycles.Costs.memcpy_cost (Bytes.length image.code)));
+      tspan t ~args:[ ("mode", Vm.Modes.to_string image.mode) ] "boot" (fun () ->
+          let boot_start = Cycles.Clock.now (clock t) in
+          let _components =
+            Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:image.mode
+          in
+          tobserve t
+            ("wasp_boot_cycles_" ^ Vm.Modes.to_string image.mode)
+            (Cycles.Clock.elapsed_since (clock t) boot_start);
+          emit t (Trace.Booted { mode = image.mode });
+          Vm.Cpu.set_pc cpu image.entry;
+          Vm.Cpu.set_sp cpu Layout.stack_top));
   (* Marshal arguments at guest address 0 (§6.1: "the argument, n, is
      loaded into the virtine's address space at address 0x0"). *)
   let input_bytes =
@@ -205,26 +268,28 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
         b
     | Some _, _ :: _ -> invalid_arg "Runtime.run: pass either ~input or ~args, not both"
   in
-  if Bytes.length input_bytes > 0 then begin
-    if Bytes.length input_bytes > Layout.arg_area_size then
-      invalid_arg "Runtime.run: input exceeds the argument area";
-    Vm.Memory.write_bytes mem ~off:Layout.arg_area input_bytes;
-    charge t (Cycles.Costs.memcpy_cost (Bytes.length input_bytes))
-  end;
   let inv =
-    Inv.create ~mem ~env:t.hostenv ~clock:(clock t) ~rng:(rng t) ?conn ~input:input_bytes
-      ~heap_brk:(Image.footprint image) ()
+    tspan t "marshal" (fun () ->
+        if Bytes.length input_bytes > 0 then begin
+          if Bytes.length input_bytes > Layout.arg_area_size then
+            invalid_arg "Runtime.run: input exceeds the argument area";
+          Vm.Memory.write_bytes mem ~off:Layout.arg_area input_bytes;
+          charge t (Cycles.Costs.memcpy_cost (Bytes.length input_bytes))
+        end;
+        Inv.create ~mem ~env:t.hostenv ~clock:(clock t) ~rng:(rng t) ?conn
+          ~input:input_bytes ~heap_brk:(Image.footprint image) ())
   in
   let take_snapshot () =
     match snapshot_key with
     | None -> Hc.err_inval
     | Some key ->
-        let footprint =
-          Snapshot_store.capture t.snapshot_store ~key ~mem ~cpu ~native_state:None
-        in
-        emit t (Trace.Snapshot_captured { key; bytes = footprint });
-        charge t (Cycles.Costs.memcpy_cost footprint);
-        0L
+        tspan t ~args:[ ("key", key) ] "snapshot_capture" (fun () ->
+            let footprint =
+              Snapshot_store.capture t.snapshot_store ~key ~mem ~cpu ~native_state:None
+            in
+            emit t (Trace.Snapshot_captured { key; bytes = footprint });
+            charge t (Cycles.Costs.memcpy_cost footprint);
+            0L)
   in
   (* The VM loop: KVM_RUN until the virtine exits, servicing hypercalls. *)
   let retired_at_start = Vm.Cpu.instructions_retired cpu in
@@ -256,16 +321,17 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
       | Kvmsim.Kvm.Out_of_fuel -> Fuel_exhausted
     end
   in
-  let outcome = loop () in
+  let outcome = tspan t "execute" loop in
   (match inspect with Some f -> f mem cpu | None -> ());
   let return_value =
     match outcome with Exited v -> v | Faulted _ | Fuel_exhausted -> Vm.Cpu.get_reg cpu 0
   in
-  (match (t.reset, snapshot_key) with
-  | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
-      (* keep the dirty shell for the next CoW reset; no cleaning *)
-      Hashtbl.replace t.retained key shell
-  | (`Cow | `Memcpy), _ -> release_shell t shell);
+  tspan t "clean" (fun () ->
+      match (t.reset, snapshot_key) with
+      | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
+          (* keep the dirty shell for the next CoW reset; no cleaning *)
+          Hashtbl.replace t.retained key shell
+      | (`Cow | `Memcpy), _ -> release_shell t shell);
   let cycles = Cycles.Clock.elapsed_since (clock t) start in
   emit t
     (Trace.Finished
@@ -273,6 +339,7 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
   record_result t
     (match outcome with Exited _ -> `Exited | Faulted _ -> `Faulted | Fuel_exhausted -> `Fuel)
     ~hypercalls:inv.hypercalls ~denied:inv.denied ~from_snapshot;
+  tobserve t "wasp_invocation_cycles" cycles;
   {
     outcome;
     return_value;
@@ -285,6 +352,13 @@ let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_override
     from_snapshot;
     from_pool;
   }
+
+let run t (image : Image.t) ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?input
+    ?(args = []) ?conn ?snapshot_key ?(fuel = 50_000_000) ?inspect () =
+  let go () = run_inner t image ~policy ~handlers ~input ~args ~conn ~snapshot_key ~fuel ~inspect in
+  match t.telemetry with
+  | None -> go ()
+  | Some h -> Telemetry.Hub.with_span h ~args:[ ("image", image.name) ] "invocation" go
 
 (* ------------------------------------------------------------------ *)
 (* Native payloads                                                     *)
@@ -323,13 +397,14 @@ module Native_ctx = struct
       match c.snapshot_key with
       | None -> Hc.err_inval
       | Some key ->
-          let cpu = Kvmsim.Kvm.vcpu_cpu c.shell.vcpu in
-          let footprint =
-            Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
-              ~native_state:c.snapshot_factory
-          in
-          charge c (Cycles.Costs.memcpy_cost footprint);
-          0L
+          tspan c.runtime ~args:[ ("key", key) ] "snapshot_capture" (fun () ->
+              let cpu = Kvmsim.Kvm.vcpu_cpu c.shell.vcpu in
+              let footprint =
+                Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
+                  ~native_state:c.snapshot_factory
+              in
+              charge c (Cycles.Costs.memcpy_cost footprint);
+              0L)
     in
     let full_args = Array.make 5 0L in
     Array.blit args 0 full_args 0 (min (Array.length args) 5);
@@ -337,9 +412,8 @@ module Native_ctx = struct
       full_args
 end
 
-let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.Long)
-    ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?(input = Bytes.empty) ?conn
-    ?snapshot_key ~body () =
+let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~snapshot_key
+    ~body =
   ignore name;
   let start = Cycles.Clock.now (clock t) in
   let retained_shell =
@@ -348,9 +422,10 @@ let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.L
     | (`Cow | `Memcpy), _ -> None
   in
   let shell, from_pool =
-    match retained_shell with
-    | Some s -> (s, true)
-    | None -> acquire_shell t ~mem_size ~mode
+    tspan t "provision" (fun () ->
+        match retained_shell with
+        | Some s -> (s, true)
+        | None -> acquire_shell t ~mem_size ~mode)
   in
   let cpu = Kvmsim.Kvm.vcpu_cpu shell.vcpu in
   let mem = shell.mem in
@@ -363,19 +438,31 @@ let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.L
   let restored =
     match snapshot_entry with
     | Some entry ->
-        (match retained_shell with
-        | Some _ ->
-            let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
-            charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
-        | None ->
-            let copied = Snapshot_store.restore entry ~mem ~cpu in
-            charge t (Cycles.Costs.memcpy_cost copied));
-        (match entry.Snapshot_store.native_state with Some f -> Some (f ()) | None -> None)
+        tspan t
+          ~args:[ ("key", Option.value ~default:"?" snapshot_key) ]
+          "snapshot_restore"
+          (fun () ->
+            (match retained_shell with
+            | Some _ ->
+                let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
+                charge t
+                  ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
+            | None ->
+                let copied = Snapshot_store.restore entry ~mem ~cpu in
+                charge t (Cycles.Costs.memcpy_cost copied));
+            match entry.Snapshot_store.native_state with
+            | Some f -> Some (f ())
+            | None -> None)
     | None ->
-        let _components =
-          Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:mode
-        in
-        None
+        tspan t ~args:[ ("mode", Vm.Modes.to_string mode) ] "boot" (fun () ->
+            let boot_start = Cycles.Clock.now (clock t) in
+            let _components =
+              Vm.Boot.perform ~mem ~clock:(clock t) ~rng:t.boot_rng ~target:mode
+            in
+            tobserve t
+              ("wasp_boot_cycles_" ^ Vm.Modes.to_string mode)
+              (Cycles.Clock.elapsed_since (clock t) boot_start);
+            None)
   in
   let inv =
     Inv.create ~mem ~env:t.hostenv ~clock:(clock t) ~rng:(rng t) ?conn ~input
@@ -398,29 +485,44 @@ let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.L
   | Some entry -> inv.Inv.heap_brk <- max inv.Inv.heap_brk entry.Snapshot_store.footprint
   | None -> ());
   let outcome =
-    match body ctx ~restored with
-    | rv -> (
-        match inv.Inv.exit_code with Some code -> Exited code | None -> Exited rv)
-    | exception Vm.Memory.Fault { addr; size } ->
-        Faulted (Vm.Cpu.Memory_oob { addr; size })
+    tspan t "execute" (fun () ->
+        match body ctx ~restored with
+        | rv -> (
+            match inv.Inv.exit_code with Some code -> Exited code | None -> Exited rv)
+        | exception Vm.Memory.Fault { addr; size } ->
+            Faulted (Vm.Cpu.Memory_oob { addr; size }))
   in
-  (match (t.reset, snapshot_key) with
-  | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
-      Hashtbl.replace t.retained key shell
-  | (`Cow | `Memcpy), _ -> release_shell t shell);
+  tspan t "clean" (fun () ->
+      match (t.reset, snapshot_key) with
+      | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
+          Hashtbl.replace t.retained key shell
+      | (`Cow | `Memcpy), _ -> release_shell t shell);
   let return_value = match outcome with Exited v -> v | _ -> 0L in
   record_result t
     (match outcome with Exited _ -> `Exited | Faulted _ -> `Faulted | Fuel_exhausted -> `Fuel)
     ~hypercalls:inv.Inv.hypercalls ~denied:inv.Inv.denied ~from_snapshot;
+  let cycles = Cycles.Clock.elapsed_since (clock t) start in
+  tobserve t "wasp_invocation_cycles" cycles;
   {
     outcome;
     return_value;
     output = inv.Inv.output;
     console = Buffer.contents inv.Inv.console;
-    cycles = Cycles.Clock.elapsed_since (clock t) start;
+    cycles;
     hypercalls = inv.Inv.hypercalls;
     denied = inv.Inv.denied;
     pointer_violations = inv.Inv.pointer_violations;
     from_snapshot;
     from_pool;
   }
+
+let run_native t ~name ?(mem_size = Layout.default_mem_size) ?(mode = Vm.Modes.Long)
+    ?(policy = Policy.deny_all) ?(handlers = no_overrides) ?(input = Bytes.empty) ?conn
+    ?snapshot_key ~body () =
+  let go () =
+    run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~snapshot_key
+      ~body
+  in
+  match t.telemetry with
+  | None -> go ()
+  | Some h -> Telemetry.Hub.with_span h ~args:[ ("payload", name) ] "invocation" go

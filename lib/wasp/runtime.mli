@@ -57,9 +57,24 @@ val stats : t -> run_stats
 
 val set_trace : t -> Trace.t option -> unit
 (** Attach (or detach) an event trace; subsequent invocations record
-    provisioning, loads/restores, hypercalls and exits into it. *)
+    provisioning, loads/restores, hypercalls and exits into it. The trace
+    is stamped from this runtime's clock, and mirrors its events into the
+    attached telemetry hub, if any. *)
 
 val trace : t -> Trace.t option
+
+val set_telemetry : t -> Telemetry.Hub.t option -> unit
+(** Attach (or detach) a telemetry hub — it must have been created with
+    this runtime's {!clock}. Once attached, every invocation opens a root
+    [invocation] span tiled by phase spans ([provision],
+    [image_load]/[boot] or [snapshot_restore], [marshal], [execute] with
+    nested [hypercall]/[snapshot_capture] spans, [clean]) whose depth-1
+    durations sum exactly to the invocation's reported [cycles]; the
+    pool, the KVM layer and an attached trace feed the same hub; and the
+    [wasp_*] metrics (invocation counters, boot/invocation cycle
+    histograms, pool gauges) are kept up to date. *)
+
+val telemetry : t -> Telemetry.Hub.t option
 
 (** {1 Invocation} *)
 

@@ -23,12 +23,51 @@ let pp_event ppf = function
   | Finished { exited; cycles } ->
       Format.fprintf ppf "finished (%s, %Ld cycles)" (if exited then "exit" else "abnormal") cycles
 
-type t = { mutable items : event list; mutable n : int; capacity : int }
+let event_name = function
+  | Provisioned _ -> "trace.provisioned"
+  | Image_loaded _ -> "trace.image_loaded"
+  | Snapshot_restored _ -> "trace.snapshot_restored"
+  | Snapshot_captured _ -> "trace.snapshot_captured"
+  | Booted _ -> "trace.booted"
+  | Hypercall _ -> "trace.hypercall"
+  | Finished _ -> "trace.finished"
 
-let create ?(capacity = 4096) () = { items = []; n = 0; capacity }
+let event_args = function
+  | Provisioned { from_pool; mem_size } ->
+      [ ("from_pool", string_of_bool from_pool); ("mem_size", string_of_int mem_size) ]
+  | Image_loaded { name; bytes } -> [ ("image", name); ("bytes", string_of_int bytes) ]
+  | Snapshot_restored { key; bytes } -> [ ("key", key); ("bytes", string_of_int bytes) ]
+  | Snapshot_captured { key; bytes } -> [ ("key", key); ("bytes", string_of_int bytes) ]
+  | Booted { mode } -> [ ("mode", Vm.Modes.to_string mode) ]
+  | Hypercall { nr; allowed } ->
+      [ ("nr", Hc.name nr); ("allowed", string_of_bool allowed) ]
+  | Finished { exited; cycles } ->
+      [ ("exited", string_of_bool exited); ("cycles", Int64.to_string cycles) ]
+
+(* The ring buffer stores events with the clock value at [record] time
+   (None when no clock is attached), and is a thin adapter over an
+   optional telemetry hub: every recorded event is also mirrored into the
+   hub's span sink as an instant event. *)
+type t = {
+  mutable items : (int64 option * event) list;
+  mutable n : int;
+  capacity : int;
+  mutable clock : Cycles.Clock.t option;
+  mutable sink : Telemetry.Hub.t option;
+}
+
+let create ?(capacity = 4096) ?clock () =
+  { items = []; n = 0; capacity; clock; sink = None }
+
+let attach_clock t clock = t.clock <- Some clock
+let mirror t hub = t.sink <- hub
 
 let record t e =
-  t.items <- e :: t.items;
+  (match t.sink with
+  | Some hub -> Telemetry.Hub.instant hub ~args:(event_args e) (event_name e)
+  | None -> ());
+  let stamp = Option.map Cycles.Clock.now t.clock in
+  t.items <- (stamp, e) :: t.items;
   t.n <- t.n + 1;
   if t.n > 2 * t.capacity then begin
     (* amortized trim: keep the newest [capacity] *)
@@ -36,7 +75,9 @@ let record t e =
     t.n <- t.capacity
   end
 
-let events t = List.rev (List.filteri (fun i _ -> i < t.capacity) t.items)
+let stamped t = List.rev (List.filteri (fun i _ -> i < t.capacity) t.items)
+
+let events t = List.map snd (stamped t)
 
 let clear t =
   t.items <- [];

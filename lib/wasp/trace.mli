@@ -16,14 +16,33 @@ type event =
 
 val pp_event : Format.formatter -> event -> unit
 
+val event_name : event -> string
+(** Short dotted tag, e.g. ["trace.booted"] — the name mirrored events
+    carry in a telemetry sink. *)
+
 type t
 
-val create : ?capacity:int -> unit -> t
-(** Ring buffer of the most recent [capacity] (default 4096) events. *)
+val create : ?capacity:int -> ?clock:Cycles.Clock.t -> unit -> t
+(** Ring buffer of the most recent [capacity] (default 4096) events.
+    When a [clock] is attached (directly here, or automatically by
+    [Runtime.set_trace]), each event is stamped with [Clock.now] at
+    {!record} time. *)
+
+val attach_clock : t -> Cycles.Clock.t -> unit
+(** Stamp subsequent events from this clock. *)
+
+val mirror : t -> Telemetry.Hub.t option -> unit
+(** Mirror every subsequently recorded event into the hub's span sink as
+    an instant event (named by {!event_name}, with the event's fields as
+    args). Pass [None] to stop mirroring. *)
 
 val record : t -> event -> unit
 val events : t -> event list
 (** Oldest first. *)
+
+val stamped : t -> (int64 option * event) list
+(** Oldest first, with the cycle stamp taken at {!record} time ([None]
+    for events recorded without an attached clock). *)
 
 val clear : t -> unit
 

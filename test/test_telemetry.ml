@@ -1,0 +1,336 @@
+(* Telemetry subsystem tests: span/cycle attribution invariants,
+   histogram percentile math, exporter well-formedness, determinism.
+
+   The load-bearing invariant is phase tiling: the virtual clock only
+   advances on explicit charges, and every charge in Runtime.run happens
+   lexically inside a phase span, so the depth-1 phase spans of an
+   invocation sum exactly to its end-to-end cycle count. *)
+
+let demo_src = "mov r0, 0\nmov r1, 7\nout 1, r0\nhlt"
+
+let demo_image () = Wasp.Image.of_asm_string ~name:"telemetry-demo" demo_src
+
+let instrumented_run ?(seed = 0xACE) () =
+  let w = Wasp.Runtime.create ~seed () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  let r = Wasp.Runtime.run w (demo_image ()) ~policy:Wasp.Policy.allow_all () in
+  (w, hub, r)
+
+let exited r =
+  match r.Wasp.Runtime.outcome with
+  | Wasp.Runtime.Exited _ -> true
+  | _ -> false
+
+(* --- span attribution ------------------------------------------------- *)
+
+let test_root_span_equals_cycles () =
+  let _, hub, r = instrumented_run () in
+  Alcotest.(check bool) "run exited" true (exited r);
+  let root =
+    List.find
+      (fun (s : Telemetry.Span.span) -> s.name = "invocation" && s.depth = 0)
+      (Telemetry.Span.spans (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check int64) "root span duration = invocation cycles" r.Wasp.Runtime.cycles
+    root.Telemetry.Span.duration
+
+let test_phase_spans_tile_invocation () =
+  let _, hub, r = instrumented_run () in
+  let spans = Telemetry.Span.spans (Telemetry.Hub.spans hub) in
+  let phase_sum =
+    List.fold_left
+      (fun acc (s : Telemetry.Span.span) ->
+        if s.depth = 1 then Int64.add acc s.duration else acc)
+      0L spans
+  in
+  Alcotest.(check int64) "depth-1 phase spans sum to end-to-end cycles"
+    r.Wasp.Runtime.cycles phase_sum;
+  let names = List.map (fun (s : Telemetry.Span.span) -> s.name) spans in
+  List.iter
+    (fun phase ->
+      Alcotest.(check bool) (phase ^ " span present") true (List.mem phase names))
+    [ "invocation"; "provision"; "image_load"; "boot"; "marshal"; "execute"; "clean" ]
+
+let test_snapshot_spans () =
+  let w = Wasp.Runtime.create ~seed:0xACE () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  (* the guest must issue the snapshot hypercall for a capture to happen *)
+  let img =
+    Wasp.Image.of_asm_string ~name:"telemetry-snap"
+      "mov r0, 6\nout 1, r0\nmov r1, 7\nmov r0, 0\nout 1, r0\nhlt"
+  in
+  let run () =
+    Wasp.Runtime.run w img ~policy:Wasp.Policy.allow_all ~snapshot_key:"tele-snap" ()
+  in
+  let r1 = run () in
+  let r2 = run () in
+  Alcotest.(check bool) "first run not from snapshot" false r1.Wasp.Runtime.from_snapshot;
+  Alcotest.(check bool) "second run from snapshot" true r2.Wasp.Runtime.from_snapshot;
+  let names =
+    List.map
+      (fun (s : Telemetry.Span.span) -> s.name)
+      (Telemetry.Span.spans (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check bool) "snapshot_capture span" true (List.mem "snapshot_capture" names);
+  Alcotest.(check bool) "snapshot_restore span" true (List.mem "snapshot_restore" names);
+  (* tiling holds per invocation even with snapshot phases in play *)
+  let roots =
+    List.filter
+      (fun (s : Telemetry.Span.span) -> s.depth = 0 && s.name = "invocation")
+      (Telemetry.Span.spans (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check int) "one root span per invocation" 2 (List.length roots)
+
+let test_with_span_exception_safe () =
+  let clk = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~clock:clk () in
+  (try
+     Telemetry.Hub.with_span hub "boom" (fun () ->
+         Cycles.Clock.advance clk 10L;
+         failwith "inner")
+   with Failure _ -> ());
+  Alcotest.(check int) "span closed on raise" 0
+    (Telemetry.Span.depth (Telemetry.Hub.spans hub));
+  match Telemetry.Span.spans (Telemetry.Hub.spans hub) with
+  | [ s ] ->
+      Alcotest.(check string) "name" "boom" s.Telemetry.Span.name;
+      Alcotest.(check int64) "duration charged" 10L s.Telemetry.Span.duration
+  | l -> Alcotest.failf "expected 1 span, got %d" (List.length l)
+
+let test_sink_capacity_drops () =
+  let clk = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~capacity:4 ~clock:clk () in
+  for i = 1 to 10 do
+    Telemetry.Hub.instant hub (Printf.sprintf "e%d" i)
+  done;
+  let sink = Telemetry.Hub.spans hub in
+  Alcotest.(check int) "retained = capacity" 4 (Telemetry.Span.count sink);
+  Alcotest.(check int) "dropped the rest" 6 (Telemetry.Span.dropped sink)
+
+(* --- histogram math --------------------------------------------------- *)
+
+let test_histogram_percentiles () =
+  let reg = Telemetry.Metrics.create () in
+  let h = Telemetry.Metrics.histogram reg "t" in
+  List.iter (fun v -> Telemetry.Metrics.observe h v) [ 1L; 4L; 16L ];
+  Alcotest.(check (float 1e-9)) "p0 clamps to min" 1.0 (Telemetry.Metrics.percentile h 0.0);
+  Alcotest.(check (float 1e-9)) "p100 clamps to max" 16.0
+    (Telemetry.Metrics.percentile h 100.0);
+  (* p50 target is sample 1.5 of 3: halfway through the second sample's
+     bucket [4,8) -> interpolated 6.0 *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates in crossing bucket" 6.0
+    (Telemetry.Metrics.percentile h 50.0)
+
+let test_histogram_constant_exact () =
+  let reg = Telemetry.Metrics.create () in
+  let h = Telemetry.Metrics.histogram reg "t" in
+  for _ = 1 to 100 do
+    Telemetry.Metrics.observe h 10L
+  done;
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "p%g of constant input" p)
+        10.0
+        (Telemetry.Metrics.percentile h p))
+    [ 1.0; 50.0; 90.0; 99.0 ]
+
+let test_bucket_index () =
+  let idx = Telemetry.Metrics.bucket_index in
+  Alcotest.(check int) "0 -> bucket 0" 0 (idx 0L);
+  Alcotest.(check int) "1 -> bucket 1" 1 (idx 1L);
+  Alcotest.(check int) "2 -> bucket 2" 2 (idx 2L);
+  Alcotest.(check int) "3 -> bucket 2" 2 (idx 3L);
+  Alcotest.(check int) "4 -> bucket 3" 3 (idx 4L);
+  Alcotest.(check int) "1023 -> bucket 10" 10 (idx 1023L);
+  Alcotest.(check int) "1024 -> bucket 11" 11 (idx 1024L);
+  Alcotest.(check bool) "huge value stays in range" true (idx Int64.max_int < 63);
+  (* bounds are consistent with the index *)
+  List.iter
+    (fun v ->
+      let i = idx v in
+      let lo, hi = Telemetry.Metrics.bucket_bounds i in
+      Alcotest.(check bool)
+        (Printf.sprintf "%Ld within its bucket bounds" v)
+        true
+        (lo <= v && v < hi))
+    [ 0L; 1L; 2L; 7L; 8L; 1000L; 123456L ]
+
+let test_registry_kind_mismatch () =
+  let reg = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.counter reg "m");
+  Alcotest.check_raises "counter reused as gauge"
+    (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
+      ignore (Telemetry.Metrics.gauge reg "m"))
+
+(* --- exporters -------------------------------------------------------- *)
+
+let test_chrome_json_parses () =
+  let _, hub, _ = instrumented_run () in
+  let json = Telemetry.Chrome.to_json hub in
+  match Vjs.Json.parse json with
+  | Vjs.Jsvalue.Obj tbl -> (
+      match Hashtbl.find_opt tbl "traceEvents" with
+      | Some (Vjs.Jsvalue.Arr v) ->
+          let events = Vjs.Jsvalue.vec_to_list v in
+          Alcotest.(check bool) "non-empty traceEvents" true (events <> []);
+          let has_phase ph =
+            List.exists
+              (function
+                | Vjs.Jsvalue.Obj o -> (
+                    match Hashtbl.find_opt o "ph" with
+                    | Some (Vjs.Jsvalue.Str s) -> s = ph
+                    | _ -> false)
+                | _ -> false)
+              events
+          in
+          Alcotest.(check bool) "has complete events" true (has_phase "X");
+          Alcotest.(check bool) "has metadata event" true (has_phase "M")
+      | _ -> Alcotest.fail "no traceEvents array")
+  | _ -> Alcotest.fail "chrome export is not a JSON object"
+
+let test_chrome_json_deterministic () =
+  let _, hub1, _ = instrumented_run ~seed:0xACE () in
+  let _, hub2, _ = instrumented_run ~seed:0xACE () in
+  Alcotest.(check string) "same seed => byte-identical trace JSON"
+    (Telemetry.Chrome.to_json hub1) (Telemetry.Chrome.to_json hub2);
+  let _, hub3, _ = instrumented_run ~seed:0xBEEF () in
+  Alcotest.(check bool) "different seed => different trace" true
+    (Telemetry.Chrome.to_json hub1 <> Telemetry.Chrome.to_json hub3)
+
+let test_prometheus_text () =
+  let _, hub, r = instrumented_run () in
+  let text = Telemetry.Prometheus.to_text (Telemetry.Hub.metrics hub) in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "invocations counter" true (contains "wasp_invocations_total 1");
+  Alcotest.(check bool) "histogram count line" true (contains "wasp_invocation_cycles_count 1");
+  Alcotest.(check bool) "histogram sum line" true
+    (contains (Printf.sprintf "wasp_invocation_cycles_sum %Ld" r.Wasp.Runtime.cycles));
+  Alcotest.(check bool) "+Inf bucket" true (contains {|_bucket{le="+Inf"} 1|})
+
+let test_summary_renders () =
+  let _, hub, _ = instrumented_run () in
+  let s = Telemetry.Summary.render hub in
+  List.iter
+    (fun needle ->
+      let n = String.length needle and m = String.length s in
+      let rec go i = i + n <= m && (String.sub s i n = needle || go (i + 1)) in
+      Alcotest.(check bool) ("summary mentions " ^ needle) true (go 0))
+    [ "invocation"; "provision"; "boot"; "execute"; "clean"; "% wall" ]
+
+let test_percentile_table_renders () =
+  let out =
+    Stats.Report.percentile_table ~unit_label:"us"
+      [ ("arm", [| 1.0; 2.0; 3.0; 4.0 |]); ("empty", [||]) ]
+  in
+  let contains sub =
+    let n = String.length sub and m = String.length out in
+    let rec go i = i + n <= m && (String.sub out i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "p50 header" true (contains "p50 (us)");
+  Alcotest.(check bool) "empty row dashes" true (contains "-")
+
+(* --- trace adapter (satellite 1) -------------------------------------- *)
+
+let test_trace_stamps_and_mirror () =
+  let w = Wasp.Runtime.create ~seed:0xACE () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  let tr = Wasp.Trace.create () in
+  Wasp.Runtime.set_trace w (Some tr);
+  ignore (Wasp.Runtime.run w (demo_image ()) ~policy:Wasp.Policy.allow_all ());
+  let stamped = Wasp.Trace.stamped tr in
+  Alcotest.(check bool) "trace recorded events" true (stamped <> []);
+  let stamps = List.map fst stamped in
+  Alcotest.(check bool) "all events cycle-stamped" true
+    (List.for_all Option.is_some stamps);
+  let rec monotone = function
+    | Some a :: (Some b :: _ as rest) -> a <= b && monotone rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "stamps are monotone" true (monotone stamps);
+  (* .mli-compatible view still works *)
+  Alcotest.(check int) "events = stamped length" (List.length stamped)
+    (List.length (Wasp.Trace.events tr));
+  (* mirrored instants land in the sink with trace.* names *)
+  let instants =
+    List.filter_map
+      (function
+        | Telemetry.Span.Instant { i_name; _ } -> Some i_name
+        | Telemetry.Span.Complete _ -> None)
+      (Telemetry.Span.items (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check bool) "trace.image_loaded mirrored" true
+    (List.mem "trace.image_loaded" instants);
+  Alcotest.(check bool) "trace.finished mirrored" true
+    (List.mem "trace.finished" instants)
+
+(* --- pool + kvm metrics ----------------------------------------------- *)
+
+let test_pool_and_kvm_metrics () =
+  let w = Wasp.Runtime.create ~seed:0xACE () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  let img = demo_image () in
+  ignore (Wasp.Runtime.run w img ~policy:Wasp.Policy.allow_all ());
+  ignore (Wasp.Runtime.run w img ~policy:Wasp.Policy.allow_all ());
+  let reg = Telemetry.Hub.metrics hub in
+  let counter_value name =
+    match Telemetry.Metrics.find reg name with
+    | Some (Telemetry.Metrics.Counter c) -> c.Telemetry.Metrics.c_value
+    | _ -> Alcotest.failf "missing counter %s" name
+  in
+  Alcotest.(check int) "one pool miss (cold)" 1 (counter_value "wasp_pool_misses_total");
+  Alcotest.(check int) "one pool hit (warm)" 1 (counter_value "wasp_pool_hits_total");
+  Alcotest.(check int) "one VM created" 1 (counter_value "kvm_vm_creations_total");
+  Alcotest.(check int) "two invocations" 2 (counter_value "wasp_invocations_total");
+  Alcotest.(check bool) "vcpu_run spans recorded" true
+    (List.exists
+       (fun (s : Telemetry.Span.span) -> s.name = "vcpu_run")
+       (Telemetry.Span.spans (Telemetry.Hub.spans hub)))
+
+let () =
+  Alcotest.run "telemetry"
+    [
+      ( "spans",
+        [
+          Alcotest.test_case "root span = invocation cycles" `Quick
+            test_root_span_equals_cycles;
+          Alcotest.test_case "phase spans tile the invocation" `Quick
+            test_phase_spans_tile_invocation;
+          Alcotest.test_case "snapshot capture/restore spans" `Quick test_snapshot_spans;
+          Alcotest.test_case "with_span is exception-safe" `Quick
+            test_with_span_exception_safe;
+          Alcotest.test_case "sink capacity drops excess" `Quick test_sink_capacity_drops;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "percentile interpolation" `Quick test_histogram_percentiles;
+          Alcotest.test_case "constant input is exact" `Quick test_histogram_constant_exact;
+          Alcotest.test_case "log2 bucket index" `Quick test_bucket_index;
+          Alcotest.test_case "kind mismatch rejected" `Quick test_registry_kind_mismatch;
+        ] );
+      ( "exporters",
+        [
+          Alcotest.test_case "chrome JSON parses" `Quick test_chrome_json_parses;
+          Alcotest.test_case "chrome JSON deterministic per seed" `Quick
+            test_chrome_json_deterministic;
+          Alcotest.test_case "prometheus text" `Quick test_prometheus_text;
+          Alcotest.test_case "summary renders phases" `Quick test_summary_renders;
+          Alcotest.test_case "percentile table renders" `Quick
+            test_percentile_table_renders;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "trace stamps + telemetry mirror" `Quick
+            test_trace_stamps_and_mirror;
+          Alcotest.test_case "pool and kvm metrics" `Quick test_pool_and_kvm_metrics;
+        ] );
+    ]
