@@ -1,16 +1,18 @@
 # Convenience entry points; everything below is plain dune.
 
 TRACE := /tmp/wasp-trace.json
+SCHED_TRACE := /tmp/wasp-sched-trace.json
 
-.PHONY: all check test bench trace-smoke clean
+.PHONY: all check test bench trace-smoke sched-smoke clean
 
 all:
 	dune build
 
-# tier-1 gate: full build + every test suite
+# tier-1 gate: full build + every test suite + scheduler smoke
 check:
 	dune build
 	dune runtest
+	$(MAKE) sched-smoke
 
 test: check
 
@@ -22,6 +24,12 @@ bench:
 trace-smoke:
 	dune exec bin/wasprun.exe -- --example --trace-json $(TRACE) --metrics
 	dune exec bin/wasprun.exe -- --check-trace $(TRACE)
+
+# multi-core scheduler smoke: run the fig12 core-scaling sweep on 4
+# simulated cores with telemetry, dump the Chrome trace, validate it
+sched-smoke:
+	dune exec bench/main.exe -- fig12 --cores 4 --telemetry --trace-json $(SCHED_TRACE) > /dev/null
+	dune exec bin/wasprun.exe -- --check-trace $(SCHED_TRACE)
 
 clean:
 	dune clean

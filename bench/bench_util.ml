@@ -27,13 +27,37 @@ let header name paper_ref =
 
 let telemetry_enabled = ref false
 
+(* Multi-core axis: `--cores N` enables the core-scaling sections of
+   fig12/fig13 (sweeping 1..N simulated cores). *)
+let cores = ref 1
+
+(* `--trace-json FILE` dumps the last attached hub's spans as a Chrome
+   trace after the run (consumed by `wasprun --check-trace` in CI). *)
+let trace_json : string option ref = ref None
+
+let last_hub : Telemetry.Hub.t option ref = ref None
+
 let attach_telemetry w =
   if not !telemetry_enabled then None
   else begin
     let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
     Wasp.Runtime.set_telemetry w (Some hub);
+    last_hub := Some hub;
     Some hub
   end
+
+let dump_trace () =
+  match !trace_json with
+  | None -> ()
+  | Some path -> (
+      match !last_hub with
+      | None ->
+          Printf.eprintf "--trace-json: no telemetry hub was attached (pass --telemetry)\n"
+      | Some hub ->
+          let oc = open_out_bin path in
+          output_string oc (Telemetry.Chrome.to_json hub);
+          close_out oc;
+          Printf.printf "wrote Chrome trace to %s\n%!" path)
 
 let report_telemetry ?(label = "telemetry") hub =
   match hub with

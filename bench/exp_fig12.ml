@@ -11,6 +11,7 @@ let run () =
   Bench_util.header "Figure 12: image size vs start-up latency" "Figure 12, Section 6.2 (E6/C6)";
   let base = Wasp.Image.of_asm_string ~name:"hlt12" ~mode:Vm.Modes.Real "hlt" in
   let w = Wasp.Runtime.create ~seed:0xF1612 ~clean:`Async () in
+  let hub = Bench_util.attach_telemetry w in
   let rows =
     List.map
       (fun size ->
@@ -38,4 +39,14 @@ let run () =
        ~header:[ "image size"; "start-up (cycles)"; "start-up (ms)"; "implied copy GB/s" ]
        rows);
   Bench_util.note "paper: 16 MB image -> 2.3 ms, ~6.8 GB/s (memcpy bandwidth of tinker)";
-  Bench_util.note "the knee where copying dominates fixed costs falls at ~1-2 MB (C6)"
+  Bench_util.note "the knee where copying dominates fixed costs falls at ~1-2 MB (C6)";
+  Bench_util.report_telemetry ~label:"fig12" hub;
+  if !Bench_util.cores > 1 then begin
+    Bench_util.print_blank ();
+    Bench_util.note "core scaling (1 MB image start-up under bursty closed-loop load):";
+    let mk_request w =
+      let img = Wasp.Image.pad_to base (1024 * 1024) in
+      fun () -> ignore (Wasp.Runtime.run w img ())
+    in
+    Core_scaling.sweep ~seed:0xF1612 ~mk_request ()
+  end

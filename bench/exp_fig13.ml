@@ -122,4 +122,16 @@ let run () =
           results));
   Bench_util.note "each virtine request = 7 hypercalls: read, stat, open, read, write, close, exit";
   Bench_util.note
-    "paper: snapshotted virtines lose ~12%% throughput (C7: <20%%); plain virtines lose more"
+    "paper: snapshotted virtines lose ~12%% throughput (C7: <20%%); plain virtines lose more";
+  if !Bench_util.cores > 1 then begin
+    Bench_util.print_blank ();
+    Bench_util.note "core scaling (virtine HTTP requests under bursty closed-loop load):";
+    let mk_request w =
+      let path = Vhttp.Fileserver.add_default_files (Wasp.Runtime.env w) in
+      let compiled = Vhttp.Fileserver.compile ~snapshot:false in
+      fun () ->
+        let served = Vhttp.Fileserver.serve_virtine w compiled ~path in
+        assert (served.Vhttp.Fileserver.status = 200)
+    in
+    Core_scaling.sweep ~seed:0xF1613 ~mk_request ()
+  end

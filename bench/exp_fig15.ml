@@ -43,15 +43,16 @@ let run () =
     Serverless.Loadgen.run ~workers:8 ~service:ow_service
       ~profile:Serverless.Loadgen.bursty_profile ()
   in
+  let ms = function None -> "-" | Some v -> Printf.sprintf "%.1f" v in
   let rows =
     List.map2
       (fun (v : Serverless.Loadgen.bucket) (o : Serverless.Loadgen.bucket) ->
         [
           Printf.sprintf "%.0f" v.Serverless.Loadgen.t_s;
           Printf.sprintf "%.0f" v.Serverless.Loadgen.rps;
-          Printf.sprintf "%.1f" v.Serverless.Loadgen.mean_ms;
+          ms v.Serverless.Loadgen.mean_ms;
           Printf.sprintf "%.0f" o.Serverless.Loadgen.rps;
-          Printf.sprintf "%.1f" o.Serverless.Loadgen.mean_ms;
+          ms o.Serverless.Loadgen.mean_ms;
         ])
       vespid_buckets ow_buckets
   in
@@ -61,12 +62,7 @@ let run () =
        rows);
   let total b = List.fold_left (fun a x -> a + x.Serverless.Loadgen.completed) 0 b in
   let mean_lat b =
-    let vals =
-      List.filter_map
-        (fun x ->
-          if x.Serverless.Loadgen.completed > 0 then Some x.Serverless.Loadgen.mean_ms else None)
-        b
-    in
+    let vals = List.filter_map (fun x -> x.Serverless.Loadgen.mean_ms) b in
     if vals = [] then 0.0 else Stats.Descriptive.mean (Array.of_list vals)
   in
   Bench_util.note "Vespid: %d requests, mean %.1f ms; OpenWhisk: %d requests, mean %.1f ms"

@@ -31,15 +31,38 @@ let list_experiments () =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
-  let telemetry, args = List.partition (fun a -> a = "--telemetry") args in
-  if telemetry <> [] then Bench_util.telemetry_enabled := true;
-  match args with
+  let rec parse acc = function
+    | [] -> List.rev acc
+    | "--telemetry" :: rest ->
+        Bench_util.telemetry_enabled := true;
+        parse acc rest
+    | "--cores" :: n :: rest when int_of_string_opt n <> None ->
+        let n = Option.get (int_of_string_opt n) in
+        if n < 1 then begin
+          Printf.eprintf "--cores must be >= 1\n";
+          exit 1
+        end;
+        Bench_util.cores := n;
+        parse acc rest
+    | [ "--cores" ] | "--cores" :: _ ->
+        Printf.eprintf "--cores needs an integer argument\n";
+        exit 1
+    | "--trace-json" :: path :: rest ->
+        Bench_util.trace_json := Some path;
+        parse acc rest
+    | [ "--trace-json" ] ->
+        Printf.eprintf "--trace-json needs a file argument\n";
+        exit 1
+    | a :: rest -> parse (a :: acc) rest
+  in
+  match parse [] args with
   | [ "--list" ] -> list_experiments ()
   | [] ->
       print_endline "Virtines reproduction: full evaluation";
       print_endline "(all cycle figures are simulated on the paper's tinker calibration,";
       print_endline " AMD EPYC 7281 @ 2.69 GHz; see DESIGN.md and EXPERIMENTS.md)";
-      List.iter (fun (_, _, run) -> run ()) experiments
+      List.iter (fun (_, _, run) -> run ()) experiments;
+      Bench_util.dump_trace ()
   | names ->
       List.iter
         (fun name ->
@@ -49,4 +72,5 @@ let () =
               Printf.eprintf "unknown experiment %S\n" name;
               list_experiments ();
               exit 1)
-        names
+        names;
+      Bench_util.dump_trace ()

@@ -1,5 +1,6 @@
 type system = {
-  clock : Cycles.Clock.t;
+  clocks : Cycles.Clock.t array;  (* one virtual clock per simulated core *)
+  mutable cur : int;              (* core charged by subsequent operations *)
   rng : Cycles.Rng.t;
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
@@ -24,15 +25,31 @@ type run_exit =
   | Fault of Vm.Cpu.fault
   | Out_of_fuel
 
-let open_dev ?(seed = 0x5eed) ?freq_ghz () =
+let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
+  if cores < 1 then invalid_arg "Kvm.open_dev: cores must be >= 1";
   {
-    clock = Cycles.Clock.create ?freq_ghz ();
+    clocks = Array.init cores (fun _ -> Cycles.Clock.create ?freq_ghz ());
+    cur = 0;
     rng = Cycles.Rng.create ~seed;
     stats = { vm_creations = 0; vcpu_creations = 0; runs = 0; io_exits = 0; fault_exits = 0 };
     telemetry = None;
   }
 
-let clock sys = sys.clock
+let clock sys = sys.clocks.(sys.cur)
+let cores sys = Array.length sys.clocks
+let current_core sys = sys.cur
+
+let core_clock sys core =
+  if core < 0 || core >= Array.length sys.clocks then invalid_arg "Kvm.core_clock: no such core";
+  sys.clocks.(core)
+
+let set_core sys core =
+  if core < 0 || core >= Array.length sys.clocks then invalid_arg "Kvm.set_core: no such core";
+  sys.cur <- core;
+  match sys.telemetry with
+  | Some h -> Telemetry.Hub.set_clock h sys.clocks.(core)
+  | None -> ()
+
 let rng sys = sys.rng
 let stats sys = sys.stats
 
@@ -44,7 +61,7 @@ let kspan sys name f =
 let kincr sys name =
   match sys.telemetry with None -> () | Some h -> Telemetry.Hub.incr h name
 
-let charge sys cycles = Cycles.Clock.advance_int sys.clock (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
+let charge sys cycles = Cycles.Clock.advance_int (clock sys) (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
 
 let create_vm sys =
   kincr sys "kvm_vm_creations_total";
@@ -73,7 +90,10 @@ let create_vcpu vm ~mode =
   kspan vm.sys "kvm_create_vcpu" (fun () ->
       charge vm.sys Cycles.Costs.kvm_create_vcpu;
       vm.sys.stats.vcpu_creations <- vm.sys.stats.vcpu_creations + 1;
-      let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:vm.sys.clock in
+      (* the vCPU charges the clock of the core that created it: shells
+         stay in their owning core's pool shard, so guest execution is
+         always billed to that core *)
+      let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:(clock vm.sys) in
       { parent = vm; cpu })
 
 let vcpu_cpu v = v.cpu

@@ -29,9 +29,24 @@ type stats = {
   mutable fault_exits : int;
 }
 
-val open_dev : ?seed:int -> ?freq_ghz:float -> unit -> system
+val open_dev : ?seed:int -> ?freq_ghz:float -> ?cores:int -> unit -> system
+(** [cores] (default 1) gives the system that many per-core virtual
+    clocks; all charges land on the {e current} core's clock (see
+    {!set_core}). *)
 
 val clock : system -> Cycles.Clock.t
+(** The current core's clock (core 0 until {!set_core} is called). *)
+
+val cores : system -> int
+val current_core : system -> int
+
+val core_clock : system -> int -> Cycles.Clock.t
+
+val set_core : system -> int -> unit
+(** Make [core] current: subsequent charges, vCPU creations and span
+    stamps (the attached hub is retargeted) land on its clock. The
+    multi-core scheduler calls this before running each task. *)
+
 val rng : system -> Cycles.Rng.t
 val stats : system -> stats
 

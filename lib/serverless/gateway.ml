@@ -1,6 +1,6 @@
-type t = { platform : Vespid.t }
+type t = { platform : Vespid.t; mutable next_core : int }
 
-let create platform = { platform }
+let create platform = { platform; next_core = 0 }
 
 let hub t = Wasp.Runtime.telemetry (Vespid.runtime t.platform)
 
@@ -10,7 +10,8 @@ let respond ?headers ~status body =
 let split_path path =
   String.split_on_char '/' path |> List.filter (fun s -> s <> "")
 
-(* "name?entry=fn" -> (name, entry) *)
+(* "name?entry=fn" -> (name, entry). Each pair splits on the first '='
+   only, so an entry value may itself contain '=' (e.g. [entry=ns=main]). *)
 let parse_register_target seg =
   match String.index_opt seg '?' with
   | None -> (seg, "main")
@@ -20,9 +21,10 @@ let parse_register_target seg =
       let entry =
         List.find_map
           (fun kv ->
-            match String.split_on_char '=' kv with
-            | [ "entry"; v ] -> Some v
-            | _ -> None)
+            match String.index_opt kv '=' with
+            | Some j when String.sub kv 0 j = "entry" ->
+                Some (String.sub kv (j + 1) (String.length kv - j - 1))
+            | Some _ | None -> None)
           (String.split_on_char '&' query)
       in
       (name, Option.value ~default:"main" entry)
@@ -40,8 +42,12 @@ let route t (req : Vhttp.Http.request) =
         respond ~status:201 (Printf.sprintf "registered %s (entry %s)\n" name entry)
       end
   | "POST", [ "invoke"; name ] -> (
+      (* spread requests round-robin over the simulated cores *)
+      let core = t.next_core in
+      t.next_core <- (core + 1) mod Wasp.Runtime.cores (Vespid.runtime t.platform);
       match
-        Vespid.invoke t.platform ~name ~input:(Bytes.of_string req.Vhttp.Http.body)
+        Vespid.invoke_on t.platform ~core ~name
+          ~input:(Bytes.of_string req.Vhttp.Http.body)
       with
       | Ok out -> respond ~status:200 out
       | Error e -> respond ~status:500 (Printf.sprintf "function error: %s\n" e)

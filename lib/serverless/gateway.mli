@@ -14,6 +14,11 @@ type t
 
 val create : Vespid.t -> t
 
+val parse_register_target : string -> string * string
+(** [parse_register_target "name?entry=fn"] is [("name", "fn")]; the
+    entry defaults to ["main"]. Pairs split on the first ['='] only, so
+    the entry value may itself contain ['=']. *)
+
 val handle : t -> string -> string
 (** [handle t raw_request] routes one HTTP request and returns the raw
     HTTP response. Never raises on malformed input (400). *)

@@ -9,9 +9,47 @@ let bursty_profile =
     { duration_s = 5.0; clients = 1 };   (* ramp-down *)
   ]
 
-type bucket = { t_s : float; completed : int; rps : float; mean_ms : float; p99_ms : float }
+type bucket = {
+  t_s : float;
+  completed : int;
+  rps : float;
+  mean_ms : float option;
+  p99_ms : float option;
+}
 
 type sample = { at : int64; latency : int64 }
+
+(* Shared bucketing: fold completion samples into one-second buckets.
+   Seconds with no completions report [None] latencies instead of a
+   bogus 0.0 that would plot as "zero latency". *)
+let bucketize ~cps ~total_end samples =
+  let seconds = int_of_float (Float.ceil (Int64.to_float total_end /. cps)) in
+  let buckets = Array.make (max 1 seconds) [] in
+  List.iter
+    (fun s ->
+      let idx = min (Array.length buckets - 1) (int_of_float (Int64.to_float s.at /. cps)) in
+      buckets.(idx) <- s :: buckets.(idx))
+    samples;
+  Array.to_list
+    (Array.mapi
+       (fun i bucket ->
+         let completed = List.length bucket in
+         if completed = 0 then
+           { t_s = float_of_int (i + 1); completed = 0; rps = 0.0; mean_ms = None; p99_ms = None }
+         else begin
+           let lat_ms =
+             Array.of_list
+               (List.map (fun s -> Int64.to_float s.latency /. cps *. 1000.0) bucket)
+           in
+           {
+             t_s = float_of_int (i + 1);
+             completed;
+             rps = float_of_int completed;
+             mean_ms = Some (Stats.Descriptive.mean lat_ms);
+             p99_ms = Some (Stats.Descriptive.percentile lat_ms 99.0);
+           }
+         end)
+       buckets)
 
 let run ?(freq_ghz = 2.69) ?(workers = 8) ?(think_time_s = 0.05) ~service ~profile () =
   let cps = freq_ghz *. 1e9 in
@@ -47,31 +85,76 @@ let run ?(freq_ghz = 2.69) ?(workers = 8) ?(think_time_s = 0.05) ~service ~profi
       done)
     phase_windows;
   Dessim.Sim.run sim;
-  (* bucket per second *)
-  let seconds = int_of_float (Float.ceil (Int64.to_float total_end /. cps)) in
-  let buckets = Array.make (max 1 seconds) [] in
+  bucketize ~cps ~total_end !samples
+
+let export_core_stats hub sched =
+  let stats = Dessim.Cores.core_stats sched in
+  Array.iteri
+    (fun i (s : Dessim.Cores.core_stats) ->
+      Telemetry.Hub.set_gauge hub
+        (Printf.sprintf "sched_core%d_utilization" i)
+        (Dessim.Cores.utilization sched ~core:i);
+      Telemetry.Hub.set_gauge hub
+        (Printf.sprintf "sched_core%d_busy_cycles" i)
+        (Int64.to_float s.Dessim.Cores.busy_cycles);
+      Telemetry.Hub.set_gauge hub
+        (Printf.sprintf "sched_core%d_reclaim_cycles" i)
+        (Int64.to_float s.Dessim.Cores.reclaim_cycles))
+    stats;
+  Telemetry.Hub.incr hub ~by:(Dessim.Cores.steals sched) "sched_steals_total";
+  Telemetry.Hub.incr hub ~by:(Dessim.Cores.executed sched) "sched_tasks_total"
+
+(* Multi-core closed loop: clients fire against the scheduler instead of
+   a FIFO server, so requests run as real work on per-core clocks (with
+   work stealing, and idle cycles feeding the pool's reclaim drain). *)
+let run_cores ?(freq_ghz = 2.69) ?(think_time_s = 0.05) ?(steal = true) ~runtime ~request
+    ~profile () =
+  let cps = freq_ghz *. 1e9 in
+  let cycles_of_s s = Int64.of_float (s *. cps) in
+  let n = Wasp.Runtime.cores runtime in
+  let clocks = Array.init n (Wasp.Runtime.core_clock runtime) in
+  (* deferred cleaning becomes real under the scheduler: released shells
+     queue per core and are cleaned during idle windows below *)
+  Wasp.Runtime.set_reclaim_policy runtime Wasp.Pool.Scheduled;
+  let sched =
+    Dessim.Cores.create ~steal
+      ~switch:(Wasp.Runtime.on_core runtime)
+      ~idle:(fun ~core ~budget -> Wasp.Runtime.drain_reclaim runtime ~core ~budget)
+      clocks
+  in
+  let samples = ref [] in
+  let think = Int64.of_float (think_time_s *. cps) in
+  let phase_windows =
+    let t = ref 0.0 in
+    List.map
+      (fun p ->
+        let start = !t in
+        t := !t +. p.duration_s;
+        (cycles_of_s start, cycles_of_s !t, p.clients))
+      profile
+  in
+  let total_end =
+    List.fold_left (fun acc (_, e, _) -> max acc e) 0L phase_windows
+  in
   List.iter
-    (fun s ->
-      let idx = min (seconds - 1) (int_of_float (Int64.to_float s.at /. cps)) in
-      buckets.(idx) <- s :: buckets.(idx))
-    !samples;
-  Array.to_list
-    (Array.mapi
-       (fun i bucket ->
-         let completed = List.length bucket in
-         if completed = 0 then
-           { t_s = float_of_int (i + 1); completed = 0; rps = 0.0; mean_ms = 0.0; p99_ms = 0.0 }
-         else begin
-           let lat_ms =
-             Array.of_list
-               (List.map (fun s -> Int64.to_float s.latency /. cps *. 1000.0) bucket)
-           in
-           {
-             t_s = float_of_int (i + 1);
-             completed;
-             rps = float_of_int completed;
-             mean_ms = Stats.Descriptive.mean lat_ms;
-             p99_ms = Stats.Descriptive.percentile lat_ms 99.0;
-           }
-         end)
-       buckets)
+    (fun (start, phase_end, clients) ->
+      for _ = 1 to clients do
+        let rec fire at =
+          Dessim.Cores.submit sched ~at (fun ~core ->
+              request ();
+              let done_at = Cycles.Clock.now clocks.(core) in
+              samples := { at = done_at; latency = Int64.sub done_at at } :: !samples;
+              let next = Int64.add done_at think in
+              if Int64.compare next phase_end < 0 then fire next)
+        in
+        fire start
+      done)
+    phase_windows;
+  Dessim.Cores.run sched;
+  (match Wasp.Runtime.telemetry runtime with
+  | Some hub -> export_core_stats hub sched
+  | None -> ());
+  let actual_end =
+    List.fold_left (fun acc s -> max acc s.at) total_end !samples
+  in
+  (bucketize ~cps ~total_end:actual_end !samples, sched)

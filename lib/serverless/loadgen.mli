@@ -16,8 +16,8 @@ type bucket = {
   t_s : float;          (** end of the 1-second bucket *)
   completed : int;
   rps : float;          (** achieved throughput in this bucket *)
-  mean_ms : float;      (** mean response latency (0 when idle) *)
-  p99_ms : float;
+  mean_ms : float option;  (** mean response latency; [None] when idle *)
+  p99_ms : float option;
 }
 
 val run :
@@ -32,3 +32,26 @@ val run :
     per-request duration comes from [service ~now] (cycles; [now] is the
     sim time the request starts service, for keep-alive decisions).
     Returns one-second buckets covering the whole run. *)
+
+val run_cores :
+  ?freq_ghz:float ->
+  ?think_time_s:float ->
+  ?steal:bool ->
+  runtime:Wasp.Runtime.t ->
+  request:(unit -> unit) ->
+  profile:phase list ->
+  unit ->
+  bucket list * Dessim.Cores.t
+(** Multi-core variant: closed-loop clients submit to a
+    {!Dessim.Cores} scheduler over [runtime]'s per-core clocks. Each
+    request is real work — [request ()] must perform one invocation on
+    the current core, charging its clock. The pool's reclaim policy is
+    switched to [Scheduled], so async cleaning consumes idle windows and
+    contended acquires stall. Per-core utilization, steal and reclaim
+    stats are exported to the runtime's telemetry hub (when attached) as
+    [sched_*] metrics; the scheduler is returned for direct inspection. *)
+
+val export_core_stats : Telemetry.Hub.t -> Dessim.Cores.t -> unit
+(** Publish a scheduler's per-core gauges ([sched_core<i>_utilization],
+    [_busy_cycles], [_reclaim_cycles]) and the [sched_steals_total] /
+    [sched_tasks_total] counters to [hub]. *)

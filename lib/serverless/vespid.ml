@@ -33,3 +33,7 @@ let invoke_timed t ~name ~input =
   | None -> raise (Unknown_function name)
 
 let invoke t ~name ~input = fst (invoke_timed t ~name ~input)
+
+let invoke_on t ~core ~name ~input =
+  Wasp.Runtime.on_core t.wasp core;
+  fst (invoke_timed t ~name ~input)

@@ -32,3 +32,7 @@ val invoke : t -> name:string -> input:bytes -> (string, string) result
 
 val invoke_timed : t -> name:string -> input:bytes -> (string, string) result * int64
 (** Like {!invoke} but also returns the invocation latency in cycles. *)
+
+val invoke_on : t -> core:int -> name:string -> input:bytes -> (string, string) result
+(** {!invoke} pinned to a simulated core of the underlying runtime: the
+    invocation charges that core's clock and uses its pool shard. *)

@@ -1,9 +1,13 @@
-type t = { clk : Cycles.Clock.t; sink : Span.sink; registry : Metrics.t }
+type t = { mutable clk : Cycles.Clock.t; sink : Span.sink; registry : Metrics.t }
 
 let create ?capacity ~clock () =
   { clk = clock; sink = Span.create ?capacity ~clock (); registry = Metrics.create () }
 
 let clock t = t.clk
+
+let set_clock t clk =
+  t.clk <- clk;
+  Span.set_clock t.sink clk
 let spans t = t.sink
 let metrics t = t.registry
 

@@ -14,6 +14,11 @@ val create : ?capacity:int -> clock:Cycles.Clock.t -> unit -> t
     stamps will not line up with charged cycles. *)
 
 val clock : t -> Cycles.Clock.t
+
+val set_clock : t -> Cycles.Clock.t -> unit
+(** Retarget the hub (and its span sink) to another clock. Multi-core
+    runs switch the hub to the active core's clock on every core switch
+    so spans are stamped on the timeline of the core doing the work. *)
 val spans : t -> Span.sink
 val metrics : t -> Metrics.t
 

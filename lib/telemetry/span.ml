@@ -26,7 +26,7 @@ type frame = {
 }
 
 type sink = {
-  clk : Cycles.Clock.t;
+  mutable clk : Cycles.Clock.t;
   capacity : int;
   mutable stack : frame list;
   mutable finished : item list; (* finish order, newest first *)
@@ -39,6 +39,7 @@ let create ?(capacity = 65536) ~clock () =
   { clk = clock; capacity; stack = []; finished = []; n = 0; dropped_n = 0; next_seq = 0 }
 
 let clock s = s.clk
+let set_clock s clk = s.clk <- clk
 
 let push_item s item =
   if s.n >= s.capacity then s.dropped_n <- s.dropped_n + 1

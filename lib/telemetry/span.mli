@@ -38,6 +38,11 @@ val create : ?capacity:int -> clock:Cycles.Clock.t -> unit -> sink
 
 val clock : sink -> Cycles.Clock.t
 
+val set_clock : sink -> Cycles.Clock.t -> unit
+(** Retarget the stamping clock (multi-core runs switch the sink to the
+    active core's clock). Only switch between spans: a span that is open
+    across a switch gets its duration measured on the leave-time clock. *)
+
 val enter : sink -> ?args:(string * string) list -> string -> unit
 (** Open a span stamped at [Clock.now]. *)
 

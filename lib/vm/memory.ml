@@ -9,7 +9,12 @@ let create ~size =
 
 let size t = t.size
 
-let check t addr n = if addr < 0 || addr + n > t.size then raise (Fault { addr; size = n })
+(* Overflow-safe: [addr + n] wraps for guest addresses near [max_int],
+   which would let the check pass and surface a host [Invalid_argument]
+   from [Bytes] instead of a guest {!Fault}. Compare against
+   [t.size - n] instead, which cannot overflow once signs are known. *)
+let check t addr n =
+  if addr < 0 || n < 0 || addr > t.size - n then raise (Fault { addr; size = n })
 
 let mark t addr n =
   let first = addr / page_size and last = (addr + n - 1) / page_size in

@@ -3,31 +3,64 @@ type shell = {
   vcpu : Kvmsim.Kvm.vcpu;
   mem : Vm.Memory.t;
   mem_size : int;
+  home : int;
 }
 
 type clean_mode = Sync | Async
+
+type reclaim_policy = Eager | Scheduled
 
 type stats = {
   mutable created : int;
   mutable reused : int;
   mutable cleans : int;
   mutable background_cycles : int64;
+  mutable evicted : int;
+  mutable clean_stalls : int;
+  mutable stall_cycles : int64;
+}
+
+type cached = { c_shell : shell; last_used : int64 }
+
+type pending = { p_shell : shell; mutable remaining : int }
+
+type shard = {
+  id : int;
+  buckets : (int, cached list ref) Hashtbl.t;  (* mem_size -> MRU-first list *)
+  reclaim : pending Queue.t;                   (* oldest release first *)
+  mutable cached_count : int;
 }
 
 type t = {
   sys : Kvmsim.Kvm.system;
-  shells : (int, shell Stack.t) Hashtbl.t;
+  shards : shard array;
   clean : clean_mode;
+  capacity : int;
+  mutable policy : reclaim_policy;
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
 }
 
-let create sys ~clean =
+let create ?(capacity = 64) sys ~clean =
+  if capacity < 1 then invalid_arg "Pool.create: capacity must be >= 1";
   {
     sys;
-    shells = Hashtbl.create 8;
+    shards =
+      Array.init (Kvmsim.Kvm.cores sys) (fun id ->
+          { id; buckets = Hashtbl.create 8; reclaim = Queue.create (); cached_count = 0 });
     clean;
-    stats = { created = 0; reused = 0; cleans = 0; background_cycles = 0L };
+    capacity;
+    policy = Eager;
+    stats =
+      {
+        created = 0;
+        reused = 0;
+        cleans = 0;
+        background_cycles = 0L;
+        evicted = 0;
+        clean_stalls = 0;
+        stall_cycles = 0L;
+      };
     telemetry = None;
   }
 
@@ -35,45 +68,153 @@ let stats t = t.stats
 
 let set_telemetry t hub = t.telemetry <- hub
 
-let size t = Hashtbl.fold (fun _ s acc -> acc + Stack.length s) t.shells 0
+let set_reclaim_policy t policy = t.policy <- policy
+let reclaim_policy t = t.policy
+
+let shard_size s = s.cached_count
+let size t = Array.fold_left (fun acc s -> acc + s.cached_count) 0 t.shards
+let shard_sizes t = Array.map shard_size t.shards
+
+let reclaim_depth t ~core = Queue.length t.shards.(core).reclaim
+let reclaim_pending t =
+  Array.fold_left (fun acc s -> acc + Queue.length s.reclaim) 0 t.shards
+
+let tgauge t name v =
+  match t.telemetry with None -> () | Some h -> Telemetry.Hub.set_gauge h name v
+
+let tincr t name =
+  match t.telemetry with None -> () | Some h -> Telemetry.Hub.incr h name
 
 let note_size t =
-  match t.telemetry with
-  | None -> ()
-  | Some h -> Telemetry.Hub.set_gauge h "wasp_pool_size" (float_of_int (size t))
+  tgauge t "wasp_pool_size" (float_of_int (size t));
+  if Array.length t.shards > 1 then
+    Array.iter
+      (fun s ->
+        tgauge t (Printf.sprintf "wasp_pool_size_core%d" s.id) (float_of_int s.cached_count))
+      t.shards
 
-let bucket t mem_size =
-  match Hashtbl.find_opt t.shells mem_size with
-  | Some s -> s
+let note_reclaim t shard =
+  tgauge t "wasp_pool_reclaim_depth" (float_of_int (reclaim_pending t));
+  if Array.length t.shards > 1 then
+    tgauge t
+      (Printf.sprintf "wasp_pool_reclaim_depth_core%d" shard.id)
+      (float_of_int (Queue.length shard.reclaim))
+
+let current_shard t = t.shards.(Kvmsim.Kvm.current_core t.sys)
+
+let bucket shard mem_size =
+  match Hashtbl.find_opt shard.buckets mem_size with
+  | Some l -> l
   | None ->
-      let s = Stack.create () in
-      Hashtbl.replace t.shells mem_size s;
-      s
+      let l = ref [] in
+      Hashtbl.replace shard.buckets mem_size l;
+      l
+
+(* Evict the least-recently-used cached shell of [shard] (the tail of the
+   bucket whose oldest entry has the smallest stamp). *)
+let evict_lru t shard =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun mem_size l ->
+      match List.rev !l with
+      | [] -> ()
+      | oldest :: _ -> (
+          match !victim with
+          | Some (_, stamp) when stamp <= oldest.last_used -> ()
+          | _ -> victim := Some (mem_size, oldest.last_used)))
+    shard.buckets;
+  match !victim with
+  | None -> ()
+  | Some (mem_size, _) ->
+      let l = bucket shard mem_size in
+      (match List.rev !l with
+      | [] -> ()
+      | _oldest :: rest_rev ->
+          l := List.rev rest_rev;
+          shard.cached_count <- shard.cached_count - 1;
+          t.stats.evicted <- t.stats.evicted + 1;
+          tincr t "wasp_pool_evictions_total")
+
+(* Return a cleaned shell to its shard's cache, evicting the LRU entry
+   when the shard is over capacity. *)
+let cache t shell =
+  let shard = t.shards.(shell.home) in
+  let now = Cycles.Clock.now (Kvmsim.Kvm.core_clock t.sys shard.id) in
+  let l = bucket shard shell.mem_size in
+  l := { c_shell = shell; last_used = now } :: !l;
+  shard.cached_count <- shard.cached_count + 1;
+  if shard.cached_count > t.capacity then evict_lru t shard;
+  note_size t
+
+let pop_cached shard mem_size =
+  match Hashtbl.find_opt shard.buckets mem_size with
+  | None | Some { contents = [] } -> None
+  | Some l ->
+      let hd = List.hd !l in
+      l := List.tl !l;
+      shard.cached_count <- shard.cached_count - 1;
+      Some hd.c_shell
+
+(* Remove the oldest pending clean for [mem_size], preserving queue order
+   of the rest. *)
+let take_pending shard mem_size =
+  let n = Queue.length shard.reclaim in
+  let found = ref None in
+  for _ = 1 to n do
+    let p = Queue.pop shard.reclaim in
+    if !found = None && p.p_shell.mem_size = mem_size then found := Some p
+    else Queue.push p shard.reclaim
+  done;
+  !found
 
 let acquire t ~mem_size ~mode =
-  let stack = bucket t mem_size in
+  let shard = current_shard t in
+  let hit shell =
+    t.stats.reused <- t.stats.reused + 1;
+    (match t.telemetry with
+    | Some h ->
+        Telemetry.Hub.incr h "wasp_pool_hits_total";
+        Telemetry.Hub.instant h "pool_hit"
+    | None -> ());
+    Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
+    (shell, true)
+  in
   let result =
-    match Stack.pop_opt stack with
-    | Some shell ->
-        t.stats.reused <- t.stats.reused + 1;
-        (match t.telemetry with
-        | Some h ->
-            Telemetry.Hub.incr h "wasp_pool_hits_total";
-            Telemetry.Hub.instant h "pool_hit"
-        | None -> ());
-        Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
-        (shell, true)
-    | None ->
-        t.stats.created <- t.stats.created + 1;
-        (match t.telemetry with
-        | Some h ->
-            Telemetry.Hub.incr h "wasp_pool_misses_total";
-            Telemetry.Hub.instant h "pool_miss"
-        | None -> ());
-        let vm = Kvmsim.Kvm.create_vm t.sys in
-        let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
-        let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
-        ({ vm; vcpu; mem; mem_size }, false)
+    match pop_cached shard mem_size with
+    | Some shell -> hit shell
+    | None -> (
+        match take_pending shard mem_size with
+        | Some p ->
+            (* The only matching shells are still on the reclaim queue:
+               the acquire blocks on the in-flight clean and pays the
+               remaining cycles — this is where deferred cleaning becomes
+               visible in tail latency. *)
+            t.stats.clean_stalls <- t.stats.clean_stalls + 1;
+            t.stats.stall_cycles <-
+              Int64.add t.stats.stall_cycles (Int64.of_int p.remaining);
+            t.stats.background_cycles <-
+              Int64.add t.stats.background_cycles (Int64.of_int p.remaining);
+            Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) p.remaining;
+            (match t.telemetry with
+            | Some h ->
+                Telemetry.Hub.incr h "wasp_pool_clean_stalls_total";
+                Telemetry.Hub.instant h
+                  ~args:[ ("cycles", string_of_int p.remaining) ]
+                  "clean_stall"
+            | None -> ());
+            note_reclaim t shard;
+            hit p.p_shell
+        | None ->
+            t.stats.created <- t.stats.created + 1;
+            (match t.telemetry with
+            | Some h ->
+                Telemetry.Hub.incr h "wasp_pool_misses_total";
+                Telemetry.Hub.instant h "pool_miss"
+            | None -> ());
+            let vm = Kvmsim.Kvm.create_vm t.sys in
+            let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+            let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+            ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys }, false))
   in
   note_size t;
   result
@@ -84,16 +225,55 @@ let release t shell =
   | Some h -> Telemetry.Hub.incr h "wasp_pool_cleans_total"
   | None -> ());
   Vm.Memory.fill_zero shell.mem;
+  (* zeroing marked every page dirty; a recycled shell must start with a
+     clean bitmap or the next CoW restore copies the entire image *)
+  Vm.Memory.clear_dirty shell.mem;
   let cost = Cycles.Costs.memset_cost shell.mem_size in
-  (match t.clean with
-  | Sync -> Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) cost
-  | Async ->
+  match (t.clean, t.policy) with
+  | Sync, _ ->
+      Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) cost;
+      cache t shell
+  | Async, Eager ->
+      (* standalone mode: a dedicated cleaner thread is assumed to keep
+         up, so the cost is pure background work *)
       t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int cost);
       (match t.telemetry with
       | Some h ->
           Telemetry.Hub.instant h ~args:[ ("cycles", string_of_int cost) ] "async_clean";
           Telemetry.Hub.set_gauge h "wasp_pool_background_cycles"
             (Int64.to_float t.stats.background_cycles)
-      | None -> ()));
-  Stack.push shell (bucket t shell.mem_size);
-  note_size t
+      | None -> ());
+      cache t shell
+  | Async, Scheduled ->
+      (* scheduler mode: the shell is unavailable until a cleaner core
+         drains it (or an acquire stalls on it) *)
+      let shard = t.shards.(shell.home) in
+      Queue.push { p_shell = shell; remaining = cost } shard.reclaim;
+      note_reclaim t shard;
+      note_size t
+
+let drain t ~core ~budget =
+  let shard = t.shards.(core) in
+  let spent = ref 0 in
+  let continue_ = ref true in
+  while !continue_ && !spent < budget && not (Queue.is_empty shard.reclaim) do
+    let p = Queue.peek shard.reclaim in
+    let step = min p.remaining (budget - !spent) in
+    p.remaining <- p.remaining - step;
+    spent := !spent + step;
+    t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int step);
+    if p.remaining = 0 then begin
+      ignore (Queue.pop shard.reclaim);
+      cache t p.p_shell
+    end
+    else continue_ := false
+  done;
+  if !spent > 0 then begin
+    (match t.telemetry with
+    | Some h ->
+        Telemetry.Hub.set_gauge h "wasp_pool_background_cycles"
+          (Int64.to_float t.stats.background_cycles)
+    | None -> ());
+    note_reclaim t shard
+  end;
+  !spent

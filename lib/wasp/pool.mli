@@ -6,44 +6,96 @@
     is cleared — "preventing information leakage" — and the shell is
     cached for the next request. Cleaning can be charged synchronously
     (Wasp+C in Figure 8) or deferred to background work (Wasp+CA), which
-    brings provisioning within a few percent of a bare vmrun. *)
+    brings provisioning within a few percent of a bare vmrun.
+
+    The pool is sharded per simulated core: shells live on the shard of
+    the core that created them ([shell.home]) and never migrate, so a
+    recycled shell's vCPU always bills the clock it was created on.
+    Each shard is bounded by [capacity] and evicts least-recently-used
+    shells beyond it.
+
+    Async cleaning has two realizations. Under the default {!Eager}
+    policy the memset cost is booked as background work at release time
+    and the shell is immediately reusable (a dedicated cleaner thread
+    that always keeps up — the standalone Wasp+CA model). Under
+    {!Scheduled} — set by the multi-core scheduler — released shells sit
+    on their shard's reclaim queue until idle cycles {!drain} them; an
+    acquire that finds only queued shells stalls for the remaining clean
+    cost, which is how deferred cleaning shows up in tail latency. *)
 
 type shell = {
   vm : Kvmsim.Kvm.vm;
   vcpu : Kvmsim.Kvm.vcpu;
   mem : Vm.Memory.t;
   mem_size : int;
+  home : int;  (** core whose shard owns this shell *)
 }
 
 type clean_mode = Sync | Async
 
+type reclaim_policy =
+  | Eager      (** async clean booked as background work at release *)
+  | Scheduled  (** async clean deferred to the per-core reclaim queue *)
+
 type stats = {
   mutable created : int;     (** shells built from scratch *)
-  mutable reused : int;      (** pool hits *)
+  mutable reused : int;      (** pool hits (including stalled hits) *)
   mutable cleans : int;
   mutable background_cycles : int64;  (** async cleaning work *)
+  mutable evicted : int;     (** shells dropped by LRU eviction *)
+  mutable clean_stalls : int;         (** acquires that waited on a clean *)
+  mutable stall_cycles : int64;       (** cycles spent in those waits *)
 }
 
 type t
 
-val create : Kvmsim.Kvm.system -> clean:clean_mode -> t
+val create : ?capacity:int -> Kvmsim.Kvm.system -> clean:clean_mode -> t
+(** One shard per core of the system. [capacity] (default 64) bounds each
+    shard's cached-shell count; raises [Invalid_argument] if < 1. *)
 
 val stats : t -> stats
 
 val set_telemetry : t -> Telemetry.Hub.t option -> unit
-(** Attach (or detach) a telemetry hub: hits/misses/cleans become
-    [wasp_pool_*] counters and instant events, async cleaning updates the
-    [wasp_pool_background_cycles] gauge, and the cached-shell count is
-    tracked by the [wasp_pool_size] gauge. *)
+(** Attach (or detach) a telemetry hub: hits/misses/cleans/evictions and
+    clean stalls become [wasp_pool_*] counters and instant events, async
+    cleaning updates the [wasp_pool_background_cycles] gauge, and cached
+    and queued shell counts are tracked by the [wasp_pool_size] and
+    [wasp_pool_reclaim_depth] gauges (with [_core<i>] variants on
+    multi-core systems). *)
+
+val set_reclaim_policy : t -> reclaim_policy -> unit
+val reclaim_policy : t -> reclaim_policy
 
 val acquire : t -> mem_size:int -> mode:Vm.Modes.t -> shell * bool
-(** Returns a clean shell and whether it came from the pool. A fresh
-    shell charges the full KVM creation path; a pooled one only resets
-    vCPU state. *)
+(** Returns a clean shell and whether it came from the pool, searching
+    the current core's shard. A fresh shell charges the full KVM
+    creation path; a pooled one only resets vCPU state. Under
+    {!Scheduled}, if the shard's only matching shells are still on the
+    reclaim queue, the acquire takes the oldest one and charges the
+    remaining clean cost to the current core (a clean stall — still a
+    pool hit). *)
 
 val release : t -> shell -> unit
-(** Clear the shell (memset of the guest region, charged according to the
-    clean mode) and return it to the pool. *)
+(** Clear the shell (memset of the guest region, then reset the dirty
+    bitmap) and return it to its home shard. [Sync] charges the memset
+    on the current core; [Async] books it as background work
+    ({!Eager}) or queues the shell for {!drain} ({!Scheduled}). *)
+
+val drain : t -> core:int -> budget:int -> int
+(** Spend up to [budget] cycles cleaning [core]'s reclaim queue, front
+    first, with partial progress carried across calls. Finished shells
+    enter the shard cache. Returns the cycles actually spent. The caller
+    (the scheduler's idle path) is responsible for advancing the core's
+    clock by the returned amount. *)
 
 val size : t -> int
-(** Shells currently cached. *)
+(** Shells currently cached (all shards; excludes the reclaim queues). *)
+
+val shard_sizes : t -> int array
+(** Cached-shell count per core. *)
+
+val reclaim_depth : t -> core:int -> int
+(** Shells awaiting cleaning on [core]'s reclaim queue. *)
+
+val reclaim_pending : t -> int
+(** Total queued shells across all cores. *)

@@ -32,12 +32,13 @@ type t = {
          invocations; the next restore rewrites only the dirty pages *)
 }
 
-let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy) () =
-  let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz () in
+let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy)
+    ?(cores = 1) ?pool_capacity () =
+  let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores () in
   let clean = match clean with `Sync -> Pool.Sync | `Async -> Pool.Async in
   {
     sys;
-    pool = Pool.create sys ~clean;
+    pool = Pool.create ?capacity:pool_capacity sys ~clean;
     pool_enabled = pool;
     snapshot_store = Snapshot_store.create ();
     hostenv = Hostenv.create ();
@@ -59,6 +60,13 @@ let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `
   }
 
 let clock t = Kvmsim.Kvm.clock t.sys
+let core_clock t core = Kvmsim.Kvm.core_clock t.sys core
+let cores t = Kvmsim.Kvm.cores t.sys
+let on_core t core = Kvmsim.Kvm.set_core t.sys core
+let current_core t = Kvmsim.Kvm.current_core t.sys
+let set_reclaim_policy t policy = Pool.set_reclaim_policy t.pool policy
+let drain_reclaim t ~core ~budget = Pool.drain t.pool ~core ~budget
+let reclaim_depth t ~core = Pool.reclaim_depth t.pool ~core
 let rng t = Kvmsim.Kvm.rng t.sys
 let env t = t.hostenv
 let kvm t = t.sys
@@ -146,7 +154,8 @@ let acquire_shell t ~mem_size ~mode =
     let vm = Kvmsim.Kvm.create_vm t.sys in
     let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
     let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
-    (({ vm; vcpu; mem; mem_size } : Pool.shell), false)
+    ( ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys } : Pool.shell),
+      false )
   end
 
 let release_shell t shell = if t.pool_enabled then Pool.release t.pool shell
@@ -195,13 +204,19 @@ let no_overrides (_ : int) : Inv.handler option = None
    tile the invocation: they sum exactly to the reported [cycles]. *)
 let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot_key ~fuel
     ~inspect =
-  let start = Cycles.Clock.now (clock t) in
-  (* CoW mode retains one shell per snapshot key across invocations *)
+  (* CoW mode retains one shell per snapshot key across invocations; a
+     retained shell pins the invocation to its home core (its vCPU bills
+     that core's clock), so switch before stamping [start] *)
   let retained_shell =
     match (t.reset, snapshot_key) with
     | `Cow, Some key -> Hashtbl.find_opt t.retained key
     | (`Cow | `Memcpy), _ -> None
   in
+  (match retained_shell with
+  | Some s when s.Pool.home <> Kvmsim.Kvm.current_core t.sys ->
+      Kvmsim.Kvm.set_core t.sys s.Pool.home
+  | Some _ | None -> ());
+  let start = Cycles.Clock.now (clock t) in
   let shell, from_pool =
     tspan t "provision" (fun () ->
         match retained_shell with
@@ -415,12 +430,16 @@ end
 let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~snapshot_key
     ~body =
   ignore name;
-  let start = Cycles.Clock.now (clock t) in
   let retained_shell =
     match (t.reset, snapshot_key) with
     | `Cow, Some key -> Hashtbl.find_opt t.retained key
     | (`Cow | `Memcpy), _ -> None
   in
+  (match retained_shell with
+  | Some s when s.Pool.home <> Kvmsim.Kvm.current_core t.sys ->
+      Kvmsim.Kvm.set_core t.sys s.Pool.home
+  | Some _ | None -> ());
+  let start = Cycles.Clock.now (clock t) in
   let shell, from_pool =
     tspan t "provision" (fun () ->
         match retained_shell with

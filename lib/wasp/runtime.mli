@@ -24,14 +24,41 @@ val create :
   ?pool:bool ->
   ?clean:clean_mode ->
   ?reset:reset_mode ->
+  ?cores:int ->
+  ?pool_capacity:int ->
   unit ->
   t
 (** A fresh runtime. [pool] (default true) enables shell caching;
     [clean] (default [`Sync]) selects Figure 8's Wasp+C vs Wasp+CA
     cleaning; [reset] (default [`Memcpy]) selects the snapshot reset
-    mechanism. *)
+    mechanism. [cores] (default 1) gives the simulated machine that many
+    per-core virtual clocks and pool shards; [pool_capacity] bounds each
+    shard (default 64, LRU eviction beyond it). *)
 
 val clock : t -> Cycles.Clock.t
+(** The current core's clock. *)
+
+val core_clock : t -> int -> Cycles.Clock.t
+
+val cores : t -> int
+
+val on_core : t -> int -> unit
+(** Make [core] current: subsequent invocations charge its clock and use
+    its pool shard. The multi-core scheduler ({!Dessim.Cores}) calls this
+    before each task; single-core users never need it. *)
+
+val current_core : t -> int
+
+val set_reclaim_policy : t -> Pool.reclaim_policy -> unit
+(** Select how [`Async] cleaning is realized (see {!Pool.reclaim_policy}).
+    The scheduler switches the pool to [Scheduled] so cleans consume idle
+    cycles and contended acquires stall observably. *)
+
+val drain_reclaim : t -> core:int -> budget:int -> int
+(** Spend up to [budget] idle cycles cleaning [core]'s reclaim queue;
+    returns cycles spent. See {!Pool.drain}. *)
+
+val reclaim_depth : t -> core:int -> int
 val rng : t -> Cycles.Rng.t
 val env : t -> Hostenv.t
 val kvm : t -> Kvmsim.Kvm.system

@@ -214,6 +214,19 @@ let test_gateway_js_error_is_500 () =
   let r = Serverless.Gateway.handle g (post "/invoke/bad" "x") in
   Alcotest.(check int) "500" 500 (status_of r)
 
+let test_gateway_register_target_parsing () =
+  Alcotest.(check (pair string string))
+    "entry given" ("f", "go")
+    (Serverless.Gateway.parse_register_target "f?entry=go");
+  Alcotest.(check (pair string string))
+    "entry defaults" ("f", "main")
+    (Serverless.Gateway.parse_register_target "f");
+  (* regression: pairs split on the first '=' only, so a value may
+     itself contain '=' *)
+  Alcotest.(check (pair string string))
+    "equals in value" ("f", "ns=main")
+    (Serverless.Gateway.parse_register_target "f?entry=ns=main")
+
 let test_gateway_bad_requests () =
   let g = gateway () in
   Alcotest.(check int) "malformed" 400
@@ -257,6 +270,8 @@ let () =
           Alcotest.test_case "unknown function" `Quick test_gateway_unknown_function;
           Alcotest.test_case "list functions" `Quick test_gateway_list_functions;
           Alcotest.test_case "js error 500" `Quick test_gateway_js_error_is_500;
+          Alcotest.test_case "register target parsing" `Quick
+            test_gateway_register_target_parsing;
           Alcotest.test_case "bad requests" `Quick test_gateway_bad_requests;
         ] );
     ]

@@ -130,17 +130,30 @@ let test_loadgen_slow_service_increases_latency () =
         ~profile:[ { Serverless.Loadgen.duration_s = 3.0; clients = 4 } ]
         ()
     in
-    let vals =
-      List.filter_map
-        (fun b ->
-          if b.Serverless.Loadgen.completed > 0 then Some b.Serverless.Loadgen.mean_ms
-          else None)
-        buckets
-    in
+    let vals = List.filter_map (fun b -> b.Serverless.Loadgen.mean_ms) buckets in
     Stats.Descriptive.mean (Array.of_list vals)
   in
   let fast = mean_latency 2_690_000L and slow = mean_latency 26_900_000L in
   Alcotest.(check bool) (Printf.sprintf "%.2fms < %.2fms" fast slow) true (fast < slow)
+
+let test_loadgen_idle_bucket_has_no_latency () =
+  (* a 1.5 s service means nothing completes inside the first one-second
+     bucket; it must report [None], not a bogus latency from an empty
+     sample set *)
+  let buckets =
+    Serverless.Loadgen.run
+      ~service:(fun ~now:_ -> 4_035_000_000L)
+      ~profile:[ { Serverless.Loadgen.duration_s = 2.0; clients = 2 } ]
+      ()
+  in
+  (match buckets with
+  | first :: _ ->
+      Alcotest.(check int) "first bucket idle" 0 first.Serverless.Loadgen.completed;
+      Alcotest.(check bool) "no mean" true (first.Serverless.Loadgen.mean_ms = None);
+      Alcotest.(check bool) "no p99" true (first.Serverless.Loadgen.p99_ms = None)
+  | [] -> Alcotest.fail "no buckets");
+  Alcotest.(check bool) "later buckets do measure latency" true
+    (List.exists (fun b -> b.Serverless.Loadgen.mean_ms <> None) buckets)
 
 let test_bursty_profile_shape () =
   let p = Serverless.Loadgen.bursty_profile in
@@ -175,6 +188,8 @@ let () =
             test_loadgen_more_clients_more_throughput;
           Alcotest.test_case "slow service slower" `Quick
             test_loadgen_slow_service_increases_latency;
+          Alcotest.test_case "idle bucket has no latency" `Quick
+            test_loadgen_idle_bucket_has_no_latency;
           Alcotest.test_case "bursty profile shape" `Quick test_bursty_profile_shape;
         ] );
     ]

@@ -49,6 +49,23 @@ let test_mem_bounds () =
   Alcotest.check_raises "negative" (Vm.Memory.Fault { addr = -1; size = 1 }) (fun () ->
       ignore (Vm.Memory.read_u8 m (-1)))
 
+let test_mem_bounds_overflow () =
+  (* addr + size near max_int must fault, not wrap negative and pass the
+     bounds check *)
+  let m = Vm.Memory.create ~size:16 in
+  Alcotest.check_raises "u64 read at max_int-4"
+    (Vm.Memory.Fault { addr = max_int - 4; size = 8 })
+    (fun () -> ignore (Vm.Memory.read_u64 m (max_int - 4)));
+  Alcotest.check_raises "u8 read at max_int"
+    (Vm.Memory.Fault { addr = max_int; size = 1 })
+    (fun () -> ignore (Vm.Memory.read_u8 m max_int));
+  Alcotest.check_raises "u64 write at max_int-4"
+    (Vm.Memory.Fault { addr = max_int - 4; size = 8 })
+    (fun () -> Vm.Memory.write_u64 m (max_int - 4) 1L);
+  Alcotest.check_raises "bytes write at max_int-7"
+    (Vm.Memory.Fault { addr = max_int - 7; size = 8 })
+    (fun () -> Vm.Memory.write_bytes m ~off:(max_int - 7) (Bytes.make 8 'x'))
+
 let test_mem_cstring () =
   let m = Vm.Memory.create ~size:32 in
   Vm.Memory.write_bytes m ~off:4 (Bytes.of_string "hello\000");
@@ -402,6 +419,7 @@ let () =
           Alcotest.test_case "rw roundtrip" `Quick test_mem_rw_roundtrip;
           Alcotest.test_case "little endian" `Quick test_mem_little_endian;
           Alcotest.test_case "bounds" `Quick test_mem_bounds;
+          Alcotest.test_case "bounds overflow" `Quick test_mem_bounds_overflow;
           Alcotest.test_case "cstring" `Quick test_mem_cstring;
           Alcotest.test_case "cstring unterminated" `Quick test_mem_cstring_unterminated;
           Alcotest.test_case "fill zero" `Quick test_mem_fill_zero;

@@ -352,6 +352,46 @@ let test_async_clean_faster_invocations () =
   let sync = run_mode `Sync and async = run_mode `Async in
   Alcotest.(check bool) (Printf.sprintf "async %Ld < sync %Ld" async sync) true (async < sync)
 
+let test_release_clears_dirty_bitmap () =
+  (* release zeroes the guest region, which itself touches every page;
+     the bitmap must be reset afterwards or the next CoW restore sees the
+     whole image as dirty *)
+  let sys = Kvmsim.Kvm.open_dev ~seed:11 () in
+  let pool = Wasp.Pool.create sys ~clean:Wasp.Pool.Sync in
+  let s, _ = Wasp.Pool.acquire pool ~mem_size:65536 ~mode:Vm.Modes.Real in
+  Vm.Memory.write_u64 s.Wasp.Pool.mem 0x2000 0xBEEFL;
+  Alcotest.(check bool) "writes dirtied pages" true
+    (Vm.Memory.dirty_count s.Wasp.Pool.mem > 0);
+  Wasp.Pool.release pool s;
+  Alcotest.(check int) "recycled shell starts clean" 0
+    (Vm.Memory.dirty_count s.Wasp.Pool.mem)
+
+let test_cow_restore_after_pool_reuse () =
+  (* regression: fill_zero in release marked all 16 pages dirty; without
+     clear_dirty a snapshot captured on the recycled shell made
+     restore_cow copy the entire 64 KB image instead of the one page the
+     run actually touched *)
+  let sys = Kvmsim.Kvm.open_dev ~seed:12 () in
+  let pool = Wasp.Pool.create sys ~clean:Wasp.Pool.Sync in
+  let s1, _ = Wasp.Pool.acquire pool ~mem_size:65536 ~mode:Vm.Modes.Real in
+  Vm.Memory.write_u64 s1.Wasp.Pool.mem 0x8000 0x5EC3E7L;
+  Wasp.Pool.release pool s1;
+  let s2, from_pool = Wasp.Pool.acquire pool ~mem_size:65536 ~mode:Vm.Modes.Real in
+  Alcotest.(check bool) "shell recycled" true from_pool;
+  (* one invocation initializes a single page, then snapshots *)
+  Vm.Memory.write_u64 s2.Wasp.Pool.mem 0 0x42L;
+  let cpu = Kvmsim.Kvm.vcpu_cpu s2.Wasp.Pool.vcpu in
+  let store = Wasp.Snapshot_store.create () in
+  ignore
+    (Wasp.Snapshot_store.capture store ~key:"k" ~mem:s2.Wasp.Pool.mem ~cpu
+       ~native_state:None);
+  let entry = Option.get (Wasp.Snapshot_store.find store ~key:"k") in
+  let pages, bytes =
+    Wasp.Snapshot_store.restore_cow entry ~mem:s2.Wasp.Pool.mem ~cpu
+  in
+  Alcotest.(check int) "only the touched page is copied" 1 pages;
+  Alcotest.(check int) "one page of bytes" Vm.Memory.page_size bytes
+
 (* ------------------------------------------------------------------ *)
 (* Snapshotting (§5.2, Figure 7)                                        *)
 (* ------------------------------------------------------------------ *)
@@ -668,6 +708,10 @@ let () =
           Alcotest.test_case "no data leak across reuse" `Quick test_pool_clean_no_leak;
           Alcotest.test_case "async clean background" `Quick test_async_clean_charges_background;
           Alcotest.test_case "async faster" `Quick test_async_clean_faster_invocations;
+          Alcotest.test_case "release clears dirty bitmap" `Quick
+            test_release_clears_dirty_bitmap;
+          Alcotest.test_case "cow restore after pool reuse" `Quick
+            test_cow_restore_after_pool_reuse;
         ] );
       ( "snapshot",
         [
