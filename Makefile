@@ -2,22 +2,31 @@
 
 TRACE := /tmp/wasp-trace.json
 SCHED_TRACE := /tmp/wasp-sched-trace.json
+VXR := /tmp/wasp-profiler-smoke.vxr
+FOLDED := /tmp/wasp-profiler-smoke.folded
+BENCH_JSON_DIR := /tmp/wasp-bench-json
 
-.PHONY: all check test bench trace-smoke sched-smoke clean
+.PHONY: all check test bench bench-json trace-smoke sched-smoke profiler-smoke clean
 
 all:
 	dune build
 
-# tier-1 gate: full build + every test suite + scheduler smoke
+# tier-1 gate: full build + every test suite + scheduler smoke + profiler smoke
 check:
 	dune build
 	dune runtest
 	$(MAKE) sched-smoke
+	$(MAKE) profiler-smoke
 
 test: check
 
 bench:
 	dune exec bench/main.exe
+
+# machine-readable results: every table also lands in BENCH_<fig>.json
+bench-json:
+	dune exec bench/main.exe -- --json-out $(BENCH_JSON_DIR)
+	@ls $(BENCH_JSON_DIR)
 
 # telemetry smoke: emit a Chrome trace from an instrumented run, then
 # validate it (JSON parses, phase spans present)
@@ -30,6 +39,13 @@ trace-smoke:
 sched-smoke:
 	dune exec bench/main.exe -- fig12 --cores 4 --telemetry --trace-json $(SCHED_TRACE) > /dev/null
 	dune exec bin/wasprun.exe -- --check-trace $(SCHED_TRACE)
+
+# profiler/replay smoke: profile one recursive-fib invocation while
+# recording it, then replay the recording and require zero cycle
+# divergence (the exit status of --replay enforces it)
+profiler-smoke:
+	dune exec bin/wasprun.exe -- --example --profile --profile-folded $(FOLDED) --record $(VXR)
+	dune exec bin/wasprun.exe -- --replay $(VXR)
 
 clean:
 	dune clean

@@ -38,7 +38,7 @@ let tail_p99 buckets =
 
 (* [mk_request w] builds (and warms) the per-runtime request closure;
    each call must perform one invocation on the current core. *)
-let sweep ~seed ~mk_request () =
+let sweep ?(fig = "core_scaling") ~seed ~mk_request () =
   let ns = List.filter (fun n -> n <= !Bench_util.cores) [ 1; 2; 4; 8 ] in
   let ns = if List.mem !Bench_util.cores ns then ns else ns @ [ !Bench_util.cores ] in
   let rows =
@@ -79,11 +79,9 @@ let sweep ~seed ~mk_request () =
           [ ("sync", `Sync); ("async", `Async) ])
       ns
   in
-  print_string
-    (Stats.Report.table
-       ~header:
-         [ "cores"; "clean"; "completed"; "req/s"; "p99 (ms)"; "util"; "steals"; "stalls" ]
-       rows);
+  Bench_util.table ~fig
+    ~header:[ "cores"; "clean"; "completed"; "req/s"; "p99 (ms)"; "util"; "steals"; "stalls" ]
+    rows;
   Bench_util.note
     "burst population scales with N, so completed/s scales with the core count";
   Bench_util.note

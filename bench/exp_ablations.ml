@@ -36,8 +36,7 @@ let hypercall_sweep () =
         ])
       [ 0; 1; 2; 4; 8; 16 ]
   in
-  print_string
-    (Stats.Report.table ~header:[ "hypercalls"; "latency (cycles)"; "latency (us)" ] rows);
+  Bench_util.table ~fig:"ablations" ~header:[ "hypercalls"; "latency (cycles)"; "latency (us)" ] rows;
   Bench_util.note "each exit is 'doubly expensive' (ring transitions); keep interactions few"
 
 let pool_policy () =
@@ -61,12 +60,11 @@ let pool_policy () =
     ]
   in
   let base = snd (List.nth arms 0) in
-  print_string
-    (Stats.Report.table
-       ~header:[ "policy"; "latency (cycles)"; "vs no pool" ]
-       (List.map
-          (fun (n, m) -> [ n; Printf.sprintf "%.0f" m; Printf.sprintf "%.1fx" (m /. base) ])
-          arms));
+  Bench_util.table ~fig:"ablations"
+    ~header:[ "policy"; "latency (cycles)"; "vs no pool" ]
+    (List.map
+       (fun (n, m) -> [ n; Printf.sprintf "%.0f" m; Printf.sprintf "%.1fx" (m /. base) ])
+       arms);
   Bench_util.note "recycling shells avoids the kernel's VM-state allocation entirely"
 
 let marshalling_sweep () =
@@ -90,7 +88,7 @@ let marshalling_sweep () =
         [ string_of_int size; Printf.sprintf "%.0f" mean ])
       [ 0; 8; 64; 256; 1024 ]
   in
-  print_string (Stats.Report.table ~header:[ "input bytes"; "latency (cycles)" ] rows);
+  Bench_util.table ~fig:"ablations" ~header:[ "input bytes"; "latency (cycles)" ] rows;
   Bench_util.note "marshalling scales with argument bytes, 'as is typical with copy-restore RPC'"
 
 let cow_reset_sweep () =
@@ -147,10 +145,9 @@ fill:
         ])
       [ 64; 256; 1024; 4096 ]
   in
-  print_string
-    (Stats.Report.table
-       ~header:[ "snapshot footprint"; "memcpy reset (us)"; "CoW reset (us)"; "CoW speedup" ]
-       rows);
+  Bench_util.table ~fig:"ablations"
+    ~header:[ "snapshot footprint"; "memcpy reset (us)"; "CoW reset (us)"; "CoW speedup" ]
+    rows;
   Bench_util.note
     "§7.2: 'we expect this cost could be reduced drastically' with CoW -- confirmed:";
   Bench_util.note "memcpy reset scales with the footprint; CoW reset scales with dirty pages"

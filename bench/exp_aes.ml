@@ -50,18 +50,17 @@ let run () =
         ])
       chunk_sizes
   in
-  print_string
-    (Stats.Report.table
-       ~header:
-         [
-           "chunk (B)";
-           "native (us)";
-           "virtine (us)";
-           "slowdown";
-           "native MB/s";
-           "virtine MB/s";
-         ]
-       rows);
+  Bench_util.table ~fig:"aes"
+    ~header:
+      [
+        "chunk (B)";
+        "native (us)";
+        "virtine (us)";
+        "slowdown";
+        "native MB/s";
+        "virtine MB/s";
+      ]
+    rows;
   Bench_util.note "virtine image ~%d KB; per-invocation cost is dominated by the snapshot copy"
     (Vcrypto.Evp.image_size / 1024);
   Bench_util.note "shape: slowdown falls as the chunk grows -- creation overhead is amortized";

@@ -59,19 +59,18 @@ let run () =
         ]
         :: !rows)
     points;
-  print_string
-    (Stats.Report.table
-       ~header:
-         [
-           "fib(n)";
-           "native (us)";
-           "virtine (us)";
-           "virt+snapshot (us)";
-           "virtine slowdown";
-           "snapshot slowdown";
-           "snapshot speedup";
-         ]
-       (List.rev !rows));
+  Bench_util.table ~fig:"fig11"
+    ~header:
+      [
+        "fib(n)";
+        "native (us)";
+        "virtine (us)";
+        "virt+snapshot (us)";
+        "virtine slowdown";
+        "snapshot slowdown";
+        "snapshot speedup";
+      ]
+    (List.rev !rows);
   (match !amortized with
   | Some (n, native) ->
       Bench_util.note

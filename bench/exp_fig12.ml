@@ -34,10 +34,9 @@ let run () =
         ])
       sizes
   in
-  print_string
-    (Stats.Report.table
-       ~header:[ "image size"; "start-up (cycles)"; "start-up (ms)"; "implied copy GB/s" ]
-       rows);
+  Bench_util.table ~fig:"fig12"
+    ~header:[ "image size"; "start-up (cycles)"; "start-up (ms)"; "implied copy GB/s" ]
+    rows;
   Bench_util.note "paper: 16 MB image -> 2.3 ms, ~6.8 GB/s (memcpy bandwidth of tinker)";
   Bench_util.note "the knee where copying dominates fixed costs falls at ~1-2 MB (C6)";
   Bench_util.report_telemetry ~label:"fig12" hub;
@@ -48,5 +47,5 @@ let run () =
       let img = Wasp.Image.pad_to base (1024 * 1024) in
       fun () -> ignore (Wasp.Runtime.run w img ())
     in
-    Core_scaling.sweep ~seed:0xF1612 ~mk_request ()
+    Core_scaling.sweep ~fig:"fig12" ~seed:0xF1612 ~mk_request ()
   end

@@ -108,11 +108,10 @@ let run () =
         ])
       results
   in
-  print_string
-    (Stats.Report.table
-       ~header:
-         [ "configuration"; "mean latency (us)"; "vs native"; "throughput (req/s)"; "tput delta" ]
-       rows);
+  Bench_util.table ~fig:"fig13"
+    ~header:
+      [ "configuration"; "mean latency (us)"; "vs native"; "throughput (req/s)"; "tput delta" ]
+    rows;
   (* tail latency per arm, from the same request samples as the means above *)
   print_string
     (Stats.Report.percentile_table ~title:"request latency percentiles" ~unit_label:"us"
@@ -133,5 +132,5 @@ let run () =
         let served = Vhttp.Fileserver.serve_virtine w compiled ~path in
         assert (served.Vhttp.Fileserver.status = 200)
     in
-    Core_scaling.sweep ~seed:0xF1613 ~mk_request ()
+    Core_scaling.sweep ~fig:"fig13" ~seed:0xF1613 ~mk_request ()
   end

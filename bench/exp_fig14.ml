@@ -54,7 +54,7 @@ let run () =
            ])
          arms
   in
-  print_string (Stats.Report.table ~header:[ "configuration"; "latency (us)"; "slowdown" ] rows);
+  Bench_util.table ~fig:"fig14" ~header:[ "configuration"; "latency (us)"; "slowdown" ] rows;
   print_newline ();
   print_string
     (Stats.Report.bar_chart ~title:"slowdown vs native"

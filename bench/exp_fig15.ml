@@ -56,10 +56,9 @@ let run () =
         ])
       vespid_buckets ow_buckets
   in
-  print_string
-    (Stats.Report.table
-       ~header:[ "t (s)"; "Vespid req/s"; "Vespid ms"; "OpenWhisk req/s"; "OpenWhisk ms" ]
-       rows);
+  Bench_util.table ~fig:"fig15"
+    ~header:[ "t (s)"; "Vespid req/s"; "Vespid ms"; "OpenWhisk req/s"; "OpenWhisk ms" ]
+    rows;
   let total b = List.fold_left (fun a x -> a + x.Serverless.Loadgen.completed) 0 b in
   let mean_lat b =
     let vals = List.filter_map (fun x -> x.Serverless.Loadgen.mean_ms) b in

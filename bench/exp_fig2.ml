@@ -31,8 +31,7 @@ let run () =
         ])
       results
   in
-  print_string
-    (Stats.Report.table ~header:[ "context"; "mean (cycles)"; "sd"; "min"; "mean (us)" ] rows);
+  Bench_util.table ~fig:"fig2" ~header:[ "context"; "mean (cycles)"; "sd"; "min"; "mean (us)" ] rows;
   print_newline ();
   print_string
     (Stats.Report.bar_chart ~title:"cycles (log scale)" ~log:true

@@ -33,7 +33,7 @@ let run () =
         ])
       results
   in
-  print_string (Stats.Report.table ~header:[ "mode"; "mean (cycles)"; "sd"; "mean (us)" ] rows);
+  Bench_util.table ~fig:"fig3" ~header:[ "mode"; "mean (cycles)"; "sd"; "mean (us)" ] rows;
   let get m = (List.assoc m results).Stats.Descriptive.mean in
   let saved = get Vm.Modes.Long -. get Vm.Modes.Real in
   Bench_util.note "real-mode saving vs long mode: %.0f cycles (paper: ~10K may be saved)" saved;

@@ -32,8 +32,7 @@ let run () =
         ])
       [ ("C entry (main)", entry); ("recv() returned", recv); ("send() complete", send) ]
   in
-  print_string
-    (Stats.Report.table ~header:[ "milestone"; "mean (cycles)"; "sd"; "mean (us)" ] rows);
+  Bench_util.table ~fig:"fig4" ~header:[ "milestone"; "mean (cycles)"; "sd"; "mean (us)" ] rows;
   let last = Stats.Descriptive.mean send in
   Bench_util.note "full response in %.0f us -- paper claims <300 us / C3: <1 ms (100K-500K cycles)"
     (last /. Bench_util.freq_ghz /. 1e3);

@@ -46,15 +46,13 @@ let run () =
       Printf.sprintf "%.2f" (s.Stats.Descriptive.mean /. Bench_util.freq_ghz /. 1e3);
     ]
   in
-  print_string
-    (Stats.Report.table ~title:"AMD (tinker)"
-       ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
-       (List.map row amd));
+  Bench_util.table ~fig:"fig8" ~title:"AMD (tinker)"
+    ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
+    (List.map row amd);
   print_newline ();
-  print_string
-    (Stats.Report.table ~title:"Intel (SGX testbed)"
-       ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
-       (List.map row intel));
+  Bench_util.table ~fig:"fig8" ~title:"Intel (SGX testbed)"
+    ~header:[ "context"; "mean (cycles)"; "sd"; "mean (us)" ]
+    (List.map row intel);
   print_newline ();
   print_string
     (Stats.Report.bar_chart ~title:"creation latency, cycles (log scale)" ~log:true

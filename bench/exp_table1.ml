@@ -44,10 +44,9 @@ let run () =
         ])
       paper_values
   in
-  print_string
-    (Stats.Report.table
-       ~header:[ "component"; "min (cycles)"; "mean"; "paper (KVM)"; "delta" ]
-       rows);
+  Bench_util.table ~fig:"table1"
+    ~header:[ "component"; "min (cycles)"; "mean"; "paper (KVM)"; "delta" ]
+    rows;
   let total =
     List.fold_left
       (fun a (name, _) ->

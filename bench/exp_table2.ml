@@ -30,6 +30,6 @@ let run () =
   let rows =
     List.map (fun (a, b, c) -> [ a; b; c ]) (published @ [ ours; ("Virtines (paper)", "5 us", "syscall interface + VMRUN") ])
   in
-  print_string (Stats.Report.table ~header:[ "system"; "latency"; "boundary cross mechanism" ] rows);
+  Bench_util.table ~fig:"table2" ~header:[ "system"; "latency"; "boundary cross mechanism" ] rows;
   Bench_util.note
     "virtine crossings include the syscall + ring-switch overheads; VMFUNC-based systems do not"

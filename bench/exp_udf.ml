@@ -72,10 +72,9 @@ let run () =
         ])
       results
   in
-  print_string
-    (Stats.Report.table
-       ~header:[ "executor"; "query (us)"; "per row (us)"; "vs native" ]
-       rows_out);
+  Bench_util.table ~fig:"udf"
+    ~header:[ "executor"; "query (us)"; "per row (us)"; "vs native" ]
+    rows_out;
   Bench_util.note "table: %d rows; predicate keeps %d" rows expected;
   Bench_util.note
     "per-query isolation costs one virtine boundary; per-row isolates UDF calls from each other";

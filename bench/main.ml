@@ -53,6 +53,17 @@ let () =
     | [ "--trace-json" ] ->
         Printf.eprintf "--trace-json needs a file argument\n";
         exit 1
+    | "--json-out" :: dir :: rest ->
+        if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+        else if not (Sys.is_directory dir) then begin
+          Printf.eprintf "--json-out: %s exists and is not a directory\n" dir;
+          exit 1
+        end;
+        Bench_util.json_out := Some dir;
+        parse acc rest
+    | [ "--json-out" ] ->
+        Printf.eprintf "--json-out needs a directory argument\n";
+        exit 1
     | a :: rest -> parse (a :: acc) rest
   in
   match parse [] args with
@@ -62,7 +73,8 @@ let () =
       print_endline "(all cycle figures are simulated on the paper's tinker calibration,";
       print_endline " AMD EPYC 7281 @ 2.69 GHz; see DESIGN.md and EXPERIMENTS.md)";
       List.iter (fun (_, _, run) -> run ()) experiments;
-      Bench_util.dump_trace ()
+      Bench_util.dump_trace ();
+      Bench_util.dump_json ()
   | names ->
       List.iter
         (fun name ->
@@ -73,4 +85,5 @@ let () =
               list_experiments ();
               exit 1)
         names;
-      Bench_util.dump_trace ()
+      Bench_util.dump_trace ();
+      Bench_util.dump_json ()

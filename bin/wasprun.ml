@@ -2,7 +2,12 @@
    feeding a raw binary to the paper's runtime API.
 
      wasprun FILE.vxa [--mode real|protected|long] [--allow read,write,...]
-     wasprun --example         # run a built-in demo image
+     wasprun --example         # run a built-in recursive-fib demo image
+     wasprun --example --profile
+                               # per-function / per-opcode cycle tables
+     wasprun --example --record out.vxr
+     wasprun --replay out.vxr  # re-execute and diff cycle-for-cycle
+     wasprun --example-fault   # seeded guest fault: flight-recorder dump
      wasprun --example --trace-json t.json --metrics
                                # telemetry: Chrome trace + metrics dump
      wasprun --check-trace t.json
@@ -23,17 +28,54 @@ let write_file path s =
   output_string oc s;
   close_out oc
 
+(* Recursive fib: deep call stacks give the profiler real functions to
+   attribute cycles to (start, fib, and the [vmm] residue). *)
 let example_source =
   {|
-; demo: compute 6*7 and report it via the exit hypercall
+; demo: recursively compute fib(12) = 144, report it via the exit hypercall
 start:
-  mov r1, 6
-  mov r2, 7
-  mov r0, r1
-  mul r0, r2
-  mov r1, r0
+  mov r1, 12
+  call fib
+  mov r1, r0     ; exit code = fib(12)
   mov r0, 0      ; exit(r1)
   out 1, r0
+  hlt
+
+; fib(n): argument in r1, result in r0; clobbers r2
+fib:
+  cmp r1, 2
+  jlt fib_base
+  push r1
+  sub r1, 1
+  call fib       ; r0 = fib(n-1)
+  pop r1
+  push r0
+  sub r1, 2
+  call fib       ; r0 = fib(n-2)
+  pop r2
+  add r0, r2
+  ret
+fib_base:
+  mov r0, r1
+  ret
+|}
+
+(* Hammer a hypercall past the flight ring's warm-up, then touch
+   unmapped memory: the dump shows the faulting PC and the exits that
+   led up to it. *)
+let example_fault_source =
+  {|
+; demo: 40 hypercall exits, then a wild load faults the virtine
+start:
+  mov r2, 40
+hammer:
+  mov r0, 12     ; clock hypercall (denied under default policy; still exits)
+  out 1, r0
+  sub r2, 1
+  cmp r2, 0
+  jgt hammer
+  mov r1, 0x7ffffff0
+  ld64 r0, [r1]  ; unmapped: page fault
   hlt
 |}
 
@@ -45,6 +87,36 @@ let hc_by_name =
     ("send", Wasp.Hc.send); ("recv", Wasp.Hc.recv); ("brk", Wasp.Hc.brk);
     ("clock", Wasp.Hc.clock); ("getrandom", Wasp.Hc.getrandom);
   ]
+
+let policy_to_string = function
+  | Wasp.Policy.Deny_all -> "deny_all"
+  | Wasp.Policy.Allow_all -> "allow_all"
+  | Wasp.Policy.Mask m -> Printf.sprintf "mask:%Lx" m
+  | Wasp.Policy.Custom _ -> invalid_arg "cannot record a Custom policy"
+
+let policy_of_string s =
+  match s with
+  | "deny_all" -> Ok Wasp.Policy.Deny_all
+  | "allow_all" -> Ok Wasp.Policy.Allow_all
+  | _ ->
+      if String.length s > 5 && String.sub s 0 5 = "mask:" then
+        match Int64.of_string_opt ("0x" ^ String.sub s 5 (String.length s - 5)) with
+        | Some m -> Ok (Wasp.Policy.Mask m)
+        | None -> Error (Printf.sprintf "bad policy mask %S" s)
+      else Error (Printf.sprintf "unknown policy %S" s)
+
+let mode_of_string = function
+  | "real" -> Ok Vm.Modes.Real
+  | "protected" -> Ok Vm.Modes.Protected
+  | "long" -> Ok Vm.Modes.Long
+  | s -> Error (Printf.sprintf "unknown mode %S" s)
+
+let outcome_string = function
+  | Wasp.Runtime.Exited _ -> "exited"
+  | Wasp.Runtime.Faulted _ -> "faulted"
+  | Wasp.Runtime.Fuel_exhausted -> "fuel"
+
+let default_fuel = 50_000_000
 
 (* Validate a Chrome trace-event dump: well-formed JSON, a non-empty
    traceEvents array, and the invocation phase spans present. *)
@@ -79,17 +151,73 @@ let check_trace path =
       | _ -> fail "no traceEvents array")
   | _ -> fail "top level is not an object"
 
-let run file example mode allow all trace_json metrics check =
-  match check with
-  | Some path -> check_trace path
-  | None -> (
+(* Re-execute a .vxr recording under the recorded seed/policy/fuel and
+   diff the fresh transcript against it, cycle for cycle. *)
+let replay_file path =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "replay: %s\n" m; 1) fmt in
+  match Profiler.Replay.of_string (read_file path) with
+  | exception Sys_error msg -> fail "%s" msg
+  | Error msg -> fail "cannot parse %s: %s" path msg
+  | Ok recorded -> (
+      match
+        ( mode_of_string (Profiler.Replay.mode recorded),
+          policy_of_string (Profiler.Replay.policy recorded) )
+      with
+      | Error msg, _ | _, Error msg -> fail "%s" msg
+      | Ok mode, Ok policy ->
+          let image : Wasp.Image.t =
+            {
+              name = Profiler.Replay.image_name recorded;
+              code = Bytes.of_string (Profiler.Replay.code recorded);
+              origin = Profiler.Replay.origin recorded;
+              entry = Profiler.Replay.entry recorded;
+              mode;
+              mem_size = Profiler.Replay.mem_size recorded;
+              symbols = [];
+            }
+          in
+          let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) () in
+          let fresh = Profiler.Replay.create () in
+          Profiler.Replay.set_image fresh ~name:image.name
+            ~mode:(Vm.Modes.to_string image.mode) ~origin:image.origin ~entry:image.entry
+            ~mem_size:image.mem_size
+            ~code:(Bytes.to_string image.code);
+          Profiler.Replay.set_env fresh
+            ~seed:(Profiler.Replay.seed recorded)
+            ~policy:(Profiler.Replay.policy recorded)
+            ~fuel:(Profiler.Replay.fuel recorded);
+          Wasp.Runtime.set_recorder w (Some fresh);
+          let r = Wasp.Runtime.run w image ~policy ~fuel:(Profiler.Replay.fuel recorded) () in
+          Profiler.Replay.finish fresh ~cycles:r.Wasp.Runtime.cycles
+            ~outcome:(outcome_string r.Wasp.Runtime.outcome)
+            ~return_value:r.Wasp.Runtime.return_value;
+          (match Profiler.Replay.diff recorded fresh with
+          | [] ->
+              Printf.printf
+                "replay ok: zero divergence (%d hypercall events, %Ld cycles, outcome %s)\n"
+                (Profiler.Replay.event_count recorded)
+                (Profiler.Replay.total_cycles recorded)
+                (Profiler.Replay.outcome recorded);
+              0
+          | divergences ->
+              Printf.eprintf "replay DIVERGED (%d differences):\n" (List.length divergences);
+              List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
+              1))
+
+let run file example example_fault mode allow all trace_json metrics check profile
+    profile_folded record replay seed =
+  match (check, replay) with
+  | Some path, _ -> check_trace path
+  | None, Some path -> replay_file path
+  | None, None -> (
       let source =
         if example then Some example_source
+        else if example_fault then Some example_fault_source
         else match file with Some f -> Some (read_file f) | None -> None
       in
       match source with
       | None ->
-          prerr_endline "error: pass an assembly file or --example";
+          prerr_endline "error: pass an assembly file or --example / --example-fault";
           1
       | Some src -> (
           match Asm.assemble_string ~origin:Wasp.Layout.image_base src with
@@ -104,7 +232,7 @@ let run file example mode allow all trace_json metrics check =
                   Wasp.Policy.of_list
                     (List.filter_map (fun n -> List.assoc_opt n hc_by_name) allow)
               in
-              let w = Wasp.Runtime.create () in
+              let w = Wasp.Runtime.create ~seed () in
               let hub =
                 if trace_json <> None || metrics then begin
                   let h = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
@@ -113,11 +241,34 @@ let run file example mode allow all trace_json metrics check =
                 end
                 else None
               in
+              let prof =
+                if profile || profile_folded <> None then begin
+                  let p = Profiler.Profile.create () in
+                  Wasp.Runtime.set_profiler w (Some p);
+                  Some p
+                end
+                else None
+              in
+              let recorder =
+                match record with
+                | None -> None
+                | Some _ ->
+                    let rc = Profiler.Replay.create () in
+                    Profiler.Replay.set_image rc ~name:image.Wasp.Image.name
+                      ~mode:(Vm.Modes.to_string image.Wasp.Image.mode)
+                      ~origin:image.Wasp.Image.origin ~entry:image.Wasp.Image.entry
+                      ~mem_size:image.Wasp.Image.mem_size
+                      ~code:(Bytes.to_string image.Wasp.Image.code);
+                    Profiler.Replay.set_env rc ~seed ~policy:(policy_to_string policy)
+                      ~fuel:default_fuel;
+                    Wasp.Runtime.set_recorder w (Some rc);
+                    Some rc
+              in
               Printf.printf "loaded %d bytes at 0x%x (%s mode), policy %s\n"
                 (Wasp.Image.size image) image.Wasp.Image.origin
                 (Vm.Modes.to_string image.Wasp.Image.mode)
                 (Format.asprintf "%a" Wasp.Policy.pp policy);
-              let r = Wasp.Runtime.run w image ~policy () in
+              let r = Wasp.Runtime.run w image ~policy ~fuel:default_fuel () in
               if r.Wasp.Runtime.console <> "" then
                 Printf.printf "--- console ---\n%s---------------\n" r.Wasp.Runtime.console;
               let trace_write_failed =
@@ -133,6 +284,28 @@ let run file example mode allow all trace_json metrics check =
                         true)
                 | _ -> false
               in
+              (match prof with
+              | Some p ->
+                  (match hub with Some h -> Profiler.Profile.export p h | None -> ());
+                  if profile then begin
+                    print_newline ();
+                    print_string (Profiler.Profile.render p)
+                  end;
+                  (match profile_folded with
+                  | Some path ->
+                      write_file path (Profiler.Profile.folded_lines p);
+                      Printf.printf "folded stacks written to %s (flamegraph.pl input)\n" path
+                  | None -> ())
+              | None -> ());
+              (match (recorder, record) with
+              | Some rc, Some path ->
+                  Profiler.Replay.finish rc ~cycles:r.Wasp.Runtime.cycles
+                    ~outcome:(outcome_string r.Wasp.Runtime.outcome)
+                    ~return_value:r.Wasp.Runtime.return_value;
+                  write_file path (Profiler.Replay.to_string rc);
+                  Printf.printf "recording written to %s (%d hypercall events)\n" path
+                    (Profiler.Replay.event_count rc)
+              | _ -> ());
               (match hub with
               | Some h when metrics ->
                   print_newline ();
@@ -149,6 +322,11 @@ let run file example mode allow all trace_json metrics check =
               | Wasp.Runtime.Faulted f ->
                   Printf.printf "faulted: %s\n"
                     (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+                  (match Wasp.Runtime.flight_dump w with
+                  | Some dump ->
+                      print_newline ();
+                      print_string dump
+                  | None -> ());
                   1
               | Wasp.Runtime.Fuel_exhausted ->
                   print_endline "out of fuel";
@@ -156,7 +334,17 @@ let run file example mode allow all trace_json metrics check =
 
 let () =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.vxa") in
-  let example = Arg.(value & flag & info [ "example" ] ~doc:"Run a built-in demo image") in
+  let example =
+    Arg.(value & flag & info [ "example" ] ~doc:"Run a built-in recursive-fib demo image")
+  in
+  let example_fault =
+    Arg.(
+      value & flag
+      & info [ "example-fault" ]
+          ~doc:
+            "Run a built-in demo that faults after a burst of hypercalls, printing the \
+             flight-recorder black-box dump")
+  in
   let mode =
     let modes =
       [ ("real", Vm.Modes.Real); ("protected", Vm.Modes.Protected); ("long", Vm.Modes.Long) ]
@@ -190,9 +378,49 @@ let () =
       & info [ "check-trace" ] ~docv:"FILE"
           ~doc:"Validate a previously written trace-event JSON dump and exit")
   in
+  let profile =
+    Arg.(
+      value & flag
+      & info [ "profile" ]
+          ~doc:
+            "Profile the guest: print per-function and per-opcode cycle tables after the \
+             run (exact attribution; totals equal the execute phase)")
+  in
+  let profile_folded =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile-folded" ] ~docv:"FILE"
+          ~doc:"Write folded call stacks (flamegraph collapse format) to $(docv)")
+  in
+  let record =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "record" ] ~docv:"FILE.vxr"
+          ~doc:
+            "Record the invocation (image, seed, policy, hypercall transcript) to $(docv) \
+             for deterministic replay")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE.vxr"
+          ~doc:
+            "Re-execute a recorded invocation under the recorded seed and diff the fresh \
+             transcript cycle-for-cycle against the recording")
+  in
+  let seed =
+    Arg.(
+      value & opt int 0xACE
+      & info [ "seed" ] ~docv:"N" ~doc:"Runtime RNG seed (recorded into .vxr files)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
-      Term.(const run $ file $ example $ mode $ allow $ all $ trace_json $ metrics $ check)
+      Term.(
+        const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
+        $ metrics $ check $ profile $ profile_folded $ record $ replay $ seed)
   in
   exit (Cmd.eval' cmd)

@@ -26,8 +26,14 @@ type operand = Reg of reg | Imm of int64
 
 type binop = Add | Sub | Mul | Div | Rem | And | Or | Xor | Shl | Shr | Sar
 
+val binop_name : binop -> string
+(** Assembly mnemonic, e.g. "add". *)
+
 type cond = Eq | Ne | Lt | Le | Gt | Ge | Ult | Ule | Ugt | Uge
 (** Signed and unsigned comparisons against the flags set by [Cmp]. *)
+
+val cond_name : cond -> string
+(** Condition suffix, e.g. "eq" (as in "jeq"). *)
 
 type width = W8 | W16 | W32 | W64
 

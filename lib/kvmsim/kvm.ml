@@ -4,6 +4,7 @@ type system = {
   rng : Cycles.Rng.t;
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
+  mutable flight : Profiler.Flight.t option;
 }
 
 and stats = {
@@ -33,6 +34,7 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
     rng = Cycles.Rng.create ~seed;
     stats = { vm_creations = 0; vcpu_creations = 0; runs = 0; io_exits = 0; fault_exits = 0 };
     telemetry = None;
+    flight = None;
   }
 
 let clock sys = sys.clocks.(sys.cur)
@@ -47,13 +49,17 @@ let set_core sys core =
   if core < 0 || core >= Array.length sys.clocks then invalid_arg "Kvm.set_core: no such core";
   sys.cur <- core;
   match sys.telemetry with
-  | Some h -> Telemetry.Hub.set_clock h sys.clocks.(core)
+  | Some h ->
+      Telemetry.Hub.set_clock h sys.clocks.(core);
+      Telemetry.Hub.set_core h core
   | None -> ()
 
 let rng sys = sys.rng
 let stats sys = sys.stats
 
 let set_telemetry sys hub = sys.telemetry <- hub
+let set_flight sys fr = sys.flight <- fr
+let flight sys = sys.flight
 
 let kspan sys name f =
   match sys.telemetry with None -> f () | Some h -> Telemetry.Hub.with_span h name f
@@ -112,18 +118,34 @@ let run ?fuel v =
         charge sys Cycles.Costs.vmexit;
         exit)
   in
+  let record_exit kind =
+    match sys.flight with
+    | None -> ()
+    | Some fr ->
+        Profiler.Flight.record fr
+          ~at:(Cycles.Clock.now (clock sys))
+          ~core:sys.cur ~pc:(Vm.Cpu.pc v.cpu) kind
+  in
   match exit with
-  | Vm.Cpu.Halt -> Hlt
+  | Vm.Cpu.Halt ->
+      record_exit Profiler.Flight.Halt;
+      Hlt
   | Vm.Cpu.Io_out { port; value } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
       kincr sys "kvm_io_exits_total";
+      record_exit (Profiler.Flight.Io_out { port; value });
       Io_out { port; value }
   | Vm.Cpu.Io_in { port; reg } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
       kincr sys "kvm_io_exits_total";
+      record_exit (Profiler.Flight.Io_in { port });
       Io_in { port; reg }
   | Vm.Cpu.Fault f ->
       sys.stats.fault_exits <- sys.stats.fault_exits + 1;
       kincr sys "kvm_fault_exits_total";
+      record_exit
+        (Profiler.Flight.Fault (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f)));
       Fault f
-  | Vm.Cpu.Out_of_fuel -> Out_of_fuel
+  | Vm.Cpu.Out_of_fuel ->
+      record_exit Profiler.Flight.Fuel;
+      Out_of_fuel

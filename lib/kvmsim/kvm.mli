@@ -56,6 +56,14 @@ val set_telemetry : system -> Telemetry.Hub.t option -> unit
     bump [kvm_*] counters on it. The hub must share this system's
     clock. *)
 
+val set_flight : system -> Profiler.Flight.t option -> unit
+(** Attach (or detach) a flight recorder: every VM exit {!run} observes
+    (halt, I/O, fault, fuel) is recorded with its cycle stamp, core id
+    and guest PC. The runtime dumps the ring as a black-box report when
+    a guest faults or violates hypercall policy. *)
+
+val flight : system -> Profiler.Flight.t option
+
 val create_vm : system -> vm
 (** [KVM_CREATE_VM]: charges the in-kernel allocation cost. *)
 

@@ -1,0 +1,54 @@
+(** VM-exit flight recorder.
+
+    A fixed-size ring holding the most recent VM exits — reason, guest
+    PC, virtual-cycle stamp, core id, plus a free-form hypervisor
+    annotation (hypercall number/args/return). Recording charges no
+    simulated cycles, so the recorder stays attached permanently; when a
+    guest faults or violates policy the runtime renders the ring as an
+    annotated "black box" {!dump}. *)
+
+type kind =
+  | Halt
+  | Io_out of { port : int; value : int64 }
+  | Io_in of { port : int }
+  | Fault of string
+  | Fuel
+
+type entry = private {
+  seq : int;
+  at : int64;
+  core : int;
+  pc : int;
+  kind : kind;
+  mutable note : string;
+}
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Ring of the last [capacity] (default 128) exits. *)
+
+val capacity : t -> int
+
+val total : t -> int
+(** Exits ever recorded (including overwritten ones). *)
+
+val count : t -> int
+(** Exits currently retained ([min total capacity]). *)
+
+val record : t -> at:int64 -> core:int -> pc:int -> kind -> unit
+
+val annotate_last : t -> string -> unit
+(** Attach hypervisor context (e.g. "write(1, 0x80, 5) -> 5") to the most
+    recently recorded exit. *)
+
+val entries : t -> entry list
+(** Retained entries, oldest first. *)
+
+val clear : t -> unit
+
+val pp_entry : Format.formatter -> entry -> unit
+
+val dump : t -> reason:string -> string
+(** The annotated black-box report: a header with [reason] and the
+    retained entries, oldest first. *)

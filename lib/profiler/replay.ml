@@ -1,0 +1,244 @@
+(* Deterministic invocation recording: the .vxr format.
+
+   A recording captures everything needed to re-execute one virtine
+   invocation bit-for-bit in the simulator: the image bytes (integrity-
+   checked by MD5), the runtime RNG seed, the policy, the fuel budget,
+   and the full hypercall transcript with virtual-cycle stamps. Because
+   the simulator is deterministic, replaying with the same seed must
+   reproduce every stamp exactly; [diff] reports any divergence, turning
+   an anomalous invocation into a reproducible test case. *)
+
+type event = { at : int64; nr : int; args : int64 array; ret : int64 }
+
+type t = {
+  mutable image_name : string;
+  mutable mode : string;      (* "real" | "protected" | "long" *)
+  mutable origin : int;
+  mutable entry : int;
+  mutable mem_size : int;
+  mutable code : string;      (* raw image bytes *)
+  mutable seed : int;
+  mutable policy : string;    (* "deny_all" | "allow_all" | "mask:<hex>" *)
+  mutable fuel : int;
+  mutable events_rev : event list;
+  mutable n_events : int;
+  mutable total_cycles : int64;
+  mutable outcome : string;   (* "exited" | "faulted" | "fuel" | "" *)
+  mutable return_value : int64;
+}
+
+let create () =
+  {
+    image_name = "";
+    mode = "long";
+    origin = 0;
+    entry = 0;
+    mem_size = 0;
+    code = "";
+    seed = 0;
+    policy = "deny_all";
+    fuel = 0;
+    events_rev = [];
+    n_events = 0;
+    total_cycles = 0L;
+    outcome = "";
+    return_value = 0L;
+  }
+
+let set_image t ~name ~mode ~origin ~entry ~mem_size ~code =
+  t.image_name <- name;
+  t.mode <- mode;
+  t.origin <- origin;
+  t.entry <- entry;
+  t.mem_size <- mem_size;
+  t.code <- code
+
+let set_env t ~seed ~policy ~fuel =
+  t.seed <- seed;
+  t.policy <- policy;
+  t.fuel <- fuel
+
+let add_event t ~at ~nr ~args ~ret =
+  t.events_rev <- { at; nr; args = Array.copy args; ret } :: t.events_rev;
+  t.n_events <- t.n_events + 1
+
+let finish t ~cycles ~outcome ~return_value =
+  t.total_cycles <- cycles;
+  t.outcome <- outcome;
+  t.return_value <- return_value
+
+let events t = List.rev t.events_rev
+let event_count t = t.n_events
+
+let image_name t = t.image_name
+let mode t = t.mode
+let origin t = t.origin
+let entry t = t.entry
+let mem_size t = t.mem_size
+let code t = t.code
+let seed t = t.seed
+let policy t = t.policy
+let fuel t = t.fuel
+let total_cycles t = t.total_cycles
+let outcome t = t.outcome
+let return_value t = t.return_value
+
+let image_md5 t = Digest.to_hex (Digest.string t.code)
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let hex_of_string s =
+  let buf = Buffer.create (2 * String.length s) in
+  String.iter (fun c -> Buffer.add_string buf (Printf.sprintf "%02x" (Char.code c))) s;
+  Buffer.contents buf
+
+let string_of_hex h =
+  let n = String.length h in
+  if n mod 2 <> 0 then invalid_arg "Replay: odd hex string";
+  String.init (n / 2) (fun i ->
+      Char.chr (int_of_string ("0x" ^ String.sub h (2 * i) 2)))
+
+let magic = "vxr1"
+
+let to_string t =
+  let buf = Buffer.create (1024 + (2 * String.length t.code)) in
+  Buffer.add_string buf (magic ^ "\n");
+  Buffer.add_string buf (Printf.sprintf "image %s\n" t.image_name);
+  Buffer.add_string buf (Printf.sprintf "mode %s\n" t.mode);
+  Buffer.add_string buf (Printf.sprintf "origin %d\n" t.origin);
+  Buffer.add_string buf (Printf.sprintf "entry %d\n" t.entry);
+  Buffer.add_string buf (Printf.sprintf "mem_size %d\n" t.mem_size);
+  Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
+  Buffer.add_string buf (Printf.sprintf "policy %s\n" t.policy);
+  Buffer.add_string buf (Printf.sprintf "fuel %d\n" t.fuel);
+  Buffer.add_string buf (Printf.sprintf "md5 %s\n" (image_md5 t));
+  Buffer.add_string buf (Printf.sprintf "code %s\n" (hex_of_string t.code));
+  List.iter
+    (fun e ->
+      Buffer.add_string buf
+        (Printf.sprintf "hc %Ld %d %Ld %s\n" e.at e.nr e.ret
+           (String.concat " " (Array.to_list (Array.map Int64.to_string e.args)))))
+    (events t);
+  Buffer.add_string buf (Printf.sprintf "total %Ld\n" t.total_cycles);
+  Buffer.add_string buf (Printf.sprintf "outcome %s\n" t.outcome);
+  Buffer.add_string buf (Printf.sprintf "ret %Ld\n" t.return_value);
+  Buffer.contents buf
+
+let of_string s =
+  let t = create () in
+  let stored_md5 = ref "" in
+  let err = ref None in
+  let fail fmt = Printf.ksprintf (fun m -> if !err = None then err := Some m) fmt in
+  let lines = String.split_on_char '\n' s in
+  (match lines with
+  | first :: _ when first = magic -> ()
+  | _ -> fail "not a vxr file (missing %s header)" magic);
+  let split_kv line =
+    match String.index_opt line ' ' with
+    | None -> (line, "")
+    | Some i ->
+        (String.sub line 0 i, String.sub line (i + 1) (String.length line - i - 1))
+  in
+  let int_of v ~what =
+    match int_of_string_opt v with
+    | Some n -> n
+    | None ->
+        fail "bad %s: %S" what v;
+        0
+  in
+  let int64_of v ~what =
+    match Int64.of_string_opt v with
+    | Some n -> n
+    | None ->
+        fail "bad %s: %S" what v;
+        0L
+  in
+  List.iteri
+    (fun i line ->
+      if i > 0 && line <> "" then begin
+        let key, v = split_kv line in
+        match key with
+        | "image" -> t.image_name <- v
+        | "mode" -> t.mode <- v
+        | "origin" -> t.origin <- int_of v ~what:"origin"
+        | "entry" -> t.entry <- int_of v ~what:"entry"
+        | "mem_size" -> t.mem_size <- int_of v ~what:"mem_size"
+        | "seed" -> t.seed <- int_of v ~what:"seed"
+        | "policy" -> t.policy <- v
+        | "fuel" -> t.fuel <- int_of v ~what:"fuel"
+        | "md5" -> stored_md5 := v
+        | "code" -> (
+            match string_of_hex v with
+            | code -> t.code <- code
+            | exception Invalid_argument _ | exception Failure _ ->
+                fail "bad code hex")
+        | "hc" -> (
+            match String.split_on_char ' ' v with
+            | at :: nr :: ret :: args ->
+                add_event t ~at:(int64_of at ~what:"hc stamp")
+                  ~nr:(int_of nr ~what:"hc nr")
+                  ~args:(Array.of_list (List.map (fun a -> int64_of a ~what:"hc arg") args))
+                  ~ret:(int64_of ret ~what:"hc ret")
+            | _ -> fail "bad hc line: %S" v)
+        | "total" -> t.total_cycles <- int64_of v ~what:"total"
+        | "outcome" -> t.outcome <- v
+        | "ret" -> t.return_value <- int64_of v ~what:"ret"
+        | _ -> fail "unknown field %S" key
+      end)
+    lines;
+  (match !err with
+  | None when !stored_md5 <> "" && !stored_md5 <> image_md5 t ->
+      fail "image corrupt: md5 %s does not match recorded %s" (image_md5 t) !stored_md5
+  | _ -> ());
+  match !err with None -> Ok t | Some m -> Error m
+
+(* ------------------------------------------------------------------ *)
+(* Divergence detection                                                *)
+(* ------------------------------------------------------------------ *)
+
+let max_reported = 10
+
+let diff recorded replayed =
+  let divs = ref [] in
+  let hidden = ref 0 in
+  let add fmt =
+    Printf.ksprintf
+      (fun m -> if List.length !divs < max_reported then divs := m :: !divs else incr hidden)
+      fmt
+  in
+  if image_md5 recorded <> image_md5 replayed then
+    add "image: md5 %s vs %s" (image_md5 recorded) (image_md5 replayed);
+  if recorded.seed <> replayed.seed then add "seed: %d vs %d" recorded.seed replayed.seed;
+  if recorded.policy <> replayed.policy then
+    add "policy: %s vs %s" recorded.policy replayed.policy;
+  if recorded.n_events <> replayed.n_events then
+    add "hypercall count: %d vs %d" recorded.n_events replayed.n_events;
+  List.iteri
+    (fun i (a, b) ->
+      if a.nr <> b.nr then add "hc[%d]: nr %d vs %d" i a.nr b.nr
+      else if Int64.compare a.at b.at <> 0 then
+        add "hc[%d] (%d): cycle stamp %Ld vs %Ld" i a.nr a.at b.at
+      else if a.args <> b.args then
+        add "hc[%d] (%d): args (%s) vs (%s)" i a.nr
+          (String.concat "," (Array.to_list (Array.map Int64.to_string a.args)))
+          (String.concat "," (Array.to_list (Array.map Int64.to_string b.args)))
+      else if Int64.compare a.ret b.ret <> 0 then
+        add "hc[%d] (%d): return %Ld vs %Ld" i a.nr a.ret b.ret)
+    (List.combine
+       (let ea = events recorded and eb = events replayed in
+        let n = min (List.length ea) (List.length eb) in
+        List.filteri (fun i _ -> i < n) ea)
+       (let ea = events recorded and eb = events replayed in
+        let n = min (List.length ea) (List.length eb) in
+        List.filteri (fun i _ -> i < n) eb));
+  if Int64.compare recorded.total_cycles replayed.total_cycles <> 0 then
+    add "total cycles: %Ld vs %Ld" recorded.total_cycles replayed.total_cycles;
+  if recorded.outcome <> replayed.outcome then
+    add "outcome: %s vs %s" recorded.outcome replayed.outcome;
+  if Int64.compare recorded.return_value replayed.return_value <> 0 then
+    add "return value: %Ld vs %Ld" recorded.return_value replayed.return_value;
+  let out = List.rev !divs in
+  if !hidden > 0 then out @ [ Printf.sprintf "(%d further divergences suppressed)" !hidden ]
+  else out

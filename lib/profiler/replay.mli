@@ -1,0 +1,61 @@
+(** Deterministic invocation record/replay: the [.vxr] format.
+
+    A recording holds the image bytes (MD5-checked), the runtime RNG
+    seed, the policy, the fuel budget, the cycle-stamped hypercall
+    transcript, and the final outcome of one invocation. The simulator is
+    deterministic, so re-executing under the same seed must reproduce
+    every stamp; {!diff} reports cycle-for-cycle divergences. *)
+
+type event = { at : int64; nr : int; args : int64 array; ret : int64 }
+(** One hypercall: virtual-cycle stamp at dispatch, number, argument
+    registers, and the value returned in r0. *)
+
+type t
+
+val create : unit -> t
+
+val set_image :
+  t ->
+  name:string ->
+  mode:string ->
+  origin:int ->
+  entry:int ->
+  mem_size:int ->
+  code:string ->
+  unit
+
+val set_env : t -> seed:int -> policy:string -> fuel:int -> unit
+(** [policy] is ["deny_all"], ["allow_all"] or ["mask:<hex>"]. *)
+
+val add_event : t -> at:int64 -> nr:int -> args:int64 array -> ret:int64 -> unit
+
+val finish : t -> cycles:int64 -> outcome:string -> return_value:int64 -> unit
+(** [outcome] is ["exited"], ["faulted"] or ["fuel"]. *)
+
+val events : t -> event list
+val event_count : t -> int
+
+val image_name : t -> string
+val mode : t -> string
+val origin : t -> int
+val entry : t -> int
+val mem_size : t -> int
+val code : t -> string
+val seed : t -> int
+val policy : t -> string
+val fuel : t -> int
+val total_cycles : t -> int64
+val outcome : t -> string
+val return_value : t -> int64
+
+val image_md5 : t -> string
+
+val to_string : t -> string
+(** Render as a [.vxr] file (line-oriented text). *)
+
+val of_string : string -> (t, string) result
+(** Parse a [.vxr] file; verifies the embedded image MD5. *)
+
+val diff : t -> t -> string list
+(** [diff recorded replayed]: divergences in execution order (empty =
+    deterministic replay succeeded). At most 10 are itemized. *)

@@ -19,9 +19,21 @@ let args_json args =
       (List.map (fun (k, v) -> Printf.sprintf "\"%s\":\"%s\"" (escape k) (escape v)) args)
   ^ "}"
 
+(* Each simulated core becomes its own thread track: tid = core + 1
+   (Chrome treats tid 0 oddly, so core 0 maps to tid 1). *)
+let tid_of_core core = core + 1
+
 let to_json ?(process = "wasp") hub =
   let clk = Hub.clock hub in
   let us c = Cycles.Clock.to_us clk c in
+  let items = Span.items (Hub.spans hub) in
+  let cores =
+    List.sort_uniq compare
+      (List.map
+         (function Span.Complete s -> s.Span.core | Span.Instant i -> i.i_core)
+         items)
+  in
+  let cores = if cores = [] then [ 0 ] else cores in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[";
   Buffer.add_string buf
@@ -29,20 +41,29 @@ let to_json ?(process = "wasp") hub =
        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"%s\"}}"
        (escape process));
   List.iter
+    (fun core ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":%d,\"args\":{\"name\":\"core %d\"}}"
+           (tid_of_core core) core))
+    cores;
+  List.iter
     (fun item ->
       Buffer.add_char buf ',';
       match item with
       | Span.Complete s ->
           Buffer.add_string buf
             (Printf.sprintf
-               "{\"name\":\"%s\",\"cat\":\"wasp\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":1,\"args\":%s}"
+               "{\"name\":\"%s\",\"cat\":\"wasp\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d,\"args\":%s}"
                (escape s.Span.name) (us s.Span.start_cycles) (us s.Span.duration)
+               (tid_of_core s.Span.core)
                (args_json (("cycles", Int64.to_string s.Span.duration) :: s.Span.args)))
       | Span.Instant i ->
           Buffer.add_string buf
             (Printf.sprintf
-               "{\"name\":\"%s\",\"cat\":\"wasp\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":1,\"args\":%s}"
-               (escape i.i_name) (us i.i_at) (args_json i.i_args)))
-    (Span.items (Hub.spans hub));
+               "{\"name\":\"%s\",\"cat\":\"wasp\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":%d,\"args\":%s}"
+               (escape i.i_name) (us i.i_at) (tid_of_core i.i_core) (args_json i.i_args)))
+    items;
   Buffer.add_string buf "]}";
   Buffer.contents buf

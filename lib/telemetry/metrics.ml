@@ -1,5 +1,16 @@
-type counter = { c_name : string; c_help : string; mutable c_value : int }
-type gauge = { g_name : string; g_help : string; mutable g_value : float }
+type counter = {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;
+  mutable c_value : int;
+}
+
+type gauge = {
+  g_name : string;
+  g_help : string;
+  g_labels : (string * string) list;
+  mutable g_value : float;
+}
 
 type histogram = {
   h_name : string;
@@ -19,26 +30,40 @@ let num_buckets = 63
 
 let create () = { tbl = Hashtbl.create 32; order = [] }
 
-let register t name metric =
-  Hashtbl.replace t.tbl name metric;
-  t.order <- name :: t.order
+let register t key metric =
+  Hashtbl.replace t.tbl key metric;
+  t.order <- key :: t.order
 
-let counter t ?(help = "") name =
-  match Hashtbl.find_opt t.tbl name with
+(* Labeled series live in the same registry as plain ones, keyed by
+   name plus the rendered label set so each (name, labels) pair is its
+   own find-or-register identity. Unlabeled metrics keep the bare name
+   as their key, so [find] by name is unaffected. *)
+let series_key name labels =
+  match labels with
+  | [] -> name
+  | _ ->
+      name ^ "{"
+      ^ String.concat "," (List.map (fun (k, v) -> k ^ "=" ^ v) labels)
+      ^ "}"
+
+let counter t ?(help = "") ?(labels = []) name =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some (Counter c) -> c
-  | Some _ -> invalid_arg ("Metrics.counter: " ^ name ^ " is not a counter")
+  | Some _ -> invalid_arg ("Metrics.counter: " ^ key ^ " is not a counter")
   | None ->
-      let c = { c_name = name; c_help = help; c_value = 0 } in
-      register t name (Counter c);
+      let c = { c_name = name; c_help = help; c_labels = labels; c_value = 0 } in
+      register t key (Counter c);
       c
 
-let gauge t ?(help = "") name =
-  match Hashtbl.find_opt t.tbl name with
+let gauge t ?(help = "") ?(labels = []) name =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some (Gauge g) -> g
-  | Some _ -> invalid_arg ("Metrics.gauge: " ^ name ^ " is not a gauge")
+  | Some _ -> invalid_arg ("Metrics.gauge: " ^ key ^ " is not a gauge")
   | None ->
-      let g = { g_name = name; g_help = help; g_value = 0.0 } in
-      register t name (Gauge g);
+      let g = { g_name = name; g_help = help; g_labels = labels; g_value = 0.0 } in
+      register t key (Gauge g);
       g
 
 let histogram t ?(help = "") name =

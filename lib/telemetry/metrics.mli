@@ -9,8 +9,19 @@
     interpolation within the crossing bucket, clamped to the observed
     min/max — exact for constant inputs and deterministic always. *)
 
-type counter = private { c_name : string; c_help : string; mutable c_value : int }
-type gauge = private { g_name : string; g_help : string; mutable g_value : float }
+type counter = private {
+  c_name : string;
+  c_help : string;
+  c_labels : (string * string) list;  (** Prometheus-style label set; [[]] = plain *)
+  mutable c_value : int;
+}
+
+type gauge = private {
+  g_name : string;
+  g_help : string;
+  g_labels : (string * string) list;
+  mutable g_value : float;
+}
 
 type histogram = private {
   h_name : string;
@@ -28,11 +39,15 @@ type t
 
 val create : unit -> t
 
-val counter : t -> ?help:string -> string -> counter
-(** Find-or-register. @raise Invalid_argument if the name is already a
-    different kind of metric. *)
+val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> counter
+(** Find-or-register. Each distinct (name, labels) pair is its own
+    series: [counter t ~labels:["fn", "main"] "cycles"] and
+    [counter t ~labels:["fn", "fib"] "cycles"] are independent counters
+    under one exported metric family. {!find} by bare name only sees the
+    unlabeled series. @raise Invalid_argument if the identity is already
+    a different kind of metric. *)
 
-val gauge : t -> ?help:string -> string -> gauge
+val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
 val histogram : t -> ?help:string -> string -> histogram
 
 val incr : ?by:int -> counter -> unit

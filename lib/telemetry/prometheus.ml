@@ -1,18 +1,70 @@
+(* Prometheus text exposition (version 0.0.4). Label values are escaped
+   per the spec: backslash, double-quote and newline each get a
+   backslash prefix (newline becomes backslash-n). HELP/TYPE preambles
+   are emitted once per metric family, so many labeled series of one
+   family share a single preamble. *)
+
+let escape_label_value s =
+  let buf = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+(* HELP strings escape only backslash and newline (quotes are legal). *)
+let escape_help s =
+  let buf = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render_labels labels =
+  match labels with
+  | [] -> ""
+  | _ ->
+      "{"
+      ^ String.concat ","
+          (List.map
+             (fun (k, v) -> Printf.sprintf "%s=\"%s\"" k (escape_label_value v))
+             labels)
+      ^ "}"
+
 let to_text registry =
   let buf = Buffer.create 1024 in
+  let seen = Hashtbl.create 16 in
   let preamble name help kind =
-    if help <> "" then Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
-    Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      if help <> "" then
+        Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name (escape_help help));
+      Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name kind)
+    end
   in
   List.iter
     (fun metric ->
       match metric with
       | Metrics.Counter c ->
           preamble c.Metrics.c_name c.Metrics.c_help "counter";
-          Buffer.add_string buf (Printf.sprintf "%s %d\n" c.Metrics.c_name c.Metrics.c_value)
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %d\n" c.Metrics.c_name
+               (render_labels c.Metrics.c_labels)
+               c.Metrics.c_value)
       | Metrics.Gauge g ->
           preamble g.Metrics.g_name g.Metrics.g_help "gauge";
-          Buffer.add_string buf (Printf.sprintf "%s %g\n" g.Metrics.g_name g.Metrics.g_value)
+          Buffer.add_string buf
+            (Printf.sprintf "%s%s %g\n" g.Metrics.g_name
+               (render_labels g.Metrics.g_labels)
+               g.Metrics.g_value)
       | Metrics.Histogram h ->
           preamble h.Metrics.h_name h.Metrics.h_help "histogram";
           List.iter

@@ -4,6 +4,7 @@ type span = {
   duration : int64;
   depth : int;
   seq : int;
+  core : int;
   args : (string * string) list;
 }
 
@@ -14,6 +15,7 @@ type item =
       i_at : int64;
       i_depth : int;
       i_seq : int;
+      i_core : int;
       i_args : (string * string) list;
     }
 
@@ -22,12 +24,14 @@ type frame = {
   f_start : int64;
   f_depth : int;
   f_seq : int;
+  f_core : int;
   f_args : (string * string) list;
 }
 
 type sink = {
   mutable clk : Cycles.Clock.t;
   capacity : int;
+  mutable core : int;
   mutable stack : frame list;
   mutable finished : item list; (* finish order, newest first *)
   mutable n : int;
@@ -36,10 +40,22 @@ type sink = {
 }
 
 let create ?(capacity = 65536) ~clock () =
-  { clk = clock; capacity; stack = []; finished = []; n = 0; dropped_n = 0; next_seq = 0 }
+  {
+    clk = clock;
+    capacity;
+    core = 0;
+    stack = [];
+    finished = [];
+    n = 0;
+    dropped_n = 0;
+    next_seq = 0;
+  }
 
 let clock s = s.clk
 let set_clock s clk = s.clk <- clk
+
+let core s = s.core
+let set_core s core = s.core <- core
 
 let push_item s item =
   if s.n >= s.capacity then s.dropped_n <- s.dropped_n + 1
@@ -60,6 +76,7 @@ let enter s ?(args = []) name =
       f_start = Cycles.Clock.now s.clk;
       f_depth = List.length s.stack;
       f_seq = fresh_seq s;
+      f_core = s.core;
       f_args = args;
     }
   in
@@ -78,6 +95,7 @@ let leave s ?(args = []) () =
              duration = Cycles.Clock.elapsed_since s.clk f.f_start;
              depth = f.f_depth;
              seq = f.f_seq;
+             core = f.f_core;
              args = f.f_args @ args;
            })
 
@@ -99,6 +117,7 @@ let instant s ?(args = []) name =
          i_at = Cycles.Clock.now s.clk;
          i_depth = List.length s.stack;
          i_seq = fresh_seq s;
+         i_core = s.core;
          i_args = args;
        })
 

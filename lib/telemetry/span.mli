@@ -15,6 +15,7 @@ type span = {
   duration : int64;                (** cycles between open and close *)
   depth : int;                     (** nesting depth; 0 = root *)
   seq : int;                       (** creation order, unique per sink *)
+  core : int;                      (** simulated core the span was opened on *)
   args : (string * string) list;   (** free-form attributes *)
 }
 
@@ -25,6 +26,7 @@ type item =
       i_at : int64;
       i_depth : int;
       i_seq : int;
+      i_core : int;
       i_args : (string * string) list;
     }  (** a point-in-time event, e.g. a mirrored {!Wasp.Trace} entry *)
 
@@ -42,6 +44,13 @@ val set_clock : sink -> Cycles.Clock.t -> unit
 (** Retarget the stamping clock (multi-core runs switch the sink to the
     active core's clock). Only switch between spans: a span that is open
     across a switch gets its duration measured on the leave-time clock. *)
+
+val core : sink -> int
+
+val set_core : sink -> int -> unit
+(** Stamp subsequently opened spans/instants with this core id (the
+    Chrome exporter lays each core out as its own thread track). The
+    runtime's core switcher keeps this in sync with {!set_clock}. *)
 
 val enter : sink -> ?args:(string * string) list -> string -> unit
 (** Open a span stamped at [Clock.now]. *)

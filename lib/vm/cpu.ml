@@ -33,6 +33,7 @@ type t = {
   mutable signed_cmp : int;
   mutable unsigned_cmp : int;
   mutable retired : int64;
+  mutable step_hook : (pc:int -> instr:Instr.t -> cost:int -> unit) option;
 }
 
 exception Vm_fault of fault
@@ -47,6 +48,7 @@ let create ~mem ~mode ~clock =
     signed_cmp = 0;
     unsigned_cmp = 0;
     retired = 0L;
+    step_hook = None;
   }
 
 let mem t = t.memory
@@ -60,6 +62,9 @@ let set_pc t pc = t.pc <- pc
 let set_sp t sp = set_reg t Instr.sp (Int64.of_int sp)
 
 let instructions_retired t = t.retired
+
+let set_step_hook t hook = t.step_hook <- Some hook
+let clear_step_hook t = t.step_hook <- None
 
 let reset t ~mode =
   t.cpu_mode <- mode;
@@ -152,11 +157,12 @@ let fetch t =
   try Encoding.decode read_byte t.pc with
   | Encoding.Decode_error { addr; msg } -> raise (Vm_fault (Invalid_opcode { addr; msg }))
 
-let step t : exit_reason option =
-  let start_pc = t.pc in
+let step_inner t start_pc : exit_reason option =
   let instr, size = fetch t in
-  Cycles.Clock.advance_int t.clock (Instr.cost instr);
+  let cost = Instr.cost instr in
+  Cycles.Clock.advance_int t.clock cost;
   t.retired <- Int64.add t.retired 1L;
+  (match t.step_hook with Some h -> h ~pc:start_pc ~instr ~cost | None -> ());
   let next = start_pc + size in
   t.pc <- next;
   match instr with
@@ -218,6 +224,19 @@ let step t : exit_reason option =
   | Rdtsc rd ->
       set_reg t rd (Cycles.Clock.now t.clock);
       None
+
+(* On a fault the PC is rewound to the faulting instruction so the
+   hypervisor's post-mortem (flight recorder) reports where the guest
+   died, like a real #PF pushing the faulting RIP. *)
+let step t : exit_reason option =
+  let start_pc = t.pc in
+  try step_inner t start_pc with
+  | Vm_fault _ as e ->
+      t.pc <- start_pc;
+      raise e
+  | Memory.Fault _ as e ->
+      t.pc <- start_pc;
+      raise e
 
 let run ?(fuel = 200_000_000) t =
   let remaining = ref fuel in

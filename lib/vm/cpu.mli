@@ -43,10 +43,19 @@ val set_sp : t -> int -> unit
 
 val instructions_retired : t -> int64
 
+val set_step_hook : t -> (pc:int -> instr:Instr.t -> cost:int -> unit) -> unit
+(** Install a per-instruction observer, called once per retired
+    instruction after its cost is charged to the clock and before it
+    executes (the guest profiler's attachment point). At most one hook is
+    active; installing replaces the previous one. *)
+
+val clear_step_hook : t -> unit
+
 val run : ?fuel:int -> t -> exit_reason
 (** Execute until an exit. [fuel] (default 200M instructions) bounds
     runaway guests. Resumable: calling [run] again after an I/O exit
-    continues after the I/O instruction. *)
+    continues after the I/O instruction. After a [Fault] exit, {!pc}
+    reports the faulting instruction's address. *)
 
 val reset : t -> mode:Modes.t -> unit
 (** Clear registers/flags/PC and switch mode (shell reuse). Guest memory

@@ -5,6 +5,7 @@ type t = {
   entry : int;
   mode : Vm.Modes.t;
   mem_size : int;
+  symbols : (string * int) list;
 }
 
 let fit_mem_size ~origin ~code_len ~requested =
@@ -17,7 +18,7 @@ let of_program ?(name = "image") ?(mode = Vm.Modes.Long) ?mem_size (p : Asm.prog
   let mem_size =
     fit_mem_size ~origin:p.origin ~code_len:(Bytes.length p.code) ~requested:mem_size
   in
-  { name; code = p.code; origin = p.origin; entry = p.entry; mode; mem_size }
+  { name; code = p.code; origin = p.origin; entry = p.entry; mode; mem_size; symbols = p.symbols }
 
 let of_asm_string ?name ?mode ?mem_size ?entry src =
   of_program ?name ?mode ?mem_size (Asm.assemble_string ~origin:Layout.image_base ?entry src)

@@ -13,6 +13,11 @@ type t = {
   entry : int;             (** absolute start address *)
   mode : Vm.Modes.t;
   mem_size : int;          (** guest region size *)
+  symbols : (string * int) list;
+      (** label -> absolute address, from the assembler; feeds the guest
+          profiler's symbolization. Empty for images rebuilt from a raw
+          blob (e.g. replay files): the profiler falls back to raw
+          addresses. *)
 }
 
 val of_program : ?name:string -> ?mode:Vm.Modes.t -> ?mem_size:int -> Asm.program -> t

@@ -25,6 +25,9 @@ type t = {
   boot_rng : Cycles.Rng.t;
   mutable tracer : Trace.t option;
   mutable telemetry : Telemetry.Hub.t option;
+  mutable profiler : Profiler.Profile.t option;
+  mutable recorder : Profiler.Replay.t option;
+  mutable last_flight : string option;
   reset : reset_mode;
   run_stats : run_stats;
   retained : (string, Pool.shell) Hashtbl.t;
@@ -35,6 +38,9 @@ type t = {
 let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy)
     ?(cores = 1) ?pool_capacity () =
   let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores () in
+  (* The flight recorder charges no cycles, so it stays attached for the
+     runtime's whole life: every VM exit is always in the black box. *)
+  Kvmsim.Kvm.set_flight sys (Some (Profiler.Flight.create ()));
   let clean = match clean with `Sync -> Pool.Sync | `Async -> Pool.Async in
   {
     sys;
@@ -45,6 +51,9 @@ let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `
     boot_rng = Cycles.Rng.split (Kvmsim.Kvm.rng sys);
     tracer = None;
     telemetry = None;
+    profiler = None;
+    recorder = None;
+    last_flight = None;
     reset;
     run_stats =
       {
@@ -83,6 +92,16 @@ let set_telemetry t hub =
   match t.tracer with Some tr -> Trace.mirror tr hub | None -> ()
 
 let telemetry t = t.telemetry
+
+let set_profiler t p = t.profiler <- p
+let profiler t = t.profiler
+
+let set_recorder t r = t.recorder <- r
+let recorder t = t.recorder
+
+let flight t = Kvmsim.Kvm.flight t.sys
+let flight_dump t = t.last_flight
+let clear_flight_dump t = t.last_flight <- None
 
 (* Telemetry shims: all no-ops when no hub is attached. *)
 let tspan t ?args name f =
@@ -320,8 +339,28 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
           if port = Hc.port then begin
             let nr = Int64.to_int value in
             let args = Array.init 5 (fun i -> Vm.Cpu.get_reg cpu (i + 1)) in
+            let at = Cycles.Clock.now (clock t) in
+            let denied_before = inv.denied in
             let r0 = dispatch t ~policy ~handlers ~inv ~take_snapshot nr args in
             Vm.Cpu.set_reg cpu 0 r0;
+            (match t.recorder with
+            | Some rec_ -> Profiler.Replay.add_event rec_ ~at ~nr ~args ~ret:r0
+            | None -> ());
+            (match Kvmsim.Kvm.flight t.sys with
+            | Some fr ->
+                Profiler.Flight.annotate_last fr
+                  (Printf.sprintf "%s(%s) -> %Ld" (Hc.name nr)
+                     (String.concat ", "
+                        (List.map Int64.to_string (Array.to_list args)))
+                     r0);
+                if inv.denied > denied_before then
+                  t.last_flight <-
+                    Some
+                      (Profiler.Flight.dump fr
+                         ~reason:
+                           (Printf.sprintf "policy violation: hypercall %s denied"
+                              (Hc.name nr)))
+            | None -> ());
             match inv.exit_code with Some code -> Exited code | None -> loop ()
           end
           else begin
@@ -336,7 +375,33 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
       | Kvmsim.Kvm.Out_of_fuel -> Fuel_exhausted
     end
   in
-  let outcome = tspan t "execute" loop in
+  let exec_start = Cycles.Clock.now (clock t) in
+  (match t.profiler with
+  | Some p ->
+      Profiler.Profile.begin_invocation p ~symbols:image.symbols ~clock:(clock t);
+      Vm.Cpu.set_step_hook cpu (fun ~pc ~instr ~cost ->
+          Profiler.Profile.on_step p ~pc ~instr ~cost)
+  | None -> ());
+  let outcome =
+    Fun.protect
+      ~finally:(fun () -> if t.profiler <> None then Vm.Cpu.clear_step_hook cpu)
+      (fun () -> tspan t "execute" loop)
+  in
+  (match t.profiler with
+  | Some p ->
+      Profiler.Profile.end_invocation p
+        ~execute_cycles:(Cycles.Clock.elapsed_since (clock t) exec_start)
+  | None -> ());
+  (match outcome with
+  | Faulted _ -> (
+      match Kvmsim.Kvm.flight t.sys with
+      | Some fr ->
+          t.last_flight <-
+            Some
+              (Profiler.Flight.dump fr
+                 ~reason:(Printf.sprintf "guest fault at pc=0x%x" (Vm.Cpu.pc cpu)))
+      | None -> ())
+  | Exited _ | Fuel_exhausted -> ());
   (match inspect with Some f -> f mem cpu | None -> ());
   let return_value =
     match outcome with Exited v -> v | Faulted _ | Fuel_exhausted -> Vm.Cpu.get_reg cpu 0

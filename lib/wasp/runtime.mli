@@ -103,6 +103,36 @@ val set_telemetry : t -> Telemetry.Hub.t option -> unit
 
 val telemetry : t -> Telemetry.Hub.t option
 
+(** {1 Observability: profiler, flight recorder, record/replay} *)
+
+val set_profiler : t -> Profiler.Profile.t option -> unit
+(** Attach (or detach) a guest profiler. While attached, every
+    invocation's execute phase runs with a vCPU step hook that attributes
+    instruction cycles to guest functions (using the image's symbol
+    table) and opcodes; the residue — VM-exit costs, hypercall dispatch,
+    handler work — is booked to the [\[vmm\]] pseudo-function, so the
+    per-function totals sum exactly to the execute span's duration. *)
+
+val profiler : t -> Profiler.Profile.t option
+
+val set_recorder : t -> Profiler.Replay.t option -> unit
+(** Attach a replay recorder: each hypercall the runtime dispatches is
+    appended as a cycle-stamped transcript event. The caller seeds the
+    recording ({!Profiler.Replay.set_image}/[set_env]) and finalizes it
+    ([finish]) around the invocation. *)
+
+val recorder : t -> Profiler.Replay.t option
+
+val flight : t -> Profiler.Flight.t option
+(** The VM-exit flight recorder (always attached by {!create}). *)
+
+val flight_dump : t -> string option
+(** The most recent black-box report, produced when a guest faulted or a
+    hypercall was denied by policy: the last ring of VM exits, annotated,
+    ending at the faulting PC / violating hypercall. *)
+
+val clear_flight_dump : t -> unit
+
 (** {1 Invocation} *)
 
 type outcome =

@@ -101,6 +101,109 @@ let test_decode_bad_register () =
   | _ -> Alcotest.fail "expected decode error"
 
 (* ------------------------------------------------------------------ *)
+(* Disassembler                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* One instance of every opcode in the table: every constructor, every
+   binop, every condition, every width, and both operand shapes where an
+   operand is accepted. *)
+let full_opcode_table =
+  let open Instr in
+  [
+    Hlt;
+    Nop;
+    Ret;
+    Mov (1, Reg 2);
+    Mov (3, Imm (-42L));
+    Neg 4;
+    Not 5;
+    Cmp (6, Reg 7);
+    Cmp (6, Imm 1234L);
+    Jmp 0x8010;
+    Call 0x8020;
+    Callr 8;
+    Push (Reg 9);
+    Push (Imm 7L);
+    Pop 10;
+    Lea (11, 12, 256);
+    Out (1, Reg 0);
+    Out (2, Imm 99L);
+    In (13, 3);
+    Rdtsc 14;
+  ]
+  @ List.concat_map
+      (fun op -> [ Bin (op, 1, Reg 2); Bin (op, 3, Imm 5L) ])
+      [ Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar ]
+  @ List.map (fun c -> Jcc (c, 0x8030)) [ Eq; Ne; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge ]
+  @ List.concat_map
+      (fun w -> [ Load (w, 1, 2, 8); Store (w, 3, -8, Reg 4); Store (w, 5, 16, Imm 255L) ])
+      [ W8; W16; W32; W64 ]
+
+(* Every opcode in the table survives encode -> linear-sweep disassemble:
+   same instruction, contiguous addresses, sizes matching the encoder. *)
+let test_disasm_full_table () =
+  let blob = Encoding.encode_program full_opcode_table in
+  let lines = Disasm.disassemble ~origin:0x8000 blob in
+  Alcotest.(check int) "one line per instruction" (List.length full_opcode_table)
+    (List.length lines);
+  let addr = ref 0x8000 in
+  List.iter2
+    (fun i (l : Disasm.line) ->
+      Alcotest.check (Alcotest.option instr) ("decodes " ^ Instr.to_string i) (Some i)
+        l.Disasm.instr;
+      Alcotest.(check int) "contiguous" !addr l.Disasm.addr;
+      Alcotest.(check int) "size matches encoder" (Encoding.encoded_size i) l.Disasm.size;
+      addr := !addr + l.Disasm.size)
+    full_opcode_table lines;
+  Alcotest.(check int) "sweep covers the blob" (0x8000 + Bytes.length blob) !addr
+
+let prop_disasm_roundtrip =
+  QCheck.Test.make ~name:"disassemble roundtrips random programs" ~count:300
+    (QCheck.make QCheck.Gen.(list_size (int_range 0 40) gen_instr))
+    (fun is ->
+      let blob = Encoding.encode_program is in
+      let lines = Disasm.disassemble ~origin:0x8000 blob in
+      List.length lines = List.length is
+      && List.for_all2
+           (fun i (l : Disasm.line) ->
+             match l.Disasm.instr with Some j -> Instr.equal i j | None -> false)
+           is lines)
+
+(* Truncating any multi-byte encoding by its final byte must not decode:
+   decode_program raises, and the disassembler's linear sweep marks the
+   opcode byte as data instead of inventing an instruction. *)
+let test_truncated_instructions () =
+  List.iter
+    (fun i ->
+      let full = Encoding.encode_program [ i ] in
+      let n = Bytes.length full in
+      if n > 1 then begin
+        let cut = Bytes.sub full 0 (n - 1) in
+        (match Encoding.decode_program cut with
+        | exception Encoding.Decode_error _ -> ()
+        | _ -> Alcotest.fail ("truncated " ^ Instr.to_string i ^ " decoded"));
+        match Disasm.disassemble ~origin:0x8000 cut with
+        | [] -> Alcotest.fail "no lines for truncated blob"
+        | first :: _ ->
+            Alcotest.check (Alcotest.option instr)
+              ("truncated " ^ Instr.to_string i ^ " resyncs as data")
+              None first.Disasm.instr
+      end)
+    full_opcode_table
+
+let test_disasm_render () =
+  let p = Asm.assemble_string "start:\n  mov r1, 10\n  call fn\n  hlt\nfn:\n  ret\n" in
+  let text = Disasm.of_program p in
+  List.iter
+    (fun needle ->
+      let nh = String.length text and nn = String.length needle in
+      let rec contains i =
+        i + nn <= nh && (String.sub text i nn = needle || contains (i + 1))
+      in
+      Alcotest.(check bool) ("render mentions " ^ needle) true (contains 0))
+    [ "start:"; "fn:"; "mov r1, 10"; "; -> fn"; "008000" ]
+
+(* ------------------------------------------------------------------ *)
 (* Assembler                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -249,6 +352,13 @@ let () =
         [
           Alcotest.test_case "illegal opcode" `Quick test_decode_illegal_opcode;
           Alcotest.test_case "bad register" `Quick test_decode_bad_register;
+        ] );
+      qsuite "disasm-properties" [ prop_disasm_roundtrip ];
+      ( "disasm",
+        [
+          Alcotest.test_case "full opcode table roundtrip" `Quick test_disasm_full_table;
+          Alcotest.test_case "truncated instructions" `Quick test_truncated_instructions;
+          Alcotest.test_case "render" `Quick test_disasm_render;
         ] );
       ( "assembler",
         [

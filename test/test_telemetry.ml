@@ -214,6 +214,59 @@ let test_prometheus_text () =
     (contains (Printf.sprintf "wasp_invocation_cycles_sum %Ld" r.Wasp.Runtime.cycles));
   Alcotest.(check bool) "+Inf bucket" true (contains {|_bucket{le="+Inf"} 1|})
 
+let test_prometheus_label_escaping () =
+  let reg = Telemetry.Metrics.create () in
+  let c =
+    Telemetry.Metrics.counter reg ~help:"tricky \\ values"
+      ~labels:[ ("fn", "a\\b\"c\nd") ] "escape_test_total"
+  in
+  Telemetry.Metrics.incr c;
+  let plain = Telemetry.Metrics.counter reg "escape_test_total" in
+  Telemetry.Metrics.incr ~by:2 plain;
+  let text = Telemetry.Prometheus.to_text reg in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* label values escape backslash, double-quote and newline *)
+  Alcotest.(check bool) "label value escaped" true
+    (contains {|escape_test_total{fn="a\\b\"c\nd"} 1|});
+  Alcotest.(check bool) "bare series coexists" true (contains "escape_test_total 2");
+  (* HELP/TYPE emitted once per family even with two series *)
+  let count sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i acc =
+      if i + n > m then acc
+      else if String.sub text i n = sub then go (i + 1) (acc + 1)
+      else go (i + 1) acc
+    in
+    go 0 0
+  in
+  Alcotest.(check int) "one HELP per family" 1 (count "# HELP escape_test_total");
+  Alcotest.(check int) "one TYPE per family" 1 (count "# TYPE escape_test_total")
+
+let test_chrome_per_core_tids () =
+  let clock = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~clock () in
+  let charge n = Cycles.Clock.advance_int clock n in
+  Telemetry.Hub.set_core hub 0;
+  Telemetry.Hub.with_span hub "execute" (fun () -> charge 10);
+  Telemetry.Hub.set_core hub 2;
+  Telemetry.Hub.with_span hub "execute" (fun () -> charge 20);
+  let json = Telemetry.Chrome.to_json hub in
+  let contains sub =
+    let n = String.length sub and m = String.length json in
+    let rec go i = i + n <= m && (String.sub json i n = sub || go (i + 1)) in
+    go 0
+  in
+  (* each core is its own thread track, named via thread_name metadata *)
+  Alcotest.(check bool) "core 0 slice on tid 1" true (contains {|"tid":1|});
+  Alcotest.(check bool) "core 2 slice on tid 3" true (contains {|"tid":3|});
+  Alcotest.(check bool) "core 0 track named" true (contains {|"core 0"|});
+  Alcotest.(check bool) "core 2 track named" true (contains {|"core 2"|});
+  Alcotest.(check bool) "no track for unused core" false (contains {|"core 1"|})
+
 let test_summary_renders () =
   let _, hub, _ = instrumented_run () in
   let s = Telemetry.Summary.render hub in
@@ -323,6 +376,9 @@ let () =
           Alcotest.test_case "chrome JSON deterministic per seed" `Quick
             test_chrome_json_deterministic;
           Alcotest.test_case "prometheus text" `Quick test_prometheus_text;
+          Alcotest.test_case "prometheus label escaping" `Quick
+            test_prometheus_label_escaping;
+          Alcotest.test_case "chrome per-core tids" `Quick test_chrome_per_core_tids;
           Alcotest.test_case "summary renders phases" `Quick test_summary_renders;
           Alcotest.test_case "percentile table renders" `Quick
             test_percentile_table_renders;
