@@ -22,6 +22,7 @@ let experiments =
     ("aes", "OpenSSL AES-128-CBC integration (Section 6.4)", Exp_aes.run);
     ("udf", "database UDF isolation cost (Section 7.1)", Exp_udf.run);
     ("ablations", "design-choice ablations (hypercalls, pool, marshalling)", Exp_ablations.run);
+    ("memshare", "paged CoW snapshot restore scaling (memory refactor)", Exp_memshare.run);
     ("bechamel", "wall-clock microbenchmarks of the simulator", Bechamel_suite.run);
   ]
 

@@ -204,8 +204,38 @@ let replay_file path =
               List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
               1))
 
-let run file example example_fault mode allow all trace_json metrics check profile
-    profile_folded record replay seed =
+(* --mem-stats: page-sharing figures for the run, read back from the
+   gauges the runtime maintains plus the process-wide page cache. *)
+let print_mem_stats hub w =
+  let m = Telemetry.Hub.metrics hub in
+  let gauge name =
+    match Telemetry.Metrics.find m name with
+    | Some (Telemetry.Metrics.Gauge g) -> int_of_float g.Telemetry.Metrics.g_value
+    | _ -> 0
+  in
+  let resident = gauge "wasp_mem_resident_pages" in
+  let shared = gauge "wasp_mem_shared_pages" in
+  let ept = (Kvmsim.Kvm.stats (Wasp.Runtime.kvm w)).Kvmsim.Kvm.ept_violations in
+  let hits = Vm.Memory.Page_cache.hits () in
+  let misses = Vm.Memory.Page_cache.misses () in
+  let interned = hits + misses in
+  let dedup =
+    if interned = 0 then 0.0 else float_of_int hits /. float_of_int interned
+  in
+  print_newline ();
+  print_endline "--- memory ---";
+  Printf.printf "resident pages    %d (%d KB private)\n" resident (resident * 4);
+  Printf.printf "shared pages      %d (refs into the page cache)\n" shared;
+  Printf.printf "cow faults        %d (EPT write-protection violations)\n" ept;
+  Printf.printf "page cache        %d pages, %d KB\n"
+    (Vm.Memory.Page_cache.entries ())
+    (Vm.Memory.Page_cache.bytes () / 1024);
+  Printf.printf "dedup ratio       %.2f (%d of %d interned pages were already resident)\n"
+    dedup hits interned;
+  print_endline "--------------"
+
+let run file example example_fault mode allow all trace_json metrics mem_stats check
+    profile profile_folded record replay seed =
   match (check, replay) with
   | Some path, _ -> check_trace path
   | None, Some path -> replay_file path
@@ -234,7 +264,7 @@ let run file example example_fault mode allow all trace_json metrics check profi
               in
               let w = Wasp.Runtime.create ~seed () in
               let hub =
-                if trace_json <> None || metrics then begin
+                if trace_json <> None || metrics || mem_stats then begin
                   let h = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
                   Wasp.Runtime.set_telemetry w (Some h);
                   Some h
@@ -313,6 +343,9 @@ let run file example example_fault mode allow all trace_json metrics check profi
                   print_newline ();
                   print_string (Telemetry.Prometheus.to_text (Telemetry.Hub.metrics h))
               | _ -> ());
+              (match hub with
+              | Some h when mem_stats -> print_mem_stats h w
+              | _ -> ());
               (match r.Wasp.Runtime.outcome with
               | Wasp.Runtime.Exited code ->
                   Printf.printf "exited with %Ld  [%.1f us, %d hypercalls, %d denied]\n" code
@@ -371,6 +404,14 @@ let () =
       & info [ "metrics" ]
           ~doc:"Print the telemetry summary and Prometheus-style metrics after the run")
   in
+  let mem_stats =
+    Arg.(
+      value & flag
+      & info [ "mem-stats" ]
+          ~doc:
+            "Print page-sharing statistics after the run: resident and shared pages, CoW \
+             faults, page-cache occupancy and dedup ratio")
+  in
   let check =
     Arg.(
       value
@@ -421,6 +462,6 @@ let () =
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
         const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
-        $ metrics $ check $ profile $ profile_folded $ record $ replay $ seed)
+        $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed)
   in
   exit (Cmd.eval' cmd)

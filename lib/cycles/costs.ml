@@ -43,6 +43,10 @@ let memset_cost bytes = int_of_float (float_of_int bytes *. memset_cycles_per_by
 
 let cow_page_fault = 450
 
+let ept_violation = 2400
+let ept_map_page = 210
+let ept_root_swap = 850
+
 let hypercall_guest_side = 150
 let hypercall_dispatch = 400
 let hypercall_round_trip = vmexit + ioctl_syscall + hypercall_dispatch + kvm_run_checks + vmentry

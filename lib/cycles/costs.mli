@@ -90,6 +90,23 @@ val cow_page_fault : int
     that accompanies each dirty-page copy (the SEUSS-style reset the
     paper's §7.2 anticipates). *)
 
+val ept_violation : int
+(** Handling one EPT write-protection violation: the exit, walking the
+    EPT, and re-entering — excluding the page copy itself (charge
+    {!memcpy_cost} [page_size] on top for a CoW break). Sits between the
+    bare vmexit/vmentry pair and the paper's full hypercall round trip
+    because no user-space crossing is needed. *)
+
+val ept_map_page : int
+(** Installing one EPT leaf entry (write-protecting a page at snapshot
+    capture, or mapping a shared page on restore). Same order as a PTE
+    store burst within {!ept_build}. *)
+
+val ept_root_swap : int
+(** Repointing a vCPU at a pre-built EPT root (plus the implied TLB/VPID
+    flush): the O(1) part of a snapshot restore, independent of image
+    size. *)
+
 (** {1 Hypercall path} *)
 
 val hypercall_guest_side : int

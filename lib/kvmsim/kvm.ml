@@ -5,6 +5,9 @@ type system = {
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
   mutable flight : Profiler.Flight.t option;
+  mutable active_cpu : Vm.Cpu.t option;
+      (* vCPU inside KVM_RUN right now: EPT violations taken from guest
+         stores are stamped with its PC in the flight ring *)
 }
 
 and stats = {
@@ -13,6 +16,7 @@ and stats = {
   mutable runs : int;
   mutable io_exits : int;
   mutable fault_exits : int;
+  mutable ept_violations : int;
 }
 
 type vm = { sys : system; mutable memory : Vm.Memory.t option }
@@ -32,9 +36,18 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
     clocks = Array.init cores (fun _ -> Cycles.Clock.create ?freq_ghz ());
     cur = 0;
     rng = Cycles.Rng.create ~seed;
-    stats = { vm_creations = 0; vcpu_creations = 0; runs = 0; io_exits = 0; fault_exits = 0 };
+    stats =
+      {
+        vm_creations = 0;
+        vcpu_creations = 0;
+        runs = 0;
+        io_exits = 0;
+        fault_exits = 0;
+        ept_violations = 0;
+      };
     telemetry = None;
     flight = None;
+    active_cpu = None;
   }
 
 let clock sys = sys.clocks.(sys.cur)
@@ -76,11 +89,35 @@ let create_vm sys =
       sys.stats.vm_creations <- sys.stats.vm_creations + 1;
       { sys; memory = None })
 
+(* A CoW break of a shared guest page: the simulated EPT write-protection
+   violation. Charged deterministically (no jitter — the replay contract
+   requires byte-identical stamps) and in-line, so it lands inside
+   whatever phase span the triggering store runs under. Demand-zero fills
+   ([shared = false]) charge nothing: cold-path timings are unchanged by
+   the paged representation. *)
+let on_page_fault sys ~shared ~page =
+  if shared then begin
+    sys.stats.ept_violations <- sys.stats.ept_violations + 1;
+    kincr sys "kvm_ept_violations_total";
+    Cycles.Clock.advance_int (clock sys)
+      (Cycles.Costs.ept_violation + Cycles.Costs.memcpy_cost Vm.Memory.page_size);
+    match sys.flight with
+    | None -> ()
+    | Some fr ->
+        let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
+        Profiler.Flight.record fr
+          ~at:(Cycles.Clock.now (clock sys))
+          ~core:sys.cur ~pc
+          (Profiler.Flight.Ept { page })
+  end
+
 let set_user_memory_region vm ~size =
   (* the EPT/memslot build transition *)
   kspan vm.sys "kvm_memory_region" (fun () ->
       charge vm.sys Cycles.Costs.kvm_memory_region;
       let mem = Vm.Memory.create ~size in
+      Vm.Memory.set_fault_hook mem
+        (Some (fun ~shared ~page -> on_page_fault vm.sys ~shared ~page));
       vm.memory <- Some mem;
       mem)
 
@@ -114,7 +151,11 @@ let run ?fuel v =
   let exit =
     kspan sys "vcpu_run" (fun () ->
         charge sys (Cycles.Costs.ioctl_syscall + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
-        let exit = Vm.Cpu.run ?fuel v.cpu in
+        sys.active_cpu <- Some v.cpu;
+        let exit =
+          Fun.protect ~finally:(fun () -> sys.active_cpu <- None) (fun () ->
+              Vm.Cpu.run ?fuel v.cpu)
+        in
         charge sys Cycles.Costs.vmexit;
         exit)
   in

@@ -27,6 +27,10 @@ type stats = {
   mutable runs : int;
   mutable io_exits : int;
   mutable fault_exits : int;
+  mutable ept_violations : int;
+      (** CoW breaks of shared guest pages (simulated EPT
+          write-protection violations); each charged
+          [Costs.ept_violation + memcpy_cost page_size]. *)
 }
 
 val open_dev : ?seed:int -> ?freq_ghz:float -> ?cores:int -> unit -> system
@@ -69,7 +73,9 @@ val create_vm : system -> vm
 
 val set_user_memory_region : vm -> size:int -> Vm.Memory.t
 (** Allocate and register guest memory; charges the memslot setup cost.
-    Replaces any previous region. *)
+    Replaces any previous region. Installs the memory's fault hook: CoW
+    breaks of shared pages charge the simulated EPT-violation cost and
+    land in the flight ring (demand-zero fills are free). *)
 
 val vm_memory : vm -> Vm.Memory.t
 (** Raises [Invalid_argument] if no region was registered. *)

@@ -11,6 +11,7 @@ type kind =
   | Io_in of { port : int }
   | Fault of string
   | Fuel
+  | Ept of { page : int }
 
 type entry = {
   seq : int;            (** monotonically increasing exit number *)
@@ -67,6 +68,7 @@ let kind_to_string = function
   | Io_in { port } -> Printf.sprintf "io_in port=0x%x" port
   | Fault msg -> Printf.sprintf "FAULT %s" msg
   | Fuel -> "out_of_fuel"
+  | Ept { page } -> Printf.sprintf "ept_violation page=%d" page
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%-6d cyc=%-12Ld core=%d pc=0x%06x %s%s" e.seq e.at e.core e.pc

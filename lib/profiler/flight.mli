@@ -13,6 +13,11 @@ type kind =
   | Io_in of { port : int }
   | Fault of string
   | Fuel
+  | Ept of { page : int }
+      (** Simulated EPT write-protection violation: a CoW break of a
+          shared guest page. Unlike the other kinds this is not a
+          [KVM_RUN] return — it is handled "in-kernel" — but it is an
+          exit-class event worth a black-box entry. *)
 
 type entry = private {
   seq : int;

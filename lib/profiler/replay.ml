@@ -85,6 +85,12 @@ let return_value t = t.return_value
 
 let image_md5 t = Digest.to_hex (Digest.string t.code)
 
+(* The runtime calls this with the image bytes read back through the
+   paged memory's logical view after loading, so a recording's MD5 keeps
+   guarding the same property — "the guest saw exactly these bytes" —
+   independent of how pages are represented underneath. *)
+let image_matches t view = String.equal (Digest.to_hex (Digest.bytes view)) (image_md5 t)
+
 (* ------------------------------------------------------------------ *)
 (* Serialization                                                       *)
 (* ------------------------------------------------------------------ *)

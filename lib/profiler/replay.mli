@@ -50,6 +50,12 @@ val return_value : t -> int64
 
 val image_md5 : t -> string
 
+val image_matches : t -> bytes -> bool
+(** [image_matches t view] checks [view] (the image bytes as read back
+    through the guest's logical page view) against the recorded MD5 —
+    the integrity check stays representation-independent, so [.vxr]
+    files recorded against flat memory verify against the paged store. *)
+
 val to_string : t -> string
 (** Render as a [.vxr] file (line-oriented text). *)
 

@@ -1,13 +1,133 @@
 exception Fault of { addr : int; size : int }
 
 let page_size = 4096
+let page_shift = 12
+let page_mask = page_size - 1
 
-type t = { data : bytes; size : int; dirty : Bytes.t }
+(* ------------------------------------------------------------------ *)
+(* Pages                                                               *)
+(* ------------------------------------------------------------------ *)
+
+(* A shared page is immutable once published: every reference holds the
+   same buffer and writes go through copy-on-write, so [s_data] is never
+   mutated after interning. [s_key] is its content digest. *)
+type shared = { s_data : bytes; s_key : string }
+
+type page =
+  | Zero                  (* canonical zero page, never materialized *)
+  | Shared of shared      (* immutable, content-addressed, read-only *)
+  | Owned of bytes        (* private, writable *)
+
+(* Read-only view of the canonical zero page. Never written: every write
+   path materializes an Owned page first. *)
+let zero_data = Bytes.make page_size '\000'
+
+let bytes_all_zero b pos len =
+  (* 8-byte strides; [Bytes.get_int64_le] accepts unaligned offsets *)
+  let stop = pos + len in
+  let rec words i =
+    if i + 8 > stop then tail i
+    else Bytes.get_int64_le b i = 0L && words (i + 8)
+  and tail i = i >= stop || (Bytes.unsafe_get b i = '\000' && tail (i + 1)) in
+  words pos
+
+let is_zero_page b = bytes_all_zero b 0 page_size
+
+(* ------------------------------------------------------------------ *)
+(* Content-addressed page cache                                        *)
+(* ------------------------------------------------------------------ *)
+
+module Page_cache = struct
+  (* One process-wide table: pages are deduped across every memory,
+     snapshot key and pool shell. Eviction (FIFO beyond [capacity]) only
+     loses future dedup opportunities — existing references keep their
+     buffer alive, so correctness never depends on residency. *)
+
+  let table : (string, shared) Hashtbl.t = Hashtbl.create 512
+  let order : string Queue.t = Queue.create ()
+  let capacity = ref 8192
+  let n_entries = ref 0
+  let n_hits = ref 0
+  let n_misses = ref 0
+  let n_evictions = ref 0
+
+  let set_capacity n =
+    if n < 1 then invalid_arg "Memory.Page_cache.set_capacity: must be >= 1";
+    capacity := n
+
+  let entries () = !n_entries
+  let bytes () = !n_entries * page_size
+  let hits () = !n_hits
+  let misses () = !n_misses
+  let evictions () = !n_evictions
+
+  let reset () =
+    Hashtbl.reset table;
+    Queue.clear order;
+    n_entries := 0;
+    n_hits := 0;
+    n_misses := 0;
+    n_evictions := 0
+
+  (* Intern takes ownership of [b]: the caller's slot becomes a Shared
+     reference, so the buffer is never mutated afterwards. *)
+  let intern b =
+    let key = Digest.bytes b in
+    match Hashtbl.find_opt table key with
+    | Some sh when String.equal sh.s_key key && Bytes.equal sh.s_data b ->
+        incr n_hits;
+        sh
+    | Some _ ->
+        (* digest collision: keep the page private rather than alias it *)
+        { s_data = b; s_key = key }
+    | None ->
+        incr n_misses;
+        let sh = { s_data = b; s_key = key } in
+        if !n_entries >= !capacity then begin
+          match Queue.take_opt order with
+          | Some victim when Hashtbl.mem table victim ->
+              Hashtbl.remove table victim;
+              decr n_entries;
+              incr n_evictions
+          | Some _ | None -> ()
+        end;
+        Hashtbl.replace table key sh;
+        Queue.push key order;
+        incr n_entries;
+        sh
+end
+
+(* ------------------------------------------------------------------ *)
+(* Memory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+type t = {
+  size : int;
+  npages : int;
+  pages : page array;
+  stamps : int array;       (* page p is dirty iff stamps.(p) = gen *)
+  mutable gen : int;
+  mutable cow_faults : int;
+  mutable zero_fills : int;
+  mutable fault_hook : (shared:bool -> page:int -> unit) option;
+}
 
 let create ~size =
-  { data = Bytes.make size '\000'; size; dirty = Bytes.make ((size + page_size - 1) / page_size) '\000' }
+  let npages = (size + page_mask) / page_size in
+  {
+    size;
+    npages;
+    pages = Array.make npages Zero;
+    stamps = Array.make npages 0;
+    gen = 1;
+    cow_faults = 0;
+    zero_fills = 0;
+    fault_hook = None;
+  }
 
 let size t = t.size
+
+let set_fault_hook t h = t.fault_hook <- h
 
 (* Overflow-safe: [addr + n] wraps for guest addresses near [max_int],
    which would let the check pass and surface a host [Invalid_argument]
@@ -17,75 +137,172 @@ let check t addr n =
   if addr < 0 || n < 0 || addr > t.size - n then raise (Fault { addr; size = n })
 
 let mark t addr n =
-  let first = addr / page_size and last = (addr + n - 1) / page_size in
+  let first = addr lsr page_shift and last = (addr + n - 1) lsr page_shift in
   for p = first to last do
-    Bytes.unsafe_set t.dirty p '\001'
+    Array.unsafe_set t.stamps p t.gen
   done
 
 let dirty_pages t =
   let acc = ref [] in
-  for p = Bytes.length t.dirty - 1 downto 0 do
-    if Bytes.unsafe_get t.dirty p = '\001' then acc := p :: !acc
+  for p = t.npages - 1 downto 0 do
+    if Array.unsafe_get t.stamps p = t.gen then acc := p :: !acc
   done;
   !acc
 
 let dirty_count t =
   let n = ref 0 in
-  Bytes.iter (fun c -> if c = '\001' then incr n) t.dirty;
+  for p = 0 to t.npages - 1 do
+    if Array.unsafe_get t.stamps p = t.gen then incr n
+  done;
   !n
 
-let clear_dirty t = Bytes.fill t.dirty 0 (Bytes.length t.dirty) '\000' 
+(* The dirty bitmap is derived state: bumping the generation invalidates
+   every stamp at once, O(1). *)
+let clear_dirty t = t.gen <- t.gen + 1
+
+let page_ro t p =
+  match Array.unsafe_get t.pages p with
+  | Zero -> zero_data
+  | Shared s -> s.s_data
+  | Owned b -> b
+
+(* First store to a non-Owned page: demand-zero fill or CoW break. The
+   fault hook (installed by the simulated KVM) charges the EPT-violation
+   cost for shared pages; zero fills are free so cold-path timings are
+   unchanged by the paged representation. *)
+let page_rw t p =
+  match Array.unsafe_get t.pages p with
+  | Owned b -> b
+  | Zero ->
+      let b = Bytes.make page_size '\000' in
+      t.pages.(p) <- Owned b;
+      t.zero_fills <- t.zero_fills + 1;
+      (match t.fault_hook with Some h -> h ~shared:false ~page:p | None -> ());
+      b
+  | Shared s ->
+      let b = Bytes.copy s.s_data in
+      t.pages.(p) <- Owned b;
+      t.cow_faults <- t.cow_faults + 1;
+      (match t.fault_hook with Some h -> h ~shared:true ~page:p | None -> ());
+      b
 
 let read_u8 t addr =
   check t addr 1;
-  Char.code (Bytes.unsafe_get t.data addr)
+  Char.code (Bytes.unsafe_get (page_ro t (addr lsr page_shift)) (addr land page_mask))
 
 let read_u16 t addr =
   check t addr 2;
-  Char.code (Bytes.unsafe_get t.data addr)
-  lor (Char.code (Bytes.unsafe_get t.data (addr + 1)) lsl 8)
+  let off = addr land page_mask in
+  if off <= page_size - 2 then begin
+    let pg = page_ro t (addr lsr page_shift) in
+    Char.code (Bytes.unsafe_get pg off)
+    lor (Char.code (Bytes.unsafe_get pg (off + 1)) lsl 8)
+  end
+  else read_u8 t addr lor (read_u8 t (addr + 1) lsl 8)
 
 let read_u32 t addr =
   check t addr 4;
-  let b i = Char.code (Bytes.unsafe_get t.data (addr + i)) in
-  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  let off = addr land page_mask in
+  if off <= page_size - 4 then begin
+    let pg = page_ro t (addr lsr page_shift) in
+    let b i = Char.code (Bytes.unsafe_get pg (off + i)) in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  end
+  else begin
+    let b i = read_u8 t (addr + i) in
+    b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+  end
 
 let read_u64 t addr =
   check t addr 8;
-  Bytes.get_int64_le t.data addr
+  let off = addr land page_mask in
+  if off <= page_size - 8 then Bytes.get_int64_le (page_ro t (addr lsr page_shift)) off
+  else begin
+    let acc = ref 0L in
+    for i = 7 downto 0 do
+      acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int (read_u8 t (addr + i)))
+    done;
+    !acc
+  end
 
 let write_u8 t addr v =
   check t addr 1;
   mark t addr 1;
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF))
+  Bytes.unsafe_set (page_rw t (addr lsr page_shift)) (addr land page_mask)
+    (Char.unsafe_chr (v land 0xFF))
 
 let write_u16 t addr v =
   check t addr 2;
   mark t addr 2;
-  Bytes.unsafe_set t.data addr (Char.unsafe_chr (v land 0xFF));
-  Bytes.unsafe_set t.data (addr + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  let off = addr land page_mask in
+  if off <= page_size - 2 then begin
+    let pg = page_rw t (addr lsr page_shift) in
+    Bytes.unsafe_set pg off (Char.unsafe_chr (v land 0xFF));
+    Bytes.unsafe_set pg (off + 1) (Char.unsafe_chr ((v lsr 8) land 0xFF))
+  end
+  else begin
+    write_u8 t addr (v land 0xFF);
+    write_u8 t (addr + 1) ((v lsr 8) land 0xFF)
+  end
 
 let write_u32 t addr v =
   check t addr 4;
   mark t addr 4;
-  for i = 0 to 3 do
-    Bytes.unsafe_set t.data (addr + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
-  done
+  let off = addr land page_mask in
+  if off <= page_size - 4 then begin
+    let pg = page_rw t (addr lsr page_shift) in
+    for i = 0 to 3 do
+      Bytes.unsafe_set pg (off + i) (Char.unsafe_chr ((v lsr (8 * i)) land 0xFF))
+    done
+  end
+  else
+    for i = 0 to 3 do
+      write_u8 t (addr + i) ((v lsr (8 * i)) land 0xFF)
+    done
 
 let write_u64 t addr v =
   check t addr 8;
   mark t addr 8;
-  Bytes.set_int64_le t.data addr v
+  let off = addr land page_mask in
+  if off <= page_size - 8 then Bytes.set_int64_le (page_rw t (addr lsr page_shift)) off v
+  else
+    for i = 0 to 7 do
+      write_u8 t (addr + i)
+        (Int64.to_int (Int64.logand (Int64.shift_right_logical v (8 * i)) 0xFFL))
+    done
 
 let read_bytes t ~off ~len =
   check t off len;
-  Bytes.sub t.data off len
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let addr = off + !pos in
+    let in_page = addr land page_mask in
+    let chunk = min (page_size - in_page) (len - !pos) in
+    Bytes.blit (page_ro t (addr lsr page_shift)) in_page out !pos chunk;
+    pos := !pos + chunk
+  done;
+  out
 
 let write_bytes t ~off b =
   let len = Bytes.length b in
   check t off len;
-  if len > 0 then mark t off len;
-  Bytes.blit b 0 t.data off len
+  if len > 0 then begin
+    mark t off len;
+    let pos = ref 0 in
+    while !pos < len do
+      let addr = off + !pos in
+      let in_page = addr land page_mask in
+      let chunk = min (page_size - in_page) (len - !pos) in
+      (* an all-zero chunk landing on a Zero page needs no store: large
+         zero-padded images stay non-resident *)
+      (match Array.unsafe_get t.pages (addr lsr page_shift) with
+      | Zero when bytes_all_zero b !pos chunk -> ()
+      | Zero | Shared _ | Owned _ ->
+          Bytes.blit b !pos (page_rw t (addr lsr page_shift)) in_page chunk);
+      pos := !pos + chunk
+    done
+  end
 
 let read_cstring t ~off ~max =
   check t off 0;
@@ -99,16 +316,162 @@ let read_cstring t ~off ~max =
 
 let fill_zero t =
   if t.size > 0 then mark t 0 t.size;
-  Bytes.fill t.data 0 t.size '\000'
+  Array.fill t.pages 0 t.npages Zero
+
+(* Pool cleaning: drop every reference and start a fresh generation —
+   the simulated cost model still charges the memset this stands for. *)
+let reset_zero t =
+  Array.fill t.pages 0 t.npages Zero;
+  clear_dirty t
+
+(* Publish page [p]: normalize all-zero Owned pages back to Zero, intern
+   the rest. After this the slot is read-only until the next write
+   faults it private again. *)
+let share_page t p =
+  match t.pages.(p) with
+  | Zero -> Zero
+  | Shared _ as pg -> pg
+  | Owned b ->
+      let pg = if is_zero_page b then Zero else Shared (Page_cache.intern b) in
+      t.pages.(p) <- pg;
+      pg
 
 let copy_to ~src ~dst =
   if src.size <> dst.size then invalid_arg "Memory.copy_to: size mismatch";
   if dst.size > 0 then mark dst 0 dst.size;
-  Bytes.blit src.data 0 dst.data 0 src.size
+  for p = 0 to src.npages - 1 do
+    dst.pages.(p) <- share_page src p
+  done
 
-let snapshot t = Bytes.copy t.data
+let snapshot t =
+  let out = Bytes.create t.size in
+  for p = 0 to t.npages - 1 do
+    let off = p * page_size in
+    Bytes.blit (page_ro t p) 0 out off (min page_size (t.size - off))
+  done;
+  out
 
 let restore t b =
   if Bytes.length b <> t.size then invalid_arg "Memory.restore: size mismatch";
   if t.size > 0 then mark t 0 t.size;
-  Bytes.blit b 0 t.data 0 t.size
+  for p = 0 to t.npages - 1 do
+    let off = p * page_size in
+    let n = min page_size (t.size - off) in
+    if bytes_all_zero b off n then t.pages.(p) <- Zero
+    else begin
+      let pg = Bytes.make page_size '\000' in
+      Bytes.blit b off pg 0 n;
+      t.pages.(p) <- Owned pg
+    end
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Page images (snapshot capture/restore)                              *)
+(* ------------------------------------------------------------------ *)
+
+type image = { i_pages : page array; i_size : int; i_footprint : int }
+
+let page_is_zero_ref = function Zero -> true | Shared _ | Owned _ -> false
+
+let capture t =
+  (* publishing every page also dedupes the live memory itself: repeated
+     captures of the same state are reference grabs, not copies *)
+  let shared = Array.init t.npages (fun p -> share_page t p) in
+  let rec last_page p = if p < 0 then -1 else if page_is_zero_ref shared.(p) then last_page (p - 1) else p in
+  let lp = last_page (t.npages - 1) in
+  let footprint =
+    if lp < 0 then 0
+    else begin
+      let pg =
+        match shared.(lp) with Shared s -> s.s_data | Owned b -> b | Zero -> assert false
+      in
+      let limit = min page_size (t.size - (lp * page_size)) in
+      let rec last_byte i =
+        if i < 0 then lp * page_size
+        else if Bytes.unsafe_get pg i <> '\000' then (lp * page_size) + i + 1
+        else last_byte (i - 1)
+      in
+      last_byte (limit - 1)
+    end
+  in
+  let keep = (footprint + page_mask) lsr page_shift in
+  { i_pages = Array.sub shared 0 keep; i_size = t.size; i_footprint = footprint }
+
+let image_size img = img.i_size
+let image_footprint img = img.i_footprint
+
+let image_resident_pages img =
+  Array.fold_left (fun n pg -> if page_is_zero_ref pg then n else n + 1) 0 img.i_pages
+
+(* [eager] materializes private copies up front (the paper's memcpy
+   restore: later stores never fault); the default installs shared
+   references and lets stores CoW lazily. *)
+let restore_image ?(eager = false) t img =
+  let keep = Array.length img.i_pages in
+  if keep > t.npages || img.i_footprint > t.size then
+    invalid_arg "Memory.restore_image: image exceeds memory";
+  if eager then
+    for p = 0 to keep - 1 do
+      t.pages.(p) <-
+        (match img.i_pages.(p) with
+        | Zero -> Zero
+        | Shared s -> Owned (Bytes.copy s.s_data)
+        | Owned b -> Owned (Bytes.copy b))
+    done
+  else Array.blit img.i_pages 0 t.pages 0 keep;
+  if t.npages > keep then Array.fill t.pages keep (t.npages - keep) Zero;
+  if t.size > 0 then mark t 0 t.size;
+  img.i_footprint
+
+let restore_image_cow t img =
+  let keep = Array.length img.i_pages in
+  if keep > t.npages || img.i_footprint > t.size then
+    invalid_arg "Memory.restore_image_cow: image exceeds memory";
+  let pages = ref 0 and bytes = ref 0 in
+  for p = 0 to t.npages - 1 do
+    if Array.unsafe_get t.stamps p = t.gen then begin
+      t.pages.(p) <- (if p < keep then img.i_pages.(p) else Zero);
+      incr pages;
+      bytes := !bytes + min page_size (t.size - (p * page_size))
+    end
+  done;
+  (!pages, !bytes)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type page_stats = {
+  total_pages : int;
+  resident_pages : int;
+  shared_pages : int;
+  zero_pages : int;
+  cow_faults : int;
+  zero_fills : int;
+}
+
+let page_stats t =
+  let resident = ref 0 and shared = ref 0 and zero = ref 0 in
+  for p = 0 to t.npages - 1 do
+    match Array.unsafe_get t.pages p with
+    | Zero -> incr zero
+    | Shared _ -> incr shared
+    | Owned _ -> incr resident
+  done;
+  {
+    total_pages = t.npages;
+    resident_pages = !resident;
+    shared_pages = !shared;
+    zero_pages = !zero;
+    cow_faults = t.cow_faults;
+    zero_fills = t.zero_fills;
+  }
+
+let resident_bytes t =
+  let resident = ref 0 in
+  for p = 0 to t.npages - 1 do
+    match Array.unsafe_get t.pages p with
+    | Owned _ -> incr resident
+    | Zero | Shared _ -> ()
+  done;
+  !resident * page_size

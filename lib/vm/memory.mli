@@ -1,10 +1,20 @@
-(** Guest physical memory.
+(** Guest physical memory — a paged copy-on-write store.
 
     Each virtine owns a private, bounds-checked memory region; this is the
     mechanism behind the paper's isolation objective that a virtine "may
     not interact with any data or services outside of its own address
     space" (§3.1). Out-of-bounds accesses raise {!Fault}, which the CPU
-    reports as a VM exit instead of ever touching host state. *)
+    reports as a VM exit instead of ever touching host state.
+
+    Internally the region is a page table of 4 KB pages in one of three
+    states: the canonical {e zero} page (never materialized), an immutable
+    {e shared} page (content-addressed, referenced by any number of
+    memories and snapshot images), or a private {e owned} page. Reads
+    never materialize anything; the first store to a zero or shared page
+    breaks it private — the simulated analogue of an EPT demand-zero fill
+    or CoW violation (see {!set_fault_hook}). Snapshot capture publishes
+    pages into the process-wide {!Page_cache} and restore is a
+    page-table swap, so warm-path work is O(dirty pages), not O(image). *)
 
 exception Fault of { addr : int; size : int }
 (** Raised on any access outside [0, size). *)
@@ -12,7 +22,8 @@ exception Fault of { addr : int; size : int }
 type t
 
 val create : size:int -> t
-(** Fresh zeroed memory of [size] bytes. *)
+(** Fresh zeroed memory of [size] bytes (all pages reference the zero
+    page; nothing is materialized). *)
 
 val size : t -> int
 
@@ -30,6 +41,9 @@ val write_u64 : t -> int -> int64 -> unit
 
 val read_bytes : t -> off:int -> len:int -> bytes
 val write_bytes : t -> off:int -> bytes -> unit
+(** [write_bytes] skips all-zero chunks aimed at zero pages, so loading a
+    zero-padded image materializes only its nonzero pages. The written
+    range is marked dirty either way. *)
 
 val read_cstring : t -> off:int -> max:int -> string
 (** Read a NUL-terminated string of at most [max] bytes; raises {!Fault}
@@ -37,22 +51,67 @@ val read_cstring : t -> off:int -> max:int -> string
     validate guest-supplied paths without trusting guest lengths). *)
 
 val fill_zero : t -> unit
-(** Zero the whole region (pool cleaning). *)
+(** Zero the whole region by dropping every page reference; marks
+    everything dirty. *)
+
+val reset_zero : t -> unit
+(** Pool cleaning: drop every page reference {e and} start a fresh dirty
+    generation — equivalent to {!fill_zero} + {!clear_dirty} without
+    touching a byte. The caller still charges the simulated memset. *)
 
 val copy_to : src:t -> dst:t -> unit
-(** Whole-region copy; sizes must match (snapshot capture/restore). *)
+(** Share [src]'s pages into [dst]; sizes must match. [src]'s private
+    pages are published (deduped) in the process; both sides then CoW. *)
 
 val snapshot : t -> bytes
-(** Copy out the full contents. *)
+(** Copy out the full contents as a flat byte string. *)
 
 val restore : t -> bytes -> unit
-(** Overwrite contents from a snapshot of equal size. *)
+(** Overwrite contents from a flat snapshot of equal size. *)
+
+(** {1 Page images}
+
+    A capture is an O(pages) reference grab: every non-zero page is
+    published into the {!Page_cache} (deduping identical content across
+    snapshot keys and shells) and the image holds references, trimmed to
+    the footprint. Restores swap references back into the page table. *)
+
+type image
+
+val capture : t -> image
+(** Publish the current contents as an immutable page image. The source
+    memory keeps running: its pages become shared and the next write to
+    any of them CoW-faults. *)
+
+val image_size : image -> int
+(** Size of the memory the image was captured from. *)
+
+val image_footprint : image -> int
+(** Index of the last nonzero byte + 1 (0 for an all-zero capture). *)
+
+val image_resident_pages : image -> int
+(** Non-zero page references the image holds. *)
+
+val restore_image : ?eager:bool -> t -> image -> int
+(** Swap the image's page references in, zero-page the rest, and mark
+    everything dirty (callers running a full reset then {!clear_dirty}).
+    By default O(pages) reference stores — no byte traffic; later stores
+    CoW-fault lazily. [~eager:true] materializes private copies up front
+    (the paper's eager memcpy restore — O(footprint) bytes, no later
+    faults). Returns the footprint. *)
+
+val restore_image_cow : t -> image -> int * int
+(** Rewrite only the pages dirtied since the last {!clear_dirty} with the
+    image's references (zero beyond the image). Returns
+    [(pages, logical_bytes)] restored; the caller clears the dirty set.
+    Only valid when [t] held this image's state before the dirtying run. *)
 
 (** {1 Dirty-page tracking}
 
-    Every write marks its 4 KB page dirty. Copy-on-write virtine resets
-    (the SEUSS-style optimization of §7.2) restore only the pages the
-    previous invocation touched instead of the whole footprint. *)
+    Every write marks its 4 KB page with the current generation stamp;
+    {!clear_dirty} bumps the generation, invalidating all stamps in O(1).
+    Copy-on-write virtine resets (the SEUSS-style optimization of §7.2)
+    restore only the pages the previous invocation touched. *)
 
 val page_size : int
 (** 4096. *)
@@ -63,3 +122,48 @@ val dirty_pages : t -> int list
 val dirty_count : t -> int
 
 val clear_dirty : t -> unit
+
+(** {1 Fault accounting} *)
+
+val set_fault_hook : t -> (shared:bool -> page:int -> unit) option -> unit
+(** Called on every page materialization: [shared = true] for a CoW break
+    of a shared page (the simulated EPT write-protection violation),
+    [false] for a demand-zero fill. The simulated KVM installs this to
+    charge cycle costs and feed the flight recorder. *)
+
+type page_stats = {
+  total_pages : int;
+  resident_pages : int;   (** privately materialized (owned) pages *)
+  shared_pages : int;     (** references into the content-addressed cache *)
+  zero_pages : int;
+  cow_faults : int;       (** shared pages broken private over [t]'s life *)
+  zero_fills : int;       (** demand-zero materializations *)
+}
+
+val page_stats : t -> page_stats
+
+val resident_bytes : t -> int
+(** Owned pages × {!page_size}: host memory this guest uniquely holds. *)
+
+(** {1 Content-addressed page cache}
+
+    Process-wide dedup table keyed by page-content digest. Bounded FIFO:
+    eviction only loses future dedup (live references keep their buffers
+    alive), never correctness. *)
+
+module Page_cache : sig
+  val set_capacity : int -> unit
+  (** Default 8192 pages (32 MB). *)
+
+  val entries : unit -> int
+  val bytes : unit -> int
+  val hits : unit -> int
+  (** Interns that found an identical resident page. *)
+
+  val misses : unit -> int
+  val evictions : unit -> int
+
+  val reset : unit -> unit
+  (** Drop the table and zero the stats (tests). Outstanding references
+      remain valid. *)
+end

@@ -36,7 +36,7 @@ type t = {
 }
 
 let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy)
-    ?(cores = 1) ?pool_capacity () =
+    ?(cores = 1) ?pool_capacity ?snapshot_capacity () =
   let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores () in
   (* The flight recorder charges no cycles, so it stays attached for the
      runtime's whole life: every VM exit is always in the black box. *)
@@ -46,7 +46,7 @@ let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `
     sys;
     pool = Pool.create ?capacity:pool_capacity sys ~clean;
     pool_enabled = pool;
-    snapshot_store = Snapshot_store.create ();
+    snapshot_store = Snapshot_store.create ?capacity:snapshot_capacity ();
     hostenv = Hostenv.create ();
     boot_rng = Cycles.Rng.split (Kvmsim.Kvm.rng sys);
     tracer = None;
@@ -88,6 +88,7 @@ let stats t = t.run_stats
 let set_telemetry t hub =
   t.telemetry <- hub;
   Pool.set_telemetry t.pool hub;
+  Snapshot_store.set_telemetry t.snapshot_store hub;
   Kvmsim.Kvm.set_telemetry t.sys hub;
   match t.tracer with Some tr -> Trace.mirror tr hub | None -> ()
 
@@ -164,6 +165,22 @@ type result = {
 }
 
 let charge t cycles = Cycles.Clock.advance_int (clock t) cycles
+
+(* Page-sharing gauges, refreshed at the end of every invocation (free:
+   gauges charge no cycles). *)
+let note_mem_gauges t mem =
+  match t.telemetry with
+  | None -> ()
+  | Some h ->
+      let st = Vm.Memory.page_stats mem in
+      Telemetry.Hub.set_gauge h "wasp_mem_resident_pages" (float_of_int st.Vm.Memory.resident_pages);
+      Telemetry.Hub.set_gauge h "wasp_mem_shared_pages" (float_of_int st.Vm.Memory.shared_pages);
+      Telemetry.Hub.set_gauge h "wasp_mem_resident_bytes"
+        (float_of_int (Vm.Memory.resident_bytes mem));
+      Telemetry.Hub.set_gauge h "vm_page_cache_entries"
+        (float_of_int (Vm.Memory.Page_cache.entries ()));
+      Telemetry.Hub.set_gauge h "vm_page_cache_bytes"
+        (float_of_int (Vm.Memory.Page_cache.bytes ()))
 
 let acquire_shell t ~mem_size ~mode =
   if t.pool_enabled then Pool.acquire t.pool ~mem_size ~mode
@@ -263,20 +280,44 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
           emit t
             (Trace.Snapshot_restored
                { key = Option.value ~default:"?" snapshot_key; bytes });
-          charge t ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes))
+          (* reference swaps, one minor fault's worth of fixup per page —
+             the copies were already paid for by the CoW breaks during the
+             dirtying run *)
+          charge t (pages * Cycles.Costs.cow_page_fault))
   | Some entry ->
+      let kind = match t.reset with `Memcpy -> "memcpy" | `Cow -> "lazy" in
       tspan t
-        ~args:[ ("key", Option.value ~default:"?" snapshot_key); ("kind", "memcpy") ]
+        ~args:[ ("key", Option.value ~default:"?" snapshot_key); ("kind", kind) ]
         "snapshot_restore"
         (fun () ->
-          let copied = Snapshot_store.restore entry ~mem ~cpu in
+          let footprint =
+            Snapshot_store.restore ~eager:(t.reset = `Memcpy) entry ~mem ~cpu
+          in
           emit t
             (Trace.Snapshot_restored
-               { key = Option.value ~default:"?" snapshot_key; bytes = copied });
-          charge t (Cycles.Costs.memcpy_cost copied))
+               { key = Option.value ~default:"?" snapshot_key; bytes = footprint });
+          match t.reset with
+          | `Memcpy ->
+              (* the paper's eager restore: the cost is exactly the copy *)
+              charge t (Cycles.Costs.memcpy_cost footprint)
+          | `Cow ->
+              (* repoint the vCPU at the snapshot's pre-built EPT root:
+                 O(1), independent of image size — pages fault in lazily *)
+              charge t Cycles.Costs.ept_root_swap)
   | None ->
       tspan t ~args:[ ("image", image.name) ] "image_load" (fun () ->
           Vm.Memory.write_bytes mem ~off:image.origin image.code;
+          (* Recording: verify the image through the guest's logical page
+             view, so the .vxr MD5 guards what the guest will actually
+             read regardless of the page representation underneath. *)
+          (match t.recorder with
+          | Some rc ->
+              let view =
+                Vm.Memory.read_bytes mem ~off:image.origin ~len:(Bytes.length image.code)
+              in
+              if not (Profiler.Replay.image_matches rc view) then
+                invalid_arg "Runtime.run: loaded image diverges from the recorded bytes"
+          | None -> ());
           emit t (Trace.Image_loaded { name = image.name; bytes = Bytes.length image.code });
           charge t (Cycles.Costs.memcpy_cost (Bytes.length image.code)));
       tspan t ~args:[ ("mode", Vm.Modes.to_string image.mode) ] "boot" (fun () ->
@@ -322,7 +363,11 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
               Snapshot_store.capture t.snapshot_store ~key ~mem ~cpu ~native_state:None
             in
             emit t (Trace.Snapshot_captured { key; bytes = footprint });
-            charge t (Cycles.Costs.memcpy_cost footprint);
+            (* write-protect the footprint and build the shared EPT:
+               per-page PTE work, not a byte copy *)
+            charge t
+              (((footprint + Vm.Memory.page_size - 1) / Vm.Memory.page_size)
+              * Cycles.Costs.ept_map_page);
             0L)
   in
   (* The VM loop: KVM_RUN until the virtine exits, servicing hypercalls. *)
@@ -407,6 +452,7 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
     match outcome with Exited v -> v | Faulted _ | Fuel_exhausted -> Vm.Cpu.get_reg cpu 0
   in
   tspan t "clean" (fun () ->
+      note_mem_gauges t mem;
       match (t.reset, snapshot_key) with
       | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
           (* keep the dirty shell for the next CoW reset; no cleaning *)
@@ -483,7 +529,9 @@ module Native_ctx = struct
                 Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
                   ~native_state:c.snapshot_factory
               in
-              charge c (Cycles.Costs.memcpy_cost footprint);
+              charge c
+                (((footprint + Vm.Memory.page_size - 1) / Vm.Memory.page_size)
+                * Cycles.Costs.ept_map_page);
               0L)
     in
     let full_args = Array.make 5 0L in
@@ -528,12 +576,14 @@ let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~sna
           (fun () ->
             (match retained_shell with
             | Some _ ->
-                let pages, bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
-                charge t
-                  ((pages * Cycles.Costs.cow_page_fault) + Cycles.Costs.memcpy_cost bytes)
-            | None ->
-                let copied = Snapshot_store.restore entry ~mem ~cpu in
-                charge t (Cycles.Costs.memcpy_cost copied));
+                let pages, _bytes = Snapshot_store.restore_cow entry ~mem ~cpu in
+                charge t (pages * Cycles.Costs.cow_page_fault)
+            | None -> (
+                let eager = t.reset = `Memcpy in
+                let footprint = Snapshot_store.restore ~eager entry ~mem ~cpu in
+                match t.reset with
+                | `Memcpy -> charge t (Cycles.Costs.memcpy_cost footprint)
+                | `Cow -> charge t Cycles.Costs.ept_root_swap));
             match entry.Snapshot_store.native_state with
             | Some f -> Some (f ())
             | None -> None)
@@ -577,6 +627,7 @@ let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~sna
             Faulted (Vm.Cpu.Memory_oob { addr; size }))
   in
   tspan t "clean" (fun () ->
+      note_mem_gauges t mem;
       match (t.reset, snapshot_key) with
       | `Cow, Some key when Snapshot_store.find t.snapshot_store ~key <> None ->
           Hashtbl.replace t.retained key shell

@@ -26,6 +26,7 @@ val create :
   ?reset:reset_mode ->
   ?cores:int ->
   ?pool_capacity:int ->
+  ?snapshot_capacity:int ->
   unit ->
   t
 (** A fresh runtime. [pool] (default true) enables shell caching;
@@ -33,7 +34,8 @@ val create :
     cleaning; [reset] (default [`Memcpy]) selects the snapshot reset
     mechanism. [cores] (default 1) gives the simulated machine that many
     per-core virtual clocks and pool shards; [pool_capacity] bounds each
-    shard (default 64, LRU eviction beyond it). *)
+    shard (default 64, LRU eviction beyond it); [snapshot_capacity]
+    bounds the snapshot store the same way (default 64 keys). *)
 
 val clock : t -> Cycles.Clock.t
 (** The current core's clock. *)

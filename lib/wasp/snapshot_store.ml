@@ -1,5 +1,5 @@
 type entry = {
-  mem_image : bytes;
+  image : Vm.Memory.image;
   footprint : int;
   regs : int64 array;
   pc : int;
@@ -7,69 +7,116 @@ type entry = {
   native_state : (unit -> Univ.t) option;
 }
 
-type t = (string, entry) Hashtbl.t
+type slot = { entry : entry; mutable last_used : int }
 
-let create () = Hashtbl.create 16
+type t = {
+  entries : (string, slot) Hashtbl.t;
+  capacity : int;
+  mutable tick : int;               (* monotonic LRU stamp *)
+  mutable evictions : int;
+  mutable total_bytes : int;        (* sum of entry footprints *)
+  mutable telemetry : Telemetry.Hub.t option;
+}
 
-let trim_length b =
-  let rec go i = if i < 0 then 0 else if Bytes.get b i <> '\000' then i + 1 else go (i - 1) in
-  go (Bytes.length b - 1)
+let create ?(capacity = 64) () =
+  if capacity < 1 then invalid_arg "Snapshot_store.create: capacity must be >= 1";
+  {
+    entries = Hashtbl.create 16;
+    capacity;
+    tick = 0;
+    evictions = 0;
+    total_bytes = 0;
+    telemetry = None;
+  }
+
+let set_telemetry t hub = t.telemetry <- hub
+
+let count t = Hashtbl.length t.entries
+let evictions t = t.evictions
+let total_bytes t = t.total_bytes
+
+let note t =
+  match t.telemetry with
+  | None -> ()
+  | Some h ->
+      Telemetry.Hub.set_gauge h "wasp_snapshot_store_entries" (float_of_int (count t));
+      Telemetry.Hub.set_gauge h "wasp_snapshot_store_bytes" (float_of_int t.total_bytes)
+
+let touch t slot =
+  t.tick <- t.tick + 1;
+  slot.last_used <- t.tick
+
+let remove t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> ()
+  | Some slot ->
+      Hashtbl.remove t.entries key;
+      t.total_bytes <- t.total_bytes - slot.entry.footprint
+
+(* Same policy as the shell pool: beyond capacity, the least-recently
+   used key goes. O(n) scan — the store is small by construction. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun key slot ->
+      match !victim with
+      | Some (_, stamp) when stamp <= slot.last_used -> ()
+      | _ -> victim := Some (key, slot.last_used))
+    t.entries;
+  match !victim with
+  | None -> ()
+  | Some (key, _) ->
+      remove t ~key;
+      t.evictions <- t.evictions + 1;
+      (match t.telemetry with
+      | Some h -> Telemetry.Hub.incr h "wasp_snapshot_store_evictions_total"
+      | None -> ())
 
 let capture t ~key ~mem ~cpu ~native_state =
-  let full = Vm.Memory.snapshot mem in
-  let footprint = trim_length full in
-  let mem_image = Bytes.sub full 0 footprint in
+  let image = Vm.Memory.capture mem in
+  let footprint = Vm.Memory.image_footprint image in
   let regs = Array.init Instr.num_regs (fun r -> Vm.Cpu.get_reg cpu r) in
   let entry =
-    {
-      mem_image;
-      footprint;
-      regs;
-      pc = Vm.Cpu.pc cpu;
-      mode = Vm.Cpu.mode cpu;
-      native_state;
-    }
+    { image; footprint; regs; pc = Vm.Cpu.pc cpu; mode = Vm.Cpu.mode cpu; native_state }
   in
-  Hashtbl.replace t key entry;
+  remove t ~key;
+  let slot = { entry; last_used = 0 } in
+  Hashtbl.replace t.entries key slot;
+  t.total_bytes <- t.total_bytes + footprint;
+  touch t slot;
+  if count t > t.capacity then evict_lru t;
+  note t;
   footprint
 
-let find t ~key = Hashtbl.find_opt t key
+let find t ~key =
+  match Hashtbl.find_opt t.entries key with
+  | None -> None
+  | Some slot ->
+      touch t slot;
+      Some slot.entry
 
 let restore_regs entry ~cpu =
   Vm.Cpu.reset cpu ~mode:entry.mode;
   Array.iteri (fun r v -> Vm.Cpu.set_reg cpu r v) entry.regs;
   Vm.Cpu.set_pc cpu entry.pc
 
-let restore entry ~mem ~cpu =
-  Vm.Memory.write_bytes mem ~off:0 entry.mem_image;
+let restore ?eager entry ~mem ~cpu =
+  let footprint = Vm.Memory.restore_image ?eager mem entry.image in
   restore_regs entry ~cpu;
   Vm.Memory.clear_dirty mem;
-  entry.footprint
+  footprint
 
 let restore_cow entry ~mem ~cpu =
-  let page = Vm.Memory.page_size in
-  let dirty = Vm.Memory.dirty_pages mem in
-  let bytes = ref 0 in
-  List.iter
-    (fun p ->
-      let start = p * page in
-      let stop = min (start + page) (Vm.Memory.size mem) in
-      let from_image = min stop entry.footprint in
-      if from_image > start then begin
-        Vm.Memory.write_bytes mem ~off:start
-          (Bytes.sub entry.mem_image start (from_image - start));
-        bytes := !bytes + (from_image - start)
-      end;
-      if stop > from_image then begin
-        let zero_from = max start from_image in
-        Vm.Memory.write_bytes mem ~off:zero_from (Bytes.make (stop - zero_from) '\000');
-        bytes := !bytes + (stop - zero_from)
-      end)
-    dirty;
+  let pages, bytes = Vm.Memory.restore_image_cow mem entry.image in
   restore_regs entry ~cpu;
   Vm.Memory.clear_dirty mem;
-  (List.length dirty, !bytes)
+  (pages, bytes)
 
-let clear t ~key = Hashtbl.remove t key
-let reset t = Hashtbl.reset t
-let count t = Hashtbl.length t
+let clear t ~key =
+  remove t ~key;
+  note t
+
+let reset t =
+  Hashtbl.reset t.entries;
+  t.total_bytes <- 0;
+  note t

@@ -2,16 +2,20 @@
 
     The first execution of a function boots its environment, initializes
     its runtime and then hypercalls [snapshot]; later executions restore
-    the captured state (a memcpy of the memory footprint) and skip the
-    boot path entirely. The restore cost is exactly the copy, which is
-    why Figure 12's curve is memory-bandwidth bound.
+    the captured state and skip the boot path entirely. Over the paged
+    store a capture is an O(pages) reference grab into the
+    content-addressed page cache (identical pages are shared across
+    snapshot keys and with the still-running shell), a full restore is a
+    page-table swap, and a CoW restore rewrites only the dirty pages.
 
     Snapshot state is deliberately shared across future virtines of the
     same function — the paper warns that "care must be taken in describing
-    what memory is saved" — so the registry is keyed explicitly. *)
+    what memory is saved" — so the registry is keyed explicitly. The
+    registry is LRU-bounded like the shell pool: beyond [capacity] the
+    least-recently captured/found key is evicted. *)
 
 type entry = {
-  mem_image : bytes;             (** guest memory from 0 to [footprint] *)
+  image : Vm.Memory.image;       (** page references, trimmed to footprint *)
   footprint : int;
   regs : int64 array;
   pc : int;
@@ -23,7 +27,13 @@ type entry = {
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** Default capacity 64 entries. @raise Invalid_argument if < 1. *)
+
+val set_telemetry : t -> Telemetry.Hub.t option -> unit
+(** Attach a hub: the store maintains [wasp_snapshot_store_entries] /
+    [wasp_snapshot_store_bytes] gauges and bumps
+    [wasp_snapshot_store_evictions_total]. *)
 
 val capture :
   t ->
@@ -32,24 +42,34 @@ val capture :
   cpu:Vm.Cpu.t ->
   native_state:(unit -> Univ.t) option ->
   int
-(** Capture guest state under [key]; the memory image is trimmed to its
-    footprint (index of the last nonzero byte). Returns the footprint in
-    bytes so the caller can charge the copy. *)
+(** Capture guest state under [key]: publish the memory's pages (deduped
+    via the page cache) and trim to the footprint (index of the last
+    nonzero byte). Returns the footprint in bytes so the caller can
+    charge the page-table build. May evict the LRU entry. *)
 
 val find : t -> key:string -> entry option
+(** Refreshes [key]'s LRU stamp on a hit. *)
 
-val restore : entry -> mem:Vm.Memory.t -> cpu:Vm.Cpu.t -> int
-(** Blit the memory image back and reinstate registers/PC/mode; the
-    target memory must be at least as large as the footprint and is
-    assumed clean beyond it. Returns the bytes copied. *)
+val restore : ?eager:bool -> entry -> mem:Vm.Memory.t -> cpu:Vm.Cpu.t -> int
+(** Swap the image's page references in (zeroing beyond them) and
+    reinstate registers/PC/mode; leaves the dirty set clear. By default
+    O(pages) reference stores, no byte copies — the caller charges the
+    O(1) simulated EPT root swap and stores CoW-fault lazily.
+    [~eager:true] is the paper's memcpy restore: private copies up
+    front, charged as the footprint copy by the caller. Returns the
+    footprint. *)
 
 val restore_cow : entry -> mem:Vm.Memory.t -> cpu:Vm.Cpu.t -> int * int
-(** Copy-on-write reset: restore only the pages dirtied since the last
-    restore (from the memory image below the footprint, zero above it)
-    and reinstate registers. Returns (pages, bytes) copied. Only valid
-    when [mem] already held this snapshot's state before the dirtying
-    run — i.e. on a retained shell. *)
+(** Copy-on-write reset: swap back only the page references dirtied since
+    the last restore and reinstate registers. Returns
+    [(pages, logical_bytes)] restored. Only valid when [mem] already held
+    this snapshot's state before the dirtying run — i.e. on a retained
+    shell. *)
 
 val clear : t -> key:string -> unit
 val reset : t -> unit
 val count : t -> int
+
+val evictions : t -> int
+val total_bytes : t -> int
+(** Sum of resident entries' footprints. *)

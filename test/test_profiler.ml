@@ -310,6 +310,88 @@ let test_vxr_tamper_detected () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "garbage accepted"
 
+(* A .vxr recorded by wasprun BEFORE the paged-memory refactor, embedded
+   verbatim. Replaying it with zero divergence (same per-event clocks,
+   same 365944-cycle total) pins down that the paged store left the cold
+   execution path cycle-identical: zero-fill faults charge nothing and
+   the image md5 is computed over the same bytes. *)
+let pre_refactor_vxr =
+  "vxr1\n\
+   image wasprun\n\
+   mode long\n\
+   origin 32768\n\
+   entry 32768\n\
+   mem_size 65536\n\
+   seed 2766\n\
+   policy mask:0\n\
+   fuel 50000000\n\
+   md5 b3a644c2024fc81d71b188f5ef521273\n\
+   code \
+   0201800c0000000000000022228000000201000200800000000000000000400100001d0180020000000000000021025f800000250111018001000000000000002222800000260125001101800200000000000000222280000026021000022402000124\n\
+   hc 349918 0 0 144 89 0 0 0\n\
+   total 365944\n\
+   outcome exited\n\
+   ret 144\n"
+
+let test_replay_pre_refactor_fixture () =
+  match Profiler.Replay.of_string pre_refactor_vxr with
+  | Error m -> Alcotest.fail ("fixture failed to parse: " ^ m)
+  | Ok recorded ->
+      let image : Wasp.Image.t =
+        {
+          name = Profiler.Replay.image_name recorded;
+          code = Bytes.of_string (Profiler.Replay.code recorded);
+          origin = Profiler.Replay.origin recorded;
+          entry = Profiler.Replay.entry recorded;
+          mode = Vm.Modes.Long;
+          mem_size = Profiler.Replay.mem_size recorded;
+          symbols = [];
+        }
+      in
+      let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) () in
+      let fresh = Profiler.Replay.create () in
+      Profiler.Replay.set_image fresh ~name:image.name
+        ~mode:(Vm.Modes.to_string image.mode) ~origin:image.origin
+        ~entry:image.entry ~mem_size:image.mem_size
+        ~code:(Bytes.to_string image.code);
+      Profiler.Replay.set_env fresh
+        ~seed:(Profiler.Replay.seed recorded)
+        ~policy:(Profiler.Replay.policy recorded)
+        ~fuel:(Profiler.Replay.fuel recorded);
+      Wasp.Runtime.set_recorder w (Some fresh);
+      let r =
+        Wasp.Runtime.run w image ~policy:(Wasp.Policy.Mask 0L)
+          ~fuel:(Profiler.Replay.fuel recorded) ()
+      in
+      Profiler.Replay.finish fresh ~cycles:r.Wasp.Runtime.cycles
+        ~outcome:
+          (match r.Wasp.Runtime.outcome with
+          | Wasp.Runtime.Exited _ -> "exited"
+          | Wasp.Runtime.Faulted _ -> "faulted"
+          | Wasp.Runtime.Fuel_exhausted -> "fuel")
+        ~return_value:r.Wasp.Runtime.return_value;
+      Alcotest.(check (list string)) "pre-refactor recording replays clean" []
+        (Profiler.Replay.diff recorded fresh);
+      Alcotest.(check int64) "cycle total preserved across the refactor" 365944L
+        r.Wasp.Runtime.cycles
+
+let test_image_matches () =
+  let rc = record_invocation () in
+  let code = Bytes.of_string (Profiler.Replay.code rc) in
+  Alcotest.(check bool) "recorded bytes match" true
+    (Profiler.Replay.image_matches rc code);
+  (* the logical view is what the runtime reads back from the paged
+     store; a fresh paged roundtrip must still match the recorded md5 *)
+  let mem = Vm.Memory.create ~size:(Bytes.length code + 4096) in
+  Vm.Memory.write_bytes mem ~off:0 code;
+  let view = Vm.Memory.read_bytes mem ~off:0 ~len:(Bytes.length code) in
+  Alcotest.(check bool) "paged view matches" true
+    (Profiler.Replay.image_matches rc view);
+  let tampered = Bytes.copy code in
+  Bytes.set tampered 0 (Char.chr (Char.code (Bytes.get tampered 0) lxor 1));
+  Alcotest.(check bool) "tampered view rejected" false
+    (Profiler.Replay.image_matches rc tampered)
+
 (* ------------------------------------------------------------------ *)
 (* Symtab                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -357,6 +439,9 @@ let () =
           Alcotest.test_case "divergence detected" `Quick test_replay_divergence_detected;
           Alcotest.test_case "vxr round trip" `Quick test_vxr_round_trip;
           Alcotest.test_case "tamper detected" `Quick test_vxr_tamper_detected;
+          Alcotest.test_case "pre-refactor fixture replays clean" `Quick
+            test_replay_pre_refactor_fixture;
+          Alcotest.test_case "image_matches over paged view" `Quick test_image_matches;
         ] );
       ("symtab", [ Alcotest.test_case "lookup" `Quick test_symtab_lookup ]);
     ]

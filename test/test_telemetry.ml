@@ -349,6 +349,30 @@ let test_pool_and_kvm_metrics () =
        (fun (s : Telemetry.Span.span) -> s.name = "vcpu_run")
        (Telemetry.Span.spans (Telemetry.Hub.spans hub)))
 
+(* --- paged-memory gauges ---------------------------------------------- *)
+
+let test_memory_gauges () =
+  let w = Wasp.Runtime.create ~seed:0xACE () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  ignore (Wasp.Runtime.run w (demo_image ()) ~policy:Wasp.Policy.allow_all ());
+  let reg = Telemetry.Hub.metrics hub in
+  let gauge name =
+    match Telemetry.Metrics.find reg name with
+    | Some (Telemetry.Metrics.Gauge g) -> g.Telemetry.Metrics.g_value
+    | _ -> Alcotest.failf "missing gauge %s" name
+  in
+  (* a 64 KB guest that ran an image holds a handful of private pages —
+     far fewer than the 16 a flat store would pin *)
+  Alcotest.(check bool) "resident pages reported" true
+    (gauge "wasp_mem_resident_pages" > 0. && gauge "wasp_mem_resident_pages" < 16.);
+  Alcotest.(check bool) "resident bytes consistent" true
+    (gauge "wasp_mem_resident_bytes"
+    = gauge "wasp_mem_resident_pages" *. float_of_int Vm.Memory.page_size);
+  ignore (gauge "wasp_mem_shared_pages");
+  ignore (gauge "vm_page_cache_entries");
+  ignore (gauge "vm_page_cache_bytes")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -388,5 +412,6 @@ let () =
           Alcotest.test_case "trace stamps + telemetry mirror" `Quick
             test_trace_stamps_and_mirror;
           Alcotest.test_case "pool and kvm metrics" `Quick test_pool_and_kvm_metrics;
+          Alcotest.test_case "paged-memory gauges" `Quick test_memory_gauges;
         ] );
     ]

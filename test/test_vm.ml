@@ -93,6 +93,129 @@ let test_mem_snapshot_restore () =
   Alcotest.(check int64) "restored" 42L (Vm.Memory.read_u64 m 0)
 
 (* ------------------------------------------------------------------ *)
+(* Paged store: residency, CoW, page cache                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_lazy_residency () =
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  (* reads never materialize: a fresh memory stays entirely zero pages *)
+  Alcotest.(check int64) "reads zero" 0L (Vm.Memory.read_u64 m 0x8000);
+  let s = Vm.Memory.page_stats m in
+  Alcotest.(check int) "no resident pages after reads" 0 s.Vm.Memory.resident_pages;
+  Alcotest.(check int) "16 pages total" 16 s.Vm.Memory.total_pages;
+  (* one store materializes exactly one page, as a demand-zero fill *)
+  Vm.Memory.write_u8 m 0x8000 1;
+  let s = Vm.Memory.page_stats m in
+  Alcotest.(check int) "one owned page" 1 s.Vm.Memory.resident_pages;
+  Alcotest.(check int) "counted as zero fill" 1 s.Vm.Memory.zero_fills;
+  Alcotest.(check int) "not a CoW fault" 0 s.Vm.Memory.cow_faults;
+  Alcotest.(check int) "resident bytes = one page" Vm.Memory.page_size
+    (Vm.Memory.resident_bytes m)
+
+let test_mem_cow_fault_and_hook () =
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  Vm.Memory.write_u64 m 0 0xAAL;
+  Vm.Memory.write_u64 m 8192 0xBBL;
+  let img = Vm.Memory.capture m in
+  (* capture published both pages: the live memory now shares them *)
+  let s = Vm.Memory.page_stats m in
+  Alcotest.(check int) "owned pages published" 0 s.Vm.Memory.resident_pages;
+  Alcotest.(check int) "two shared pages" 2 s.Vm.Memory.shared_pages;
+  Alcotest.(check int) "image holds both" 2 (Vm.Memory.image_resident_pages img);
+  let faults = ref [] in
+  Vm.Memory.set_fault_hook m
+    (Some (fun ~shared ~page -> faults := (shared, page) :: !faults));
+  (* writing a shared page breaks it private and fires the hook *)
+  Vm.Memory.write_u8 m 8200 7;
+  Alcotest.(check (list (pair bool int))) "CoW hook fired" [ (true, 2) ] !faults;
+  let s = Vm.Memory.page_stats m in
+  Alcotest.(check int) "one CoW fault" 1 s.Vm.Memory.cow_faults;
+  (* the break copied the page: old content preserved, new byte landed *)
+  Alcotest.(check int) "new byte landed" 7 (Vm.Memory.read_u8 m 8200);
+  Alcotest.(check int64) "rest of page preserved" 0xBBL (Vm.Memory.read_u64 m 8192);
+  let m2 = Vm.Memory.create ~size:(64 * 1024) in
+  ignore (Vm.Memory.restore_image m2 img);
+  Alcotest.(check int64) "image unaffected by the break" 0xBBL (Vm.Memory.read_u64 m2 8192)
+
+let test_mem_straddling_write_dirties_both_pages () =
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  Vm.Memory.clear_dirty m;
+  let addr = Vm.Memory.page_size - 4 in
+  Vm.Memory.write_u64 m addr 0x1122334455667788L;
+  Alcotest.(check int64) "straddling roundtrip" 0x1122334455667788L
+    (Vm.Memory.read_u64 m addr);
+  Alcotest.(check (list int)) "both pages dirty" [ 0; 1 ] (Vm.Memory.dirty_pages m)
+
+let test_mem_page_cache_dedup () =
+  Vm.Memory.Page_cache.reset ();
+  let fill m = Vm.Memory.write_bytes m ~off:0 (Bytes.make 8192 '\x42') in
+  let a = Vm.Memory.create ~size:(64 * 1024) in
+  fill a;
+  ignore (Vm.Memory.capture a);
+  let entries_after_first = Vm.Memory.Page_cache.entries () in
+  (* both 0x42 pages have identical content: one cache entry *)
+  Alcotest.(check int) "identical pages intern once" 1 entries_after_first;
+  let b = Vm.Memory.create ~size:(64 * 1024) in
+  fill b;
+  ignore (Vm.Memory.capture b);
+  Alcotest.(check int) "second memory adds nothing" entries_after_first
+    (Vm.Memory.Page_cache.entries ());
+  Alcotest.(check bool) "dedup hits recorded" true (Vm.Memory.Page_cache.hits () > 0)
+
+let test_mem_restore_cow_byte_identical () =
+  (* satellite: the CoW restore path must reproduce the captured bytes
+     exactly, without intermediate copies *)
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  for i = 0 to (16 * 1024) - 1 do
+    Vm.Memory.write_u8 m i (i * 31 land 0xFF)
+  done;
+  let img = Vm.Memory.capture m in
+  let golden = Vm.Memory.snapshot m in
+  Vm.Memory.clear_dirty m;
+  (* dirty a few pages, including one past the data *)
+  Vm.Memory.write_u64 m 100 0xDEADL;
+  Vm.Memory.write_u64 m 9000 0xBEEFL;
+  Vm.Memory.write_u64 m 40000 0xCAFEL;
+  let pages, bytes = Vm.Memory.restore_image_cow m img in
+  Alcotest.(check int) "three pages restored" 3 pages;
+  Alcotest.(check int) "logical bytes = pages * page_size"
+    (3 * Vm.Memory.page_size) bytes;
+  Alcotest.(check bool) "restored bytes identical" true
+    (Bytes.equal golden (Vm.Memory.snapshot m))
+
+let test_mem_eager_and_lazy_restore_identical () =
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  for i = 0 to 999 do
+    Vm.Memory.write_u8 m (i * 17) ((i * 7) land 0xFF)
+  done;
+  let img = Vm.Memory.capture m in
+  let golden = Vm.Memory.snapshot m in
+  let lazy_m = Vm.Memory.create ~size:(64 * 1024) in
+  let eager_m = Vm.Memory.create ~size:(64 * 1024) in
+  let f1 = Vm.Memory.restore_image lazy_m img in
+  let f2 = Vm.Memory.restore_image ~eager:true eager_m img in
+  Alcotest.(check int) "same footprint" f1 f2;
+  Alcotest.(check bool) "lazy restore byte-identical" true
+    (Bytes.equal golden (Vm.Memory.snapshot lazy_m));
+  Alcotest.(check bool) "eager restore byte-identical" true
+    (Bytes.equal golden (Vm.Memory.snapshot eager_m));
+  (* eager owns its pages; lazy still references shared ones *)
+  Alcotest.(check int) "lazy holds no private pages" 0
+    (Vm.Memory.page_stats lazy_m).Vm.Memory.resident_pages;
+  Alcotest.(check bool) "eager materialized copies" true
+    ((Vm.Memory.page_stats eager_m).Vm.Memory.resident_pages > 0)
+
+let test_mem_reset_zero_drops_residency () =
+  let m = Vm.Memory.create ~size:(64 * 1024) in
+  Vm.Memory.write_u64 m 0 1L;
+  Vm.Memory.write_u64 m 30000 2L;
+  Vm.Memory.reset_zero m;
+  Alcotest.(check int) "no resident pages" 0
+    (Vm.Memory.page_stats m).Vm.Memory.resident_pages;
+  Alcotest.(check int) "dirty set clear" 0 (Vm.Memory.dirty_count m);
+  Alcotest.(check int64) "reads zero" 0L (Vm.Memory.read_u64 m 30000)
+
+(* ------------------------------------------------------------------ *)
 (* Modes                                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -424,6 +547,20 @@ let () =
           Alcotest.test_case "cstring unterminated" `Quick test_mem_cstring_unterminated;
           Alcotest.test_case "fill zero" `Quick test_mem_fill_zero;
           Alcotest.test_case "snapshot/restore" `Quick test_mem_snapshot_restore;
+        ] );
+      ( "paged-store",
+        [
+          Alcotest.test_case "lazy residency" `Quick test_mem_lazy_residency;
+          Alcotest.test_case "CoW fault + hook" `Quick test_mem_cow_fault_and_hook;
+          Alcotest.test_case "straddling write dirties both pages" `Quick
+            test_mem_straddling_write_dirties_both_pages;
+          Alcotest.test_case "page cache dedup" `Quick test_mem_page_cache_dedup;
+          Alcotest.test_case "restore_cow byte-identical" `Quick
+            test_mem_restore_cow_byte_identical;
+          Alcotest.test_case "eager vs lazy restore" `Quick
+            test_mem_eager_and_lazy_restore_identical;
+          Alcotest.test_case "reset_zero drops residency" `Quick
+            test_mem_reset_zero_drops_residency;
         ] );
       ( "modes",
         [

@@ -582,6 +582,128 @@ let test_cow_retains_shell () =
   Alcotest.(check int) "one shell ever created" 1 stats.Wasp.Pool.created
 
 (* ------------------------------------------------------------------ *)
+(* Paged snapshots: footprints, store bounds, O(dirty) restores         *)
+(* ------------------------------------------------------------------ *)
+
+let mem_with_cpu ?(size = 64 * 1024) () =
+  let mem = Vm.Memory.create ~size in
+  let cpu = Vm.Cpu.create ~mem ~mode:Vm.Modes.Long ~clock:(Cycles.Clock.create ()) in
+  (mem, cpu)
+
+let test_footprint_all_zero () =
+  let mem, cpu = mem_with_cpu () in
+  let store = Wasp.Snapshot_store.create () in
+  let fp = Wasp.Snapshot_store.capture store ~key:"z" ~mem ~cpu ~native_state:None in
+  Alcotest.(check int) "all-zero image has footprint 0" 0 fp;
+  let entry = Option.get (Wasp.Snapshot_store.find store ~key:"z") in
+  Alcotest.(check int) "entry agrees" 0 entry.Wasp.Snapshot_store.footprint;
+  (* restoring the empty image into a dirtied memory still zeroes it *)
+  Vm.Memory.write_u64 mem 0x5000 0xFFL;
+  ignore (Wasp.Snapshot_store.restore entry ~mem ~cpu);
+  Alcotest.(check int64) "restored to zeros" 0L (Vm.Memory.read_u64 mem 0x5000)
+
+let test_footprint_mid_page () =
+  let mem, cpu = mem_with_cpu () in
+  Vm.Memory.write_u8 mem 100 0xAA;
+  let store = Wasp.Snapshot_store.create () in
+  let fp = Wasp.Snapshot_store.capture store ~key:"m" ~mem ~cpu ~native_state:None in
+  Alcotest.(check int) "footprint ends mid-page after last nonzero byte" 101 fp
+
+let test_dirty_page_past_footprint_restores_to_zeros () =
+  let mem, cpu = mem_with_cpu () in
+  Vm.Memory.write_u64 mem 0 0x1234L;
+  let store = Wasp.Snapshot_store.create () in
+  ignore (Wasp.Snapshot_store.capture store ~key:"p" ~mem ~cpu ~native_state:None);
+  let entry = Option.get (Wasp.Snapshot_store.find store ~key:"p") in
+  Vm.Memory.clear_dirty mem;
+  (* dirty a page entirely beyond the snapshot's footprint *)
+  Vm.Memory.write_u64 mem 0x8000 0xBADL;
+  let pages, _ = Wasp.Snapshot_store.restore_cow entry ~mem ~cpu in
+  Alcotest.(check int) "the stray page is restored" 1 pages;
+  Alcotest.(check int64) "beyond-footprint page back to zeros" 0L
+    (Vm.Memory.read_u64 mem 0x8000);
+  Alcotest.(check int64) "in-footprint data intact" 0x1234L (Vm.Memory.read_u64 mem 0)
+
+let test_snapshot_store_lru_eviction () =
+  let store = Wasp.Snapshot_store.create ~capacity:2 () in
+  let hub = Telemetry.Hub.create ~clock:(Cycles.Clock.create ()) () in
+  Wasp.Snapshot_store.set_telemetry store (Some hub);
+  let capture key v =
+    let mem, cpu = mem_with_cpu () in
+    Vm.Memory.write_u64 mem 0 v;
+    ignore (Wasp.Snapshot_store.capture store ~key ~mem ~cpu ~native_state:None)
+  in
+  capture "a" 1L;
+  capture "b" 2L;
+  (* touch "a" so "b" is the LRU victim when "c" arrives *)
+  ignore (Wasp.Snapshot_store.find store ~key:"a");
+  capture "c" 3L;
+  Alcotest.(check int) "bounded at capacity" 2 (Wasp.Snapshot_store.count store);
+  Alcotest.(check bool) "LRU key evicted" true
+    (Wasp.Snapshot_store.find store ~key:"b" = None);
+  Alcotest.(check bool) "recently used key kept" true
+    (Wasp.Snapshot_store.find store ~key:"a" <> None);
+  Alcotest.(check int) "eviction counted" 1 (Wasp.Snapshot_store.evictions store);
+  let gauge name =
+    match Telemetry.Metrics.find (Telemetry.Hub.metrics hub) name with
+    | Some (Telemetry.Metrics.Gauge g) -> int_of_float g.Telemetry.Metrics.g_value
+    | _ -> Alcotest.failf "gauge %s not exported" name
+  in
+  Alcotest.(check int) "entries gauge" 2 (gauge "wasp_snapshot_store_entries");
+  Alcotest.(check bool) "bytes gauge tracks footprints" true
+    (gauge "wasp_snapshot_store_bytes" > 0)
+
+(* a guest that snapshots immediately, then dirties exactly [k] pages *)
+let dirty_k_image ~k ~size =
+  let src =
+    Printf.sprintf
+      {|
+  mov r0, 6
+  out 1, r0
+  mov r1, %d
+  mov r2, 0x20000
+loop:
+  st64 [r2+0], 0x77
+  add r2, 4096
+  sub r1, 1
+  cmp r1, 0
+  jgt loop
+  mov r0, 0
+  out 1, r0
+|}
+      k
+  in
+  let base =
+    Wasp.Image.of_asm_string
+      ~name:(Printf.sprintf "dirty%d-%d" k size)
+      ~mem_size:(size + (256 * 1024))
+      src
+  in
+  let code_len = Bytes.length base.Wasp.Image.code in
+  let img = Wasp.Image.pad_to base size in
+  (* nonzero filler: the whole image is footprint, so an O(footprint)
+     restore would scale with [size] *)
+  Bytes.fill img.Wasp.Image.code code_len (size - code_len) '\x21';
+  img
+
+let test_warm_restore_cost_flat_in_image_size () =
+  (* the acceptance criterion of the paged store: with a fixed dirty set,
+     warm CoW restore cost must not scale with the image *)
+  let warm size =
+    let w = R.create ~reset:`Cow ~clean:`Async () in
+    let img = dirty_k_image ~k:4 ~size in
+    let key = Printf.sprintf "flat-%d" size in
+    ignore (R.run w img ~policy:snap_policy ~snapshot_key:key ());
+    ignore (R.run w img ~policy:snap_policy ~snapshot_key:key ());
+    Int64.to_float (R.run w img ~policy:snap_policy ~snapshot_key:key ()).R.cycles
+  in
+  let small = warm (256 * 1024) and large = warm (4 * 1024 * 1024) in
+  Alcotest.(check bool)
+    (Printf.sprintf "16x image, warm cost %.0f vs %.0f" small large)
+    true
+    (large < 1.5 *. small)
+
+(* ------------------------------------------------------------------ *)
 (* Native payloads                                                      *)
 (* ------------------------------------------------------------------ *)
 
@@ -732,6 +854,17 @@ let () =
           Alcotest.test_case "retains shell" `Quick test_cow_retains_shell;
           Alcotest.test_case "cow via compiler" `Quick test_cow_via_compiler;
           Alcotest.test_case "cow native payload" `Quick test_cow_native_payload;
+        ] );
+      ( "paged-snapshots",
+        [
+          Alcotest.test_case "all-zero footprint" `Quick test_footprint_all_zero;
+          Alcotest.test_case "footprint ends mid-page" `Quick test_footprint_mid_page;
+          Alcotest.test_case "dirty page past footprint" `Quick
+            test_dirty_page_past_footprint_restores_to_zeros;
+          Alcotest.test_case "store LRU eviction + gauges" `Quick
+            test_snapshot_store_lru_eviction;
+          Alcotest.test_case "warm restore flat in image size" `Quick
+            test_warm_restore_cost_flat_in_image_size;
         ] );
       ( "native",
         [
