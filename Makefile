@@ -1,22 +1,24 @@
 # Convenience entry points; everything below is plain dune.
+#
+# Smoke targets write into a private mktemp directory cleaned by a trap,
+# so they are safe to run in parallel (make -j) and leave nothing behind.
 
-TRACE := /tmp/wasp-trace.json
-SCHED_TRACE := /tmp/wasp-sched-trace.json
-VXR := /tmp/wasp-profiler-smoke.vxr
-FOLDED := /tmp/wasp-profiler-smoke.folded
-BENCH_JSON_DIR := /tmp/wasp-bench-json
+BENCH_JSON_DIR ?= /tmp/wasp-bench-json
+BENCH_GATE_FIGS ?= fig12 memshare
 
-.PHONY: all check test bench bench-json trace-smoke sched-smoke profiler-smoke clean
+.PHONY: all check test bench bench-json bench-baselines bench-gate \
+	trace-smoke sched-smoke profiler-smoke chaos-smoke fmt clean
 
 all:
 	dune build
 
-# tier-1 gate: full build + every test suite + scheduler smoke + profiler smoke
+# tier-1 gate: full build + every test suite + the smoke tests
 check:
 	dune build
 	dune runtest
 	$(MAKE) sched-smoke
 	$(MAKE) profiler-smoke
+	$(MAKE) chaos-smoke
 
 test: check
 
@@ -28,24 +30,53 @@ bench-json:
 	dune exec bench/main.exe -- --json-out $(BENCH_JSON_DIR)
 	@ls $(BENCH_JSON_DIR)
 
+# regenerate the committed bench baselines the CI gate compares against
+bench-baselines:
+	dune exec bench/main.exe -- $(BENCH_GATE_FIGS) --json-out bench/baselines
+	@ls bench/baselines
+
+# the CI bench-regression gate: regenerate the gated figures into a
+# scratch directory and diff them against the committed baselines
+bench-gate:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bench/main.exe -- $(BENCH_GATE_FIGS) --json-out $$d > /dev/null; \
+	dune exec bin/benchdiff.exe -- --baseline bench/baselines --fresh $$d $(BENCH_GATE_FIGS)
+
 # telemetry smoke: emit a Chrome trace from an instrumented run, then
 # validate it (JSON parses, phase spans present)
 trace-smoke:
-	dune exec bin/wasprun.exe -- --example --trace-json $(TRACE) --metrics
-	dune exec bin/wasprun.exe -- --check-trace $(TRACE)
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --trace-json $$d/trace.json --metrics; \
+	dune exec bin/wasprun.exe -- --check-trace $$d/trace.json
 
 # multi-core scheduler smoke: run the fig12 core-scaling sweep on 4
 # simulated cores with telemetry, dump the Chrome trace, validate it
 sched-smoke:
-	dune exec bench/main.exe -- fig12 --cores 4 --telemetry --trace-json $(SCHED_TRACE) > /dev/null
-	dune exec bin/wasprun.exe -- --check-trace $(SCHED_TRACE)
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bench/main.exe -- fig12 --cores 4 --telemetry --trace-json $$d/sched.json > /dev/null; \
+	dune exec bin/wasprun.exe -- --check-trace $$d/sched.json
 
 # profiler/replay smoke: profile one recursive-fib invocation while
 # recording it, then replay the recording and require zero cycle
 # divergence (the exit status of --replay enforces it)
 profiler-smoke:
-	dune exec bin/wasprun.exe -- --example --profile --profile-folded $(FOLDED) --record $(VXR)
-	dune exec bin/wasprun.exe -- --replay $(VXR)
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --profile --profile-folded $$d/fib.folded --record $$d/fib.vxr; \
+	dune exec bin/wasprun.exe -- --replay $$d/fib.vxr
+
+# chaos smoke: record an invocation under the default fault plan, then
+# replay it; --replay re-arms the recorded plan and requires zero
+# divergence, injections included
+chaos-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --chaos --record $$d/chaos.vxr; \
+	dune exec bin/wasprun.exe -- --replay $$d/chaos.vxr
+
+# formatting gate; skipped gracefully where ocamlformat is not installed
+# (CI always runs it)
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then dune build @fmt; \
+	else echo "ocamlformat not found; skipping fmt (CI enforces it)"; fi
 
 clean:
 	dune clean

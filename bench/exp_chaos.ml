@@ -1,0 +1,161 @@
+(* Chaos: availability under deterministic fault injection, supervised
+   vs unsupervised. An injection-free runtime completes every invocation;
+   under an armed Cycles.Fault_plan, guest hangs, provisioning failures
+   and exit storms make the naive caller fail visibly, while the
+   Supervisor's watchdog + bounded-retry loop holds availability at (or
+   near) 100% for a bounded latency cost. Everything — the plan, the
+   backoff schedule, the virtual clock — is deterministic: the same seed
+   reproduces the same availability figures and the same final cycle
+   count, which the last section checks by running an arm twice. *)
+
+let rates = [ 0.0; 0.02; 0.05; 0.10 ]
+let invocations = 400
+let runtime_seed = 0xC4A05
+let plan_seed = 0xFA17
+let unsupervised_fuel = 1_000_000
+let attempt_fuel = 50_000
+
+(* Pure compute, no hypercalls: fib(12) = 144 in r0 at the halt. *)
+let fib_source =
+  {|
+start:
+  mov r1, 12
+  call fib
+  hlt
+
+fib:
+  cmp r1, 2
+  jlt fib_base
+  push r1
+  sub r1, 1
+  call fib
+  pop r1
+  push r0
+  sub r1, 2
+  call fib
+  pop r2
+  add r0, r2
+  ret
+fib_base:
+  mov r0, r1
+  ret
+|}
+
+let plan_for rate =
+  Cycles.Fault_plan.create ~seed:plan_seed
+    [
+      (Kvmsim.Kvm.site_spurious_exit, Cycles.Fault_plan.Prob rate);
+      (Kvmsim.Kvm.site_ept_storm, Cycles.Fault_plan.Prob (rate /. 2.0));
+      (Kvmsim.Kvm.site_guest_hang, Cycles.Fault_plan.Prob (rate /. 2.0));
+      (Kvmsim.Kvm.site_provision_fail, Cycles.Fault_plan.Prob (rate /. 4.0));
+    ]
+
+type arm = {
+  available : float;    (* fraction of invocations that returned a result *)
+  p99_us : float;
+  retries : int;
+  injected : int;
+  final_cycle : int64;  (* clock position after the arm: determinism witness *)
+}
+
+let unsupervised_arm img plan =
+  let w = Wasp.Runtime.create ~seed:runtime_seed () in
+  Wasp.Runtime.set_fault_plan w (Some plan);
+  let ok = ref 0 in
+  let lat = Array.make invocations 0.0 in
+  for i = 0 to invocations - 1 do
+    let before = Cycles.Clock.now (Wasp.Runtime.clock w) in
+    (match Wasp.Runtime.run w img ~fuel:unsupervised_fuel () with
+    | { Wasp.Runtime.outcome = Wasp.Runtime.Exited _; _ } -> incr ok
+    | _ -> ()
+    | exception Kvmsim.Kvm.Injected_failure _ -> ());
+    lat.(i) <-
+      Int64.to_float (Cycles.Clock.elapsed_since (Wasp.Runtime.clock w) before)
+  done;
+  {
+    available = float_of_int !ok /. float_of_int invocations;
+    p99_us = Stats.Descriptive.percentile lat 99.0 /. Bench_util.freq_ghz /. 1e3;
+    retries = 0;
+    injected = Cycles.Fault_plan.total_injected plan;
+    final_cycle = Cycles.Clock.now (Wasp.Runtime.clock w);
+  }
+
+let supervised_arm img plan =
+  let w = Wasp.Runtime.create ~seed:runtime_seed () in
+  Wasp.Runtime.set_fault_plan w (Some plan);
+  let sup =
+    Wasp.Supervisor.create
+      ~config:
+        {
+          Wasp.Supervisor.default_config with
+          Wasp.Supervisor.attempt_fuel = Some attempt_fuel;
+          (* a long bench run should ride out unlucky streaks rather
+             than quarantine its only image *)
+          quarantine_threshold = 10;
+        }
+      w
+  in
+  let ok = ref 0 in
+  let lat = Array.make invocations 0.0 in
+  for i = 0 to invocations - 1 do
+    let o = Wasp.Supervisor.run sup img () in
+    (match o.Wasp.Supervisor.result with Ok _ -> incr ok | Error _ -> ());
+    lat.(i) <- Int64.to_float o.Wasp.Supervisor.cycles
+  done;
+  {
+    available = float_of_int !ok /. float_of_int invocations;
+    p99_us = Stats.Descriptive.percentile lat 99.0 /. Bench_util.freq_ghz /. 1e3;
+    retries = (Wasp.Supervisor.stats sup).Wasp.Supervisor.retries;
+    injected = Cycles.Fault_plan.total_injected plan;
+    final_cycle = Cycles.Clock.now (Wasp.Runtime.clock w);
+  }
+
+let run () =
+  Bench_util.header "Chaos: supervised availability under fault injection"
+    "robustness extension; fault taxonomy of docs/robustness.md";
+  let img = Wasp.Image.of_asm_string ~name:"chaosfib" ~mode:Vm.Modes.Long fib_source in
+  let rows =
+    List.map
+      (fun rate ->
+        let unsup = unsupervised_arm img (plan_for rate) in
+        let sup = supervised_arm img (plan_for rate) in
+        [
+          Printf.sprintf "%.0f%%" (rate *. 100.0);
+          Printf.sprintf "%.2f%%" (unsup.available *. 100.0);
+          Printf.sprintf "%.2f%%" (sup.available *. 100.0);
+          Printf.sprintf "%.1f" unsup.p99_us;
+          Printf.sprintf "%.1f" sup.p99_us;
+          string_of_int sup.retries;
+          string_of_int sup.injected;
+        ])
+      rates
+  in
+  Bench_util.table ~fig:"chaos"
+    ~header:
+      [
+        "fault rate"; "unsup avail"; "sup avail"; "unsup p99 us"; "sup p99 us";
+        "retries"; "injected";
+      ]
+    rows;
+  Bench_util.note "unsup: plain Runtime.run, %d-instruction fuel, failures surface"
+    unsupervised_fuel;
+  Bench_util.note
+    "sup: Supervisor watchdog (%d fuel/attempt) + <=3 retries with deterministic backoff"
+    attempt_fuel;
+  (* Determinism: the same plan seed and runtime seed must reproduce the
+     whole supervised arm — availability, retry schedule, final clock. *)
+  let a = supervised_arm img (plan_for 0.10) in
+  let b = supervised_arm img (plan_for 0.10) in
+  let same =
+    a.available = b.available && a.retries = b.retries
+    && Int64.equal a.final_cycle b.final_cycle
+  in
+  Bench_util.table ~fig:"chaos" ~title:"determinism (two same-seed supervised arms @ 10%)"
+    ~header:[ "run"; "avail"; "retries"; "final cycle"; "identical" ]
+    [
+      [ "A"; Printf.sprintf "%.2f%%" (a.available *. 100.0); string_of_int a.retries;
+        Int64.to_string a.final_cycle; "-" ];
+      [ "B"; Printf.sprintf "%.2f%%" (b.available *. 100.0); string_of_int b.retries;
+        Int64.to_string b.final_cycle; (if same then "yes" else "NO") ];
+    ];
+  if not same then Bench_util.note "WARNING: supervised chaos arm was not deterministic!"

@@ -23,6 +23,7 @@ let experiments =
     ("udf", "database UDF isolation cost (Section 7.1)", Exp_udf.run);
     ("ablations", "design-choice ablations (hypercalls, pool, marshalling)", Exp_ablations.run);
     ("memshare", "paged CoW snapshot restore scaling (memory refactor)", Exp_memshare.run);
+    ("chaos", "fault injection: supervised vs unsupervised availability", Exp_chaos.run);
     ("bechamel", "wall-clock microbenchmarks of the simulator", Bechamel_suite.run);
   ]
 

@@ -1,0 +1,195 @@
+(* benchdiff: the CI bench-regression gate.
+
+     benchdiff --baseline bench/baselines --fresh /tmp/bench-out fig12 memshare
+
+   Compares freshly generated BENCH_<fig>.json files (bench/main.exe
+   --json-out) against committed baselines, cell by cell. Numeric cells
+   must agree within a relative tolerance (default 15%); non-numeric
+   cells must match exactly. A structural mismatch (missing figure,
+   different table count, different header) fails loudly with a hint to
+   regenerate the baselines. Exit 0 = within tolerance, 1 = regression,
+   2 = structural/usage error. *)
+
+open Cmdliner
+
+type table = { title : string option; header : string list; rows : string list list }
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let str_field tbl key =
+  match Hashtbl.find_opt tbl key with Some (Vjs.Jsvalue.Str s) -> Some s | _ -> None
+
+let string_list = function
+  | Vjs.Jsvalue.Arr v ->
+      Some
+        (List.filter_map
+           (function Vjs.Jsvalue.Str s -> Some s | _ -> None)
+           (Vjs.Jsvalue.vec_to_list v))
+  | _ -> None
+
+let parse_bench path =
+  match Vjs.Json.parse (read_file path) with
+  | exception Sys_error msg -> Error msg
+  | exception Vjs.Jsvalue.Js_error msg -> Error (Printf.sprintf "%s: %s" path msg)
+  | Vjs.Jsvalue.Obj top -> (
+      match Hashtbl.find_opt top "tables" with
+      | Some (Vjs.Jsvalue.Arr v) -> (
+          let tables =
+            List.filter_map
+              (function
+                | Vjs.Jsvalue.Obj o ->
+                    let header =
+                      Option.bind (Hashtbl.find_opt o "header") string_list
+                    in
+                    let rows =
+                      match Hashtbl.find_opt o "rows" with
+                      | Some (Vjs.Jsvalue.Arr rv) ->
+                          Some
+                            (List.filter_map string_list (Vjs.Jsvalue.vec_to_list rv))
+                      | _ -> None
+                    in
+                    (match (header, rows) with
+                    | Some header, Some rows ->
+                        Some { title = str_field o "title"; header; rows }
+                    | _ -> None)
+                | _ -> None)
+              (Vjs.Jsvalue.vec_to_list v)
+          in
+          match tables with
+          | [] -> Error (Printf.sprintf "%s: no tables" path)
+          | ts -> Ok ts)
+      | _ -> Error (Printf.sprintf "%s: no tables array" path))
+  | _ -> Error (Printf.sprintf "%s: top level is not an object" path)
+
+(* A cell is numeric if it starts with a float ("394.8", "98.75%",
+   "16 MB"). Compare the leading number within tolerance and require the
+   rest (the unit text) to match exactly. *)
+let split_numeric cell =
+  let n = String.length cell in
+  let is_num_char c = (c >= '0' && c <= '9') || c = '.' || c = '-' || c = '+' in
+  let rec last i = if i < n && is_num_char cell.[i] then last (i + 1) else i in
+  let stop = last 0 in
+  if stop = 0 then None
+  else
+    match float_of_string_opt (String.sub cell 0 stop) with
+    | Some f -> Some (f, String.sub cell stop (n - stop))
+    | None -> None
+
+let cell_ok ~tolerance a b =
+  match (split_numeric a, split_numeric b) with
+  | Some (x, ua), Some (y, ub) when ua = ub ->
+      let scale = Float.max (Float.abs x) (Float.abs y) in
+      scale = 0.0 || Float.abs (x -. y) <= tolerance *. scale
+  | _ -> String.equal a b
+
+let structural_hint =
+  "baseline shape differs from fresh output -- regenerate with `make bench-baselines` \
+   and commit the result"
+
+let compare_fig ~tolerance ~fig baseline fresh =
+  let failures = ref [] in
+  let structural = ref [] in
+  let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+  let misshapen fmt = Printf.ksprintf (fun m -> structural := m :: !structural) fmt in
+  if List.length baseline <> List.length fresh then
+    misshapen "%s: %d tables in baseline vs %d fresh" fig (List.length baseline)
+      (List.length fresh)
+  else
+    List.iteri
+      (fun ti (b, f) ->
+        let where =
+          match b.title with
+          | Some t -> Printf.sprintf "%s table %d (%s)" fig ti t
+          | None -> Printf.sprintf "%s table %d" fig ti
+        in
+        if b.header <> f.header then misshapen "%s: header changed" where
+        else if List.length b.rows <> List.length f.rows then
+          misshapen "%s: %d rows in baseline vs %d fresh" where (List.length b.rows)
+            (List.length f.rows)
+        else
+          List.iteri
+            (fun ri (br, fr) ->
+              if List.length br <> List.length fr then
+                misshapen "%s row %d: column count changed" where ri
+              else
+                List.iteri
+                  (fun ci (bc, fc) ->
+                    if not (cell_ok ~tolerance bc fc) then
+                      fail "%s row %d [%s]: %S vs fresh %S (tolerance %.0f%%)" where ri
+                        (List.nth b.header ci) bc fc (tolerance *. 100.0))
+                  (List.combine br fr))
+            (List.combine b.rows f.rows))
+      (List.combine baseline fresh);
+  (List.rev !structural, List.rev !failures)
+
+let run baseline_dir fresh_dir tolerance figs =
+  if figs = [] then begin
+    prerr_endline "benchdiff: name at least one figure (e.g. fig12 memshare)";
+    2
+  end
+  else begin
+    let structural_total = ref 0 and regression_total = ref 0 in
+    List.iter
+      (fun fig ->
+        let file = Printf.sprintf "BENCH_%s.json" fig in
+        let bpath = Filename.concat baseline_dir file in
+        let fpath = Filename.concat fresh_dir file in
+        match (parse_bench bpath, parse_bench fpath) with
+        | Error m, _ ->
+            Printf.eprintf "benchdiff: baseline %s\n" m;
+            incr structural_total
+        | _, Error m ->
+            Printf.eprintf "benchdiff: fresh %s\n" m;
+            incr structural_total
+        | Ok b, Ok f ->
+            let structural, failures = compare_fig ~tolerance ~fig b f in
+            List.iter (fun m -> Printf.eprintf "STRUCTURE %s\n" m) structural;
+            List.iter (fun m -> Printf.eprintf "REGRESSION %s\n" m) failures;
+            structural_total := !structural_total + List.length structural;
+            regression_total := !regression_total + List.length failures;
+            if structural = [] && failures = [] then
+              Printf.printf "%s: ok (within %.0f%% of baseline)\n" fig
+                (tolerance *. 100.0))
+      figs;
+    if !structural_total > 0 then begin
+      Printf.eprintf "benchdiff: %s\n" structural_hint;
+      2
+    end
+    else if !regression_total > 0 then begin
+      Printf.eprintf "benchdiff: %d cell(s) out of tolerance\n" !regression_total;
+      1
+    end
+    else 0
+  end
+
+let () =
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/baselines"
+      & info [ "baseline" ] ~docv:"DIR" ~doc:"Directory of committed BENCH_*.json baselines")
+  in
+  let fresh =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "fresh" ] ~docv:"DIR" ~doc:"Directory of freshly generated BENCH_*.json")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.15
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Allowed relative drift for numeric cells (default 0.15)")
+  in
+  let figs = Arg.(value & pos_all string [] & info [] ~docv:"FIG") in
+  let cmd =
+    Cmd.v
+      (Cmd.info "benchdiff" ~doc:"compare bench JSON outputs against committed baselines")
+      Term.(const run $ baseline $ fresh $ tolerance $ figs)
+  in
+  exit (Cmd.eval' cmd)

@@ -8,6 +8,9 @@
      wasprun --example --record out.vxr
      wasprun --replay out.vxr  # re-execute and diff cycle-for-cycle
      wasprun --example-fault   # seeded guest fault: flight-recorder dump
+     wasprun --example --chaos # run under the default fault plan
+     wasprun --example --fault-plan plan.txt
+                               # run under a custom fault plan
      wasprun --example --trace-json t.json --metrics
                                # telemetry: Chrome trace + metrics dump
      wasprun --check-trace t.json
@@ -118,6 +121,13 @@ let outcome_string = function
 
 let default_fuel = 50_000_000
 
+(* --chaos: non-fatal turbulence (spurious exits and EPT storms perturb
+   the timeline without killing the guest), so a recorded chaos run still
+   exits cleanly and its .vxr replays prove plan fidelity. Scheduled
+   triggers rather than probabilities: even a single short invocation
+   takes visible injections. *)
+let default_chaos_plan = "seed=0xC4405;spurious_exit=@0+2;ept_storm=@1+3"
+
 (* Validate a Chrome trace-event dump: well-formed JSON, a non-empty
    traceEvents array, and the invocation phase spans present. *)
 let check_trace path =
@@ -177,15 +187,27 @@ let replay_file path =
             }
           in
           let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) () in
+          (* Chaos recordings carry their fault plan; re-arm an identical
+             one so injected turbulence reproduces cycle-for-cycle. *)
+          let plan_err = ref None in
+          (match Profiler.Replay.fault_plan recorded with
+          | Some text -> (
+              match Cycles.Fault_plan.of_string text with
+              | Ok plan -> Wasp.Runtime.set_fault_plan w (Some plan)
+              | Error msg -> plan_err := Some msg)
+          | None -> ());
+          if !plan_err <> None then fail "bad recorded fault plan: %s" (Option.get !plan_err)
+          else begin
           let fresh = Profiler.Replay.create () in
           Profiler.Replay.set_image fresh ~name:image.name
             ~mode:(Vm.Modes.to_string image.mode) ~origin:image.origin ~entry:image.entry
             ~mem_size:image.mem_size
             ~code:(Bytes.to_string image.code);
           Profiler.Replay.set_env fresh
+            ?fault_plan:(Profiler.Replay.fault_plan recorded)
             ~seed:(Profiler.Replay.seed recorded)
             ~policy:(Profiler.Replay.policy recorded)
-            ~fuel:(Profiler.Replay.fuel recorded);
+            ~fuel:(Profiler.Replay.fuel recorded) ();
           Wasp.Runtime.set_recorder w (Some fresh);
           let r = Wasp.Runtime.run w image ~policy ~fuel:(Profiler.Replay.fuel recorded) () in
           Profiler.Replay.finish fresh ~cycles:r.Wasp.Runtime.cycles
@@ -202,7 +224,8 @@ let replay_file path =
           | divergences ->
               Printf.eprintf "replay DIVERGED (%d differences):\n" (List.length divergences);
               List.iter (fun d -> Printf.eprintf "  %s\n" d) divergences;
-              1))
+              1)
+          end)
 
 (* --mem-stats: page-sharing figures for the run, read back from the
    gauges the runtime maintains plus the process-wide page cache. *)
@@ -235,7 +258,7 @@ let print_mem_stats hub w =
   print_endline "--------------"
 
 let run file example example_fault mode allow all trace_json metrics mem_stats check
-    profile profile_folded record replay seed =
+    profile profile_folded record replay seed chaos fault_plan_file =
   match (check, replay) with
   | Some path, _ -> check_trace path
   | None, Some path -> replay_file path
@@ -254,7 +277,7 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
           | exception Asm.Asm_error msg ->
               Printf.eprintf "assembly error: %s\n" msg;
               1
-          | program ->
+          | program -> (
               let image = Wasp.Image.of_program ~name:"wasprun" ~mode program in
               let policy =
                 if all then Wasp.Policy.allow_all
@@ -262,7 +285,28 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                   Wasp.Policy.of_list
                     (List.filter_map (fun n -> List.assoc_opt n hc_by_name) allow)
               in
+              let plan_result =
+                match (fault_plan_file, chaos) with
+                | Some path, _ -> (
+                    match Cycles.Fault_plan.of_string (read_file path) with
+                    | Ok p -> Ok (Some p)
+                    | Error msg -> Error msg
+                    | exception Sys_error msg -> Error msg)
+                | None, true -> (
+                    match Cycles.Fault_plan.of_string default_chaos_plan with
+                    | Ok p -> Ok (Some p)
+                    | Error msg -> Error msg)
+                | None, false -> Ok None
+              in
+              match plan_result with
+              | Error msg ->
+                  Printf.eprintf "error: fault plan: %s\n" msg;
+                  1
+              | Ok plan ->
               let w = Wasp.Runtime.create ~seed () in
+              (match plan with
+              | Some p -> Wasp.Runtime.set_fault_plan w (Some p)
+              | None -> ());
               let hub =
                 if trace_json <> None || metrics || mem_stats then begin
                   let h = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
@@ -289,8 +333,9 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                       ~origin:image.Wasp.Image.origin ~entry:image.Wasp.Image.entry
                       ~mem_size:image.Wasp.Image.mem_size
                       ~code:(Bytes.to_string image.Wasp.Image.code);
-                    Profiler.Replay.set_env rc ~seed ~policy:(policy_to_string policy)
-                      ~fuel:default_fuel;
+                    Profiler.Replay.set_env rc
+                      ?fault_plan:(Option.map Cycles.Fault_plan.to_string plan)
+                      ~seed ~policy:(policy_to_string policy) ~fuel:default_fuel ();
                     Wasp.Runtime.set_recorder w (Some rc);
                     Some rc
               in
@@ -346,6 +391,12 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
               (match hub with
               | Some h when mem_stats -> print_mem_stats h w
               | _ -> ());
+              (match plan with
+              | Some p ->
+                  Printf.printf "chaos: %d faults injected under plan %s\n"
+                    (Cycles.Fault_plan.total_injected p)
+                    (Cycles.Fault_plan.to_string p)
+              | None -> ());
               (match r.Wasp.Runtime.outcome with
               | Wasp.Runtime.Exited code ->
                   Printf.printf "exited with %Ld  [%.1f us, %d hypercalls, %d denied]\n" code
@@ -363,7 +414,7 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                   1
               | Wasp.Runtime.Fuel_exhausted ->
                   print_endline "out of fuel";
-                  1)))
+                  1))))
 
 let () =
   let file = Arg.(value & pos 0 (some file) None & info [] ~docv:"FILE.vxa") in
@@ -457,11 +508,30 @@ let () =
       value & opt int 0xACE
       & info [ "seed" ] ~docv:"N" ~doc:"Runtime RNG seed (recorded into .vxr files)")
   in
+  let chaos =
+    Arg.(
+      value & flag
+      & info [ "chaos" ]
+          ~doc:
+            "Run under the built-in non-fatal fault plan (spurious VM exits and EPT \
+             storms); recorded .vxr files embed the plan so replays reproduce the \
+             turbulence cycle-for-cycle")
+  in
+  let fault_plan =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "fault-plan" ] ~docv:"FILE"
+          ~doc:
+            "Run under the fault plan read from $(docv) (site=trigger lines; see \
+             docs/robustness.md). Overrides $(b,--chaos)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
         const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
-        $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed)
+        $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed
+        $ chaos $ fault_plan)
   in
   exit (Cmd.eval' cmd)

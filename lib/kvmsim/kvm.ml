@@ -8,6 +8,7 @@ type system = {
   mutable active_cpu : Vm.Cpu.t option;
       (* vCPU inside KVM_RUN right now: EPT violations taken from guest
          stores are stamped with its PC in the flight ring *)
+  mutable plan : Cycles.Fault_plan.t option;
 }
 
 and stats = {
@@ -17,7 +18,16 @@ and stats = {
   mutable io_exits : int;
   mutable fault_exits : int;
   mutable ept_violations : int;
+  mutable injected_faults : int;
 }
+
+exception Injected_failure of string
+
+let site_spurious_exit = "spurious_exit"
+let site_ept_storm = "ept_storm"
+let site_provision_fail = "provision_fail"
+let site_guest_hang = "guest_hang"
+let site_snapshot_corrupt = "snapshot_corrupt"
 
 type vm = { sys : system; mutable memory : Vm.Memory.t option }
 
@@ -44,10 +54,12 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
         io_exits = 0;
         fault_exits = 0;
         ept_violations = 0;
+        injected_faults = 0;
       };
     telemetry = None;
     flight = None;
     active_cpu = None;
+    plan = None;
   }
 
 let clock sys = sys.clocks.(sys.cur)
@@ -74,6 +86,42 @@ let set_telemetry sys hub = sys.telemetry <- hub
 let set_flight sys fr = sys.flight <- fr
 let flight sys = sys.flight
 
+let set_fault_plan sys plan = sys.plan <- plan
+let fault_plan sys = sys.plan
+
+(* One injection fired: count it (stats + the plain and site-labeled
+   [wasp_faults_injected_total] series) and leave an [INJECTED] entry in
+   the black box, stamped with the active guest PC when there is one.
+   Bookkeeping charges no cycles — the *consequence* of the injection
+   (the spurious round trip, the storm, the raised failure) is what the
+   site charges. *)
+let note_injection sys site =
+  sys.stats.injected_faults <- sys.stats.injected_faults + 1;
+  (match sys.telemetry with
+  | None -> ()
+  | Some h ->
+      let m = Telemetry.Hub.metrics h in
+      let help = "fault-plan injections fired" in
+      Telemetry.Metrics.incr (Telemetry.Metrics.counter m ~help "wasp_faults_injected_total");
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter m ~help ~labels:[ ("site", site) ]
+           "wasp_faults_injected_total"));
+  match sys.flight with
+  | None -> ()
+  | Some fr ->
+      let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
+      Profiler.Flight.record fr
+        ~at:(Cycles.Clock.now (clock sys))
+        ~core:sys.cur ~pc (Profiler.Flight.Injected site)
+
+let plan_fires sys site =
+  match sys.plan with
+  | None -> false
+  | Some plan ->
+      let fire = Cycles.Fault_plan.fires plan ~site in
+      if fire then note_injection sys site;
+      fire
+
 let kspan sys name f =
   match sys.telemetry with None -> f () | Some h -> Telemetry.Hub.with_span h name f
 
@@ -85,6 +133,13 @@ let charge sys cycles = Cycles.Clock.advance_int (clock sys) (Cycles.Costs.jitte
 let create_vm sys =
   kincr sys "kvm_vm_creations_total";
   kspan sys "kvm_create_vm" (fun () ->
+      (* fault plan: KVM_CREATE_VM can fail (the kernel's VMCS/VMCB
+         allocation returning ENOMEM). The failed ioctl still pays its
+         syscall round trip; the in-kernel allocation is never reached. *)
+      if plan_fires sys site_provision_fail then begin
+        Cycles.Clock.advance_int (clock sys) Cycles.Costs.ioctl_syscall;
+        raise (Injected_failure site_provision_fail)
+      end;
       charge sys Cycles.Costs.kvm_create_vm;
       sys.stats.vm_creations <- sys.stats.vm_creations + 1;
       { sys; memory = None })
@@ -154,7 +209,27 @@ let run ?fuel v =
         sys.active_cpu <- Some v.cpu;
         let exit =
           Fun.protect ~finally:(fun () -> sys.active_cpu <- None) (fun () ->
-              Vm.Cpu.run ?fuel v.cpu)
+              (* Fault-plan perturbations inside KVM_RUN. Injected costs
+                 are charged without jitter: the chaos timeline must
+                 replay cycle-for-cycle under the same plan. *)
+              if plan_fires sys site_spurious_exit then
+                (* one spurious exit: a wasted exit/re-entry round trip
+                   before the guest makes progress *)
+                Cycles.Clock.advance_int (clock sys)
+                  (Cycles.Costs.vmexit + Cycles.Costs.ioctl_syscall
+                 + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
+              if plan_fires sys site_ept_storm then
+                (* a burst of EPT violations that make no forward
+                   progress (walk + exit + re-entry, no page copied) *)
+                Cycles.Clock.advance_int (clock sys) (8 * Cycles.Costs.ept_violation);
+              if plan_fires sys site_guest_hang then begin
+                (* the guest spins without retiring useful work until the
+                   fuel watchdog kills it *)
+                let spin = match fuel with Some f -> max f 1 | None -> 1_000_000 in
+                Cycles.Clock.advance_int (clock sys) (spin * Cycles.Costs.alu);
+                Vm.Cpu.Out_of_fuel
+              end
+              else Vm.Cpu.run ?fuel v.cpu)
         in
         charge sys Cycles.Costs.vmexit;
         exit)

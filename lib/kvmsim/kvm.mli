@@ -31,7 +31,60 @@ type stats = {
       (** CoW breaks of shared guest pages (simulated EPT
           write-protection violations); each charged
           [Costs.ept_violation + memcpy_cost page_size]. *)
+  mutable injected_faults : int;
+      (** Fault-plan injections fired through this system (all sites). *)
 }
+
+exception Injected_failure of string
+(** Raised by operations the armed fault plan makes fail outright
+    (currently {!site_provision_fail} in {!create_vm}). The payload is
+    the site name. *)
+
+(** {2 Fault injection}
+
+    Arm a {!Cycles.Fault_plan.t} and the simulated KVM perturbs itself at
+    these sites (see [docs/robustness.md]):
+
+    - {!site_spurious_exit}: one opportunity per {!run}; a fire charges a
+      wasted exit/re-entry round trip before the guest makes progress.
+    - {!site_ept_storm}: one opportunity per {!run}; a fire charges a
+      burst of 8 no-progress EPT violations.
+    - {!site_guest_hang}: one opportunity per {!run}; a fire burns the
+      caller's entire fuel budget and returns {!Out_of_fuel} without
+      executing the guest.
+    - {!site_provision_fail}: one opportunity per {!create_vm}; a fire
+      raises {!Injected_failure} after charging the failed ioctl's
+      syscall round trip.
+    - {!site_snapshot_corrupt} is consumed by the Wasp runtime (one
+      opportunity per snapshot restore): a fire overwrites the restored
+      page under the guest PC with an invalid-opcode pattern, so the
+      guest faults deterministically at its first fetch.
+
+    Injected costs are charged {e without} jitter, so a chaos run under
+    the same plan and seed replays cycle-for-cycle. Each fire bumps
+    [stats.injected_faults], the [wasp_faults_injected_total] counter
+    (plain and [site]-labeled) and leaves an [INJECTED] entry in the
+    attached flight ring. *)
+
+val site_spurious_exit : string
+val site_ept_storm : string
+val site_provision_fail : string
+val site_guest_hang : string
+val site_snapshot_corrupt : string
+
+val set_fault_plan : system -> Cycles.Fault_plan.t option -> unit
+(** Arm (or disarm) a fault plan. The plan's state advances as
+    opportunities are consumed; use {!Cycles.Fault_plan.copy} to arm an
+    identical fresh plan elsewhere. *)
+
+val fault_plan : system -> Cycles.Fault_plan.t option
+
+val plan_fires : system -> string -> bool
+(** Consume one opportunity at the named site against the armed plan
+    (false when none is armed). A fire does the injection bookkeeping —
+    stats, counters, flight entry — but charges no cycles; the caller
+    applies the consequence. Exposed for sites that live above the KVM
+    layer (the runtime's {!site_snapshot_corrupt}). *)
 
 val open_dev : ?seed:int -> ?freq_ghz:float -> ?cores:int -> unit -> system
 (** [cores] (default 1) gives the system that many per-core virtual

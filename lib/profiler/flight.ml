@@ -12,6 +12,7 @@ type kind =
   | Fault of string
   | Fuel
   | Ept of { page : int }
+  | Injected of string
 
 type entry = {
   seq : int;            (** monotonically increasing exit number *)
@@ -69,6 +70,7 @@ let kind_to_string = function
   | Fault msg -> Printf.sprintf "FAULT %s" msg
   | Fuel -> "out_of_fuel"
   | Ept { page } -> Printf.sprintf "ept_violation page=%d" page
+  | Injected site -> Printf.sprintf "INJECTED %s" site
 
 let pp_entry ppf e =
   Format.fprintf ppf "#%-6d cyc=%-12Ld core=%d pc=0x%06x %s%s" e.seq e.at e.core e.pc

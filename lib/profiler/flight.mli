@@ -18,6 +18,11 @@ type kind =
           shared guest page. Unlike the other kinds this is not a
           [KVM_RUN] return — it is handled "in-kernel" — but it is an
           exit-class event worth a black-box entry. *)
+  | Injected of string
+      (** A fault-plan injection fired at the named site (see
+          {!Cycles.Fault_plan} and [docs/robustness.md]); chaos runs
+          leave their injections in the black box so a post-mortem can
+          tell injected turbulence from organic failure. *)
 
 type entry = private {
   seq : int;

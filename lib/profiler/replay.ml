@@ -20,6 +20,8 @@ type t = {
   mutable seed : int;
   mutable policy : string;    (* "deny_all" | "allow_all" | "mask:<hex>" *)
   mutable fuel : int;
+  mutable fault_plan : string option;
+      (* one-line Cycles.Fault_plan.to_string form; None = no chaos *)
   mutable events_rev : event list;
   mutable n_events : int;
   mutable total_cycles : int64;
@@ -38,6 +40,7 @@ let create () =
     seed = 0;
     policy = "deny_all";
     fuel = 0;
+    fault_plan = None;
     events_rev = [];
     n_events = 0;
     total_cycles = 0L;
@@ -53,10 +56,11 @@ let set_image t ~name ~mode ~origin ~entry ~mem_size ~code =
   t.mem_size <- mem_size;
   t.code <- code
 
-let set_env t ~seed ~policy ~fuel =
+let set_env t ?fault_plan ~seed ~policy ~fuel () =
   t.seed <- seed;
   t.policy <- policy;
-  t.fuel <- fuel
+  t.fuel <- fuel;
+  t.fault_plan <- fault_plan
 
 let add_event t ~at ~nr ~args ~ret =
   t.events_rev <- { at; nr; args = Array.copy args; ret } :: t.events_rev;
@@ -79,6 +83,7 @@ let code t = t.code
 let seed t = t.seed
 let policy t = t.policy
 let fuel t = t.fuel
+let fault_plan t = t.fault_plan
 let total_cycles t = t.total_cycles
 let outcome t = t.outcome
 let return_value t = t.return_value
@@ -119,6 +124,9 @@ let to_string t =
   Buffer.add_string buf (Printf.sprintf "seed %d\n" t.seed);
   Buffer.add_string buf (Printf.sprintf "policy %s\n" t.policy);
   Buffer.add_string buf (Printf.sprintf "fuel %d\n" t.fuel);
+  (match t.fault_plan with
+  | Some plan -> Buffer.add_string buf (Printf.sprintf "faultplan %s\n" plan)
+  | None -> ());
   Buffer.add_string buf (Printf.sprintf "md5 %s\n" (image_md5 t));
   Buffer.add_string buf (Printf.sprintf "code %s\n" (hex_of_string t.code));
   List.iter
@@ -174,6 +182,7 @@ let of_string s =
         | "seed" -> t.seed <- int_of v ~what:"seed"
         | "policy" -> t.policy <- v
         | "fuel" -> t.fuel <- int_of v ~what:"fuel"
+        | "faultplan" -> t.fault_plan <- Some v
         | "md5" -> stored_md5 := v
         | "code" -> (
             match string_of_hex v with
@@ -219,6 +228,10 @@ let diff recorded replayed =
   if recorded.seed <> replayed.seed then add "seed: %d vs %d" recorded.seed replayed.seed;
   if recorded.policy <> replayed.policy then
     add "policy: %s vs %s" recorded.policy replayed.policy;
+  if recorded.fault_plan <> replayed.fault_plan then
+    add "fault plan: %s vs %s"
+      (Option.value recorded.fault_plan ~default:"<none>")
+      (Option.value replayed.fault_plan ~default:"<none>");
   if recorded.n_events <> replayed.n_events then
     add "hypercall count: %d vs %d" recorded.n_events replayed.n_events;
   List.iteri

@@ -24,8 +24,12 @@ val set_image :
   code:string ->
   unit
 
-val set_env : t -> seed:int -> policy:string -> fuel:int -> unit
-(** [policy] is ["deny_all"], ["allow_all"] or ["mask:<hex>"]. *)
+val set_env : t -> ?fault_plan:string -> seed:int -> policy:string -> fuel:int -> unit -> unit
+(** [policy] is ["deny_all"], ["allow_all"] or ["mask:<hex>"].
+    [fault_plan] is the armed plan's one-line
+    {!Cycles.Fault_plan.to_string} form; recordings made under chaos
+    carry it so replay re-arms an identical plan and the injected
+    turbulence reproduces cycle-for-cycle. *)
 
 val add_event : t -> at:int64 -> nr:int -> args:int64 array -> ret:int64 -> unit
 
@@ -44,6 +48,9 @@ val code : t -> string
 val seed : t -> int
 val policy : t -> string
 val fuel : t -> int
+
+val fault_plan : t -> string option
+(** The textual fault plan recorded with this invocation, if any. *)
 val total_cycles : t -> int64
 val outcome : t -> string
 val return_value : t -> int64

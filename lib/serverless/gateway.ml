@@ -1,8 +1,135 @@
-type t = { platform : Vespid.t; mutable next_core : int }
+type breaker_state = Closed | Open | Half_open
 
-let create platform = { platform; next_core = 0 }
+type breaker_config = { failure_threshold : int; cooldown : int64 }
+
+let default_breaker_config = { failure_threshold = 5; cooldown = 100_000_000L }
+
+type shed_config = { burst : int; refill_per_s : float }
+
+type breaker = {
+  mutable state : breaker_state;
+  mutable failures : int;  (* consecutive, while Closed *)
+  mutable opened_at : int64;
+}
+
+type bucket = { mutable tokens : float; mutable last_refill : int64 }
+
+type t = {
+  platform : Vespid.t;
+  mutable next_core : int;
+  breaker_config : breaker_config;
+  breakers : (string, breaker) Hashtbl.t;
+  shed : shed_config option;
+  bucket : bucket;
+  mutable shed_count : int;
+  mutable breaker_rejections : int;
+}
+
+let create ?(breaker = default_breaker_config) ?shed platform =
+  if breaker.failure_threshold < 1 then
+    invalid_arg "Gateway.create: failure_threshold must be >= 1";
+  (match shed with
+  | Some s when s.burst < 1 || s.refill_per_s <= 0.0 ->
+      invalid_arg "Gateway.create: shed config must have burst >= 1 and a positive rate"
+  | Some _ | None -> ());
+  {
+    platform;
+    next_core = 0;
+    breaker_config = breaker;
+    breakers = Hashtbl.create 8;
+    shed;
+    bucket =
+      {
+        tokens = (match shed with Some s -> float_of_int s.burst | None -> 0.0);
+        last_refill = 0L;
+      };
+    shed_count = 0;
+    breaker_rejections = 0;
+  }
 
 let hub t = Wasp.Runtime.telemetry (Vespid.runtime t.platform)
+let clock t = Wasp.Runtime.clock (Vespid.runtime t.platform)
+let now t = Cycles.Clock.now (clock t)
+
+let shed_count t = t.shed_count
+let breaker_rejections t = t.breaker_rejections
+
+let tincr t name =
+  match hub t with Some h -> Telemetry.Hub.incr h name | None -> ()
+
+let breaker_for t name =
+  match Hashtbl.find_opt t.breakers name with
+  | Some b -> b
+  | None ->
+      let b = { state = Closed; failures = 0; opened_at = 0L } in
+      Hashtbl.replace t.breakers name b;
+      b
+
+let breaker_state t ~name =
+  let b = breaker_for t name in
+  (* An Open breaker past its cooldown will admit the next invoke as a
+     half-open probe; report it as such. *)
+  match b.state with
+  | Open
+    when Int64.compare (Int64.sub (now t) b.opened_at) t.breaker_config.cooldown >= 0
+    ->
+      Half_open
+  | s -> s
+
+let note_breaker_gauge t name (b : breaker) =
+  match hub t with
+  | None -> ()
+  | Some h ->
+      let v =
+        match b.state with Closed -> 0.0 | Half_open -> 0.5 | Open -> 1.0
+      in
+      Telemetry.Metrics.set
+        (Telemetry.Metrics.gauge (Telemetry.Hub.metrics h)
+           ~help:"per-function circuit breaker (0 closed, 0.5 half-open, 1 open)"
+           ~labels:[ ("fn", name) ] "wasp_breaker_state")
+        v
+
+let note_success t name (b : breaker) =
+  b.failures <- 0;
+  if b.state <> Closed then b.state <- Closed;
+  note_breaker_gauge t name b
+
+let note_failure t name (b : breaker) =
+  (match b.state with
+  | Half_open ->
+      (* the probe failed: straight back to Open, cooldown restarts *)
+      b.state <- Open;
+      b.opened_at <- now t
+  | Closed ->
+      b.failures <- b.failures + 1;
+      if b.failures >= t.breaker_config.failure_threshold then begin
+        b.state <- Open;
+        b.opened_at <- now t
+      end
+  | Open -> ());
+  note_breaker_gauge t name b
+
+(* Token-bucket load shedding on the virtual clock: [burst] tokens,
+   refilled at [refill_per_s] per virtual second. No tokens left means
+   the platform is saturated; shed with a 429 rather than queue. *)
+let try_take_token t =
+  match t.shed with
+  | None -> true
+  | Some s ->
+      let b = t.bucket in
+      let n = now t in
+      let elapsed_us =
+        Cycles.Clock.to_us (clock t) (Int64.sub n b.last_refill)
+      in
+      b.last_refill <- n;
+      b.tokens <-
+        Float.min (float_of_int s.burst)
+          (b.tokens +. (s.refill_per_s *. elapsed_us /. 1_000_000.0));
+      if b.tokens >= 1.0 then begin
+        b.tokens <- b.tokens -. 1.0;
+        true
+      end
+      else false
 
 let respond ?headers ~status body =
   Vhttp.Http.response_to_string (Vhttp.Http.make_response ?headers ~status body)
@@ -29,6 +156,46 @@ let parse_register_target seg =
       in
       (name, Option.value ~default:"main" entry)
 
+let invoke t name body =
+  if not (try_take_token t) then begin
+    t.shed_count <- t.shed_count + 1;
+    tincr t "gateway_shed_total";
+    respond ~status:429 "overloaded, request shed\n"
+  end
+  else begin
+    let b = breaker_for t name in
+    (* Open -> Half_open once the cooldown has elapsed; the admitted
+       request is the probe. *)
+    (match b.state with
+    | Open
+      when Int64.compare (Int64.sub (now t) b.opened_at) t.breaker_config.cooldown
+           >= 0 ->
+        b.state <- Half_open;
+        note_breaker_gauge t name b
+    | Open | Half_open | Closed -> ());
+    match b.state with
+    | Open ->
+        t.breaker_rejections <- t.breaker_rejections + 1;
+        tincr t "gateway_breaker_rejections_total";
+        respond ~status:503 (Printf.sprintf "circuit open for %s\n" name)
+    | Closed | Half_open -> (
+        (* spread requests round-robin over the simulated cores *)
+        let core = t.next_core in
+        t.next_core <- (core + 1) mod Wasp.Runtime.cores (Vespid.runtime t.platform);
+        match
+          Vespid.invoke_on t.platform ~core ~name ~input:(Bytes.of_string body)
+        with
+        | Ok out ->
+            note_success t name b;
+            respond ~status:200 out
+        | Error e ->
+            note_failure t name b;
+            respond ~status:500 (Printf.sprintf "function error: %s\n" e)
+        | exception Vespid.Unknown_function _ ->
+            (* a bad name says nothing about the function's health *)
+            respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
+  end
+
 let route t (req : Vhttp.Http.request) =
   match (req.Vhttp.Http.meth, split_path req.Vhttp.Http.path) with
   | "GET", [ "functions" ] ->
@@ -41,18 +208,7 @@ let route t (req : Vhttp.Http.request) =
         Vespid.register t.platform ~name ~source:req.Vhttp.Http.body ~entry;
         respond ~status:201 (Printf.sprintf "registered %s (entry %s)\n" name entry)
       end
-  | "POST", [ "invoke"; name ] -> (
-      (* spread requests round-robin over the simulated cores *)
-      let core = t.next_core in
-      t.next_core <- (core + 1) mod Wasp.Runtime.cores (Vespid.runtime t.platform);
-      match
-        Vespid.invoke_on t.platform ~core ~name
-          ~input:(Bytes.of_string req.Vhttp.Http.body)
-      with
-      | Ok out -> respond ~status:200 out
-      | Error e -> respond ~status:500 (Printf.sprintf "function error: %s\n" e)
-      | exception Vespid.Unknown_function _ ->
-          respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
+  | "POST", [ "invoke"; name ] -> invoke t name req.Vhttp.Http.body
   | ("GET" | "POST"), _ -> respond ~status:404 "no such route\n"
   | _, _ -> respond ~status:405 "method not allowed\n"
 

@@ -2,17 +2,45 @@
 
     "Users register JavaScript functions via a web application, which
     produces requests to our framework's main endpoint." This module is
-    that endpoint: a request router over raw HTTP bytes.
+    that endpoint: a request router over raw HTTP bytes, hardened with a
+    per-function circuit breaker and token-bucket load shedding (see
+    [docs/robustness.md]).
 
     Routes:
     - [POST /register/NAME?entry=FN] with the JS source as body -> 201
     - [POST /invoke/NAME] with the payload as body -> 200 + result
     - [GET /functions] -> 200 + newline-separated names
-    Anything else -> 404/405; JS failures -> 500. *)
+    Anything else -> 404/405; JS failures -> 500. Invokes may also be
+    refused before reaching the platform: 429 when load is shed, 503
+    while a function's breaker is open. *)
 
 type t
 
-val create : Vespid.t -> t
+type breaker_state =
+  | Closed  (** healthy: requests flow *)
+  | Open  (** failing: invokes are refused with 503 until the cooldown *)
+  | Half_open  (** cooldown elapsed: one probe request is admitted *)
+
+type breaker_config = {
+  failure_threshold : int;
+      (** consecutive 500s before the breaker opens (default 5) *)
+  cooldown : int64;
+      (** virtual cycles an open breaker refuses requests before
+          admitting a probe (default 100_000_000) *)
+}
+
+val default_breaker_config : breaker_config
+
+type shed_config = {
+  burst : int;  (** token-bucket capacity *)
+  refill_per_s : float;  (** sustained admitted requests per virtual second *)
+}
+
+val create : ?breaker:breaker_config -> ?shed:shed_config -> Vespid.t -> t
+(** [shed] defaults to off (no load shedding); the circuit breaker is
+    always armed. Timings (breaker cooldown, bucket refill) are measured
+    on the platform runtime's virtual clock, so gateway behaviour is
+    deterministic and replayable. *)
 
 val parse_register_target : string -> string * string
 (** [parse_register_target "name?entry=fn"] is [("name", "fn")]; the
@@ -21,4 +49,18 @@ val parse_register_target : string -> string * string
 
 val handle : t -> string -> string
 (** [handle t raw_request] routes one HTTP request and returns the raw
-    HTTP response. Never raises on malformed input (400). *)
+    HTTP response. Never raises on malformed input (400). Counters on the
+    runtime's hub: [gateway_requests_total], [gateway_shed_total],
+    [gateway_breaker_rejections_total], and the [fn]-labeled
+    [wasp_breaker_state] gauge (0 closed, 0.5 half-open, 1 open). *)
+
+val breaker_state : t -> name:string -> breaker_state
+(** [name]'s breaker as of the virtual clock (an [Open] breaker whose
+    cooldown has elapsed reports [Half_open]). Functions never invoked
+    report [Closed]. *)
+
+val shed_count : t -> int
+(** Requests refused with 429 by load shedding. *)
+
+val breaker_rejections : t -> int
+(** Invokes refused with 503 by an open breaker. *)

@@ -104,6 +104,9 @@ let flight t = Kvmsim.Kvm.flight t.sys
 let flight_dump t = t.last_flight
 let clear_flight_dump t = t.last_flight <- None
 
+let set_fault_plan t plan = Kvmsim.Kvm.set_fault_plan t.sys plan
+let fault_plan t = Kvmsim.Kvm.fault_plan t.sys
+
 (* Telemetry shims: all no-ops when no hub is attached. *)
 let tspan t ?args name f =
   match t.telemetry with None -> f () | Some h -> Telemetry.Hub.with_span h ?args name f
@@ -331,6 +334,17 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
           emit t (Trace.Booted { mode = image.mode });
           Vm.Cpu.set_pc cpu image.entry;
           Vm.Cpu.set_sp cpu Layout.stack_top));
+  (* Fault plan: a restore can hand back a corrupted snapshot. The page
+     under the restored PC is stomped with an invalid-opcode pattern
+     (0xFF never decodes), so the guest faults deterministically at its
+     first fetch — same plan, same fault, cycle for cycle. *)
+  (match snapshot_entry with
+  | Some _ when Kvmsim.Kvm.plan_fires t.sys Kvmsim.Kvm.site_snapshot_corrupt ->
+      let page_size = Vm.Memory.page_size in
+      let off = Vm.Cpu.pc cpu / page_size * page_size in
+      let len = min page_size (Vm.Memory.size mem - off) in
+      if len > 0 then Vm.Memory.write_bytes mem ~off (Bytes.make len '\xff')
+  | Some _ | None -> ());
   (* Marshal arguments at guest address 0 (§6.1: "the argument, n, is
      loaded into the virtine's address space at address 0x0"). *)
   let input_bytes =

@@ -135,6 +135,17 @@ val flight_dump : t -> string option
 
 val clear_flight_dump : t -> unit
 
+val set_fault_plan : t -> Cycles.Fault_plan.t option -> unit
+(** Arm (or disarm) a deterministic fault plan on the underlying KVM
+    system (see {!Kvmsim.Kvm.set_fault_plan} for the sites, and
+    {!Supervisor} for running invocations under one with retries and
+    quarantine). The runtime consumes one extra site itself:
+    [snapshot_corrupt] — one opportunity per snapshot restore; a fire
+    stomps the restored page under the guest PC with an invalid-opcode
+    pattern, so the guest faults at its first fetch. *)
+
+val fault_plan : t -> Cycles.Fault_plan.t option
+
 (** {1 Invocation} *)
 
 type outcome =

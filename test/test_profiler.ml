@@ -248,7 +248,7 @@ let record_invocation ?(seed = 0xACE) () =
     ~mode:(Vm.Modes.to_string img.Wasp.Image.mode) ~origin:img.Wasp.Image.origin
     ~entry:img.Wasp.Image.entry ~mem_size:img.Wasp.Image.mem_size
     ~code:(Bytes.to_string img.Wasp.Image.code);
-  Profiler.Replay.set_env rc ~seed ~policy:"deny_all" ~fuel:1_000_000;
+  Profiler.Replay.set_env rc ~seed ~policy:"deny_all" ~fuel:1_000_000 ();
   Wasp.Runtime.set_recorder w (Some rc);
   let r = Wasp.Runtime.run w img ~fuel:1_000_000 () in
   Profiler.Replay.finish rc ~cycles:r.Wasp.Runtime.cycles
@@ -357,7 +357,7 @@ let test_replay_pre_refactor_fixture () =
       Profiler.Replay.set_env fresh
         ~seed:(Profiler.Replay.seed recorded)
         ~policy:(Profiler.Replay.policy recorded)
-        ~fuel:(Profiler.Replay.fuel recorded);
+        ~fuel:(Profiler.Replay.fuel recorded) ();
       Wasp.Runtime.set_recorder w (Some fresh);
       let r =
         Wasp.Runtime.run w image ~policy:(Wasp.Policy.Mask 0L)

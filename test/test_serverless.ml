@@ -164,6 +164,124 @@ let test_bursty_profile_shape () =
       Alcotest.(check bool) "two bursts" true (b > a && b > c && d > c && d > e)
   | _ -> Alcotest.fail "unexpected profile")
 
+(* ------------------------------------------------------------------ *)
+(* Gateway hardening: circuit breaker and load shedding                *)
+(* ------------------------------------------------------------------ *)
+
+let post path body =
+  Vhttp.Http.request_to_string (Vhttp.Http.make_request ~body "POST" path)
+
+let status_of raw =
+  match Vhttp.Http.parse_response raw with
+  | Ok r -> r.Vhttp.Http.status
+  | Error e -> Alcotest.failf "bad response: %s" e
+
+let shout_src =
+  "function shout(d) { var s = \"\"; for (var i = 0; i < d.length; i++) { s += \
+   String.fromCharCode(d[i]); } return s.toUpperCase(); }"
+
+let boom_src = "function boom(d) { return nothing_here(); }"
+
+let hardened_gateway ?shed () =
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let platform = Serverless.Vespid.create w in
+  let breaker =
+    { Serverless.Gateway.failure_threshold = 2; cooldown = 1_000L }
+  in
+  (w, Serverless.Gateway.create ~breaker ?shed platform)
+
+let check_state msg expected g name =
+  let to_s = function
+    | Serverless.Gateway.Closed -> "closed"
+    | Serverless.Gateway.Open -> "open"
+    | Serverless.Gateway.Half_open -> "half-open"
+  in
+  Alcotest.(check string) msg (to_s expected)
+    (to_s (Serverless.Gateway.breaker_state g ~name))
+
+let test_breaker_opens_after_threshold () =
+  let w, g = hardened_gateway () in
+  ignore (Serverless.Gateway.handle g (post "/register/bad?entry=boom" boom_src));
+  ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+  check_state "fresh function is closed" Serverless.Gateway.Closed g "bad";
+  Alcotest.(check int) "first failure" 500
+    (status_of (Serverless.Gateway.handle g (post "/invoke/bad" "x")));
+  check_state "one failure: still closed" Serverless.Gateway.Closed g "bad";
+  Alcotest.(check int) "second failure" 500
+    (status_of (Serverless.Gateway.handle g (post "/invoke/bad" "x")));
+  check_state "threshold reached: open" Serverless.Gateway.Open g "bad";
+  Alcotest.(check int) "open breaker refuses" 503
+    (status_of (Serverless.Gateway.handle g (post "/invoke/bad" "x")));
+  Alcotest.(check int) "rejection counted" 1 (Serverless.Gateway.breaker_rejections g);
+  (* breakers are per function: the healthy one is unaffected *)
+  check_state "other function closed" Serverless.Gateway.Closed g "ok";
+  Alcotest.(check int) "other function serves" 200
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  ignore w
+
+let test_breaker_half_open_probe () =
+  let w, g = hardened_gateway () in
+  ignore (Serverless.Gateway.handle g (post "/register/bad?entry=boom" boom_src));
+  ignore (Serverless.Gateway.handle g (post "/invoke/bad" "x"));
+  ignore (Serverless.Gateway.handle g (post "/invoke/bad" "x"));
+  check_state "open" Serverless.Gateway.Open g "bad";
+  (* cooldown elapses on the virtual clock *)
+  Cycles.Clock.advance_int (Wasp.Runtime.clock w) 2_000;
+  check_state "cooldown elapsed: half-open" Serverless.Gateway.Half_open g "bad";
+  (* the admitted probe fails: straight back to open, cooldown restarts *)
+  Alcotest.(check int) "probe admitted and fails" 500
+    (status_of (Serverless.Gateway.handle g (post "/invoke/bad" "x")));
+  check_state "failed probe re-opens" Serverless.Gateway.Open g "bad";
+  Alcotest.(check int) "refusing again" 503
+    (status_of (Serverless.Gateway.handle g (post "/invoke/bad" "x")))
+
+let test_breaker_closes_on_successful_probe () =
+  let w, g = hardened_gateway () in
+  (* fails on long payloads, succeeds on short ones *)
+  let flaky_src =
+    "function flaky(d) { if (d.length > 2) { return nothing_here(); } return \"ok\"; }"
+  in
+  ignore (Serverless.Gateway.handle g (post "/register/fn?entry=flaky" flaky_src));
+  ignore (Serverless.Gateway.handle g (post "/invoke/fn" "looong"));
+  ignore (Serverless.Gateway.handle g (post "/invoke/fn" "looong"));
+  check_state "open" Serverless.Gateway.Open g "fn";
+  Cycles.Clock.advance_int (Wasp.Runtime.clock w) 2_000;
+  Alcotest.(check int) "successful probe" 200
+    (status_of (Serverless.Gateway.handle g (post "/invoke/fn" "y")));
+  check_state "success closes the breaker" Serverless.Gateway.Closed g "fn";
+  Alcotest.(check int) "requests flow again" 200
+    (status_of (Serverless.Gateway.handle g (post "/invoke/fn" "z")))
+
+let test_shed_accounting () =
+  let shed = { Serverless.Gateway.burst = 3; refill_per_s = 2.0 } in
+  let w, g = hardened_gateway ~shed () in
+  ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+  for i = 1 to 3 do
+    Alcotest.(check int)
+      (Printf.sprintf "burst request %d admitted" i)
+      200
+      (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")))
+  done;
+  Alcotest.(check int) "bucket empty: shed" 429
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  Alcotest.(check int) "still empty: shed" 429
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  Alcotest.(check int) "both sheds counted" 2 (Serverless.Gateway.shed_count g);
+  (* ~1.1 virtual seconds at 2 tokens/s refills the bucket *)
+  Cycles.Clock.advance_int (Wasp.Runtime.clock w) 3_000_000_000;
+  Alcotest.(check int) "refilled: admitted again" 200
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  Alcotest.(check int) "no further sheds" 2 (Serverless.Gateway.shed_count g)
+
+let test_shed_off_by_default () =
+  let _, g = hardened_gateway () in
+  ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+  for _ = 1 to 10 do
+    Alcotest.(check int) "never shed" 200
+      (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")))
+  done;
+  Alcotest.(check int) "no sheds counted" 0 (Serverless.Gateway.shed_count g)
+
 let () =
   Alcotest.run "serverless"
     [
@@ -191,5 +309,15 @@ let () =
           Alcotest.test_case "idle bucket has no latency" `Quick
             test_loadgen_idle_bucket_has_no_latency;
           Alcotest.test_case "bursty profile shape" `Quick test_bursty_profile_shape;
+        ] );
+      ( "gateway",
+        [
+          Alcotest.test_case "breaker opens after threshold" `Quick
+            test_breaker_opens_after_threshold;
+          Alcotest.test_case "half-open probe" `Quick test_breaker_half_open_probe;
+          Alcotest.test_case "successful probe closes" `Quick
+            test_breaker_closes_on_successful_probe;
+          Alcotest.test_case "shed accounting" `Quick test_shed_accounting;
+          Alcotest.test_case "shed off by default" `Quick test_shed_off_by_default;
         ] );
     ]

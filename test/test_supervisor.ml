@@ -1,0 +1,518 @@
+(* Fault-injection plans, the injection sites in the KVM model, and the
+   virtine supervisor (retry / watchdog / quarantine) built on them. *)
+
+module FP = Cycles.Fault_plan
+module R = Wasp.Runtime
+module S = Wasp.Supervisor
+
+(* ------------------------------------------------------------------ *)
+(* Fault plans                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_plan_round_trip () =
+  let p =
+    FP.create ~seed:0xBEEF
+      [
+        ("spurious_exit", FP.Prob 0.05);
+        ("guest_hang", FP.Every { start = 50; interval = 100 });
+      ]
+  in
+  let text = FP.to_string p in
+  match FP.of_string text with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok q ->
+      Alcotest.(check int) "seed survives" (FP.seed p) (FP.seed q);
+      Alcotest.(check string) "textual form is a fixed point" text (FP.to_string q)
+
+let test_plan_schedule () =
+  let p = FP.create [ ("s", FP.Every { start = 2; interval = 3 }) ] in
+  let fired = List.init 10 (fun _ -> FP.fires p ~site:"s") in
+  Alcotest.(check (list bool))
+    "fires at 2, 5, 8"
+    [ false; false; true; false; false; true; false; false; true; false ]
+    fired;
+  Alcotest.(check int) "opportunities counted" 10 (FP.opportunities p ~site:"s");
+  Alcotest.(check int) "injections counted" 3 (FP.injected p ~site:"s")
+
+let test_plan_one_shot_schedule () =
+  let p = FP.create [ ("s", FP.Every { start = 1; interval = 0 }) ] in
+  let fired = List.init 6 (fun _ -> FP.fires p ~site:"s") in
+  Alcotest.(check (list bool))
+    "interval 0 fires exactly once"
+    [ false; true; false; false; false; false ]
+    fired
+
+let test_plan_prob_deterministic () =
+  let draws plan = List.init 300 (fun _ -> FP.fires plan ~site:"s") in
+  let a = draws (FP.create ~seed:7 [ ("s", FP.Prob 0.3) ]) in
+  let b = draws (FP.create ~seed:7 [ ("s", FP.Prob 0.3) ]) in
+  Alcotest.(check (list bool)) "same seed, same stream" a b;
+  let c = draws (FP.create ~seed:8 [ ("s", FP.Prob 0.3) ]) in
+  Alcotest.(check bool) "different seed differs somewhere" true (a <> c);
+  let hits = List.length (List.filter Fun.id a) in
+  Alcotest.(check bool)
+    (Printf.sprintf "rate plausible (%d/300 at p=0.3)" hits)
+    true
+    (hits > 40 && hits < 150)
+
+let test_plan_site_streams_independent () =
+  (* Adding a second site must not perturb the first site's stream. *)
+  let alone = FP.create ~seed:42 [ ("a", FP.Prob 0.5) ] in
+  let paired = FP.create ~seed:42 [ ("a", FP.Prob 0.5); ("b", FP.Prob 0.5) ] in
+  let seq =
+    List.init 100 (fun _ ->
+        ignore (FP.fires paired ~site:"b");
+        FP.fires paired ~site:"a")
+  in
+  let ref_seq = List.init 100 (fun _ -> FP.fires alone ~site:"a") in
+  Alcotest.(check (list bool)) "site a unaffected by site b" ref_seq seq
+
+let test_plan_reset_and_copy () =
+  let p = FP.create ~seed:3 [ ("s", FP.Prob 0.4) ] in
+  let first = List.init 50 (fun _ -> FP.fires p ~site:"s") in
+  FP.reset p;
+  let again = List.init 50 (fun _ -> FP.fires p ~site:"s") in
+  Alcotest.(check (list bool)) "reset replays the stream" first again;
+  let q = FP.copy p in
+  let copied = List.init 50 (fun _ -> FP.fires q ~site:"s") in
+  Alcotest.(check (list bool)) "copy is a fresh armed plan" first copied;
+  Alcotest.(check int) "copy has its own counters" 50 (FP.opportunities q ~site:"s")
+
+let test_plan_unknown_site_never_fires () =
+  let p = FP.create [ ("s", FP.Prob 1.0) ] in
+  Alcotest.(check bool) "unknown site" false (FP.fires p ~site:"ghost");
+  Alcotest.(check int) "not counted" 0 (FP.opportunities p ~site:"ghost")
+
+let test_plan_parse_errors () =
+  let bad text =
+    match FP.of_string text with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "expected parse error for %S" text
+  in
+  bad "s=p1.5";
+  bad "s=pforty";
+  bad "s=@-1+2";
+  bad "s=wat";
+  bad "seed=zz;s=p0.1";
+  bad "s=p0.1;s=p0.2";
+  (match FP.of_string "# just a comment\n\nseed=0x10;s=p0.25" with
+  | Ok p ->
+      Alcotest.(check int) "comments and blanks skipped" 0x10 (FP.seed p);
+      Alcotest.(check int) "one site" 1 (List.length (FP.sites p))
+  | Error e -> Alcotest.failf "comment form should parse: %s" e);
+  match FP.create [ ("bad name", FP.Prob 0.1) ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "whitespace in a site name must be rejected"
+
+(* ------------------------------------------------------------------ *)
+(* Injection sites in the KVM model                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fib_src =
+  {|
+start:
+  mov r1, 10
+  call fib
+  mov r1, r0
+  mov r0, 0
+  out 1, r0
+  hlt
+fib:
+  cmp r1, 2
+  jlt fib_base
+  push r1
+  sub r1, 1
+  call fib
+  pop r1
+  push r0
+  sub r1, 2
+  call fib
+  pop r2
+  add r0, r2
+  ret
+fib_base:
+  mov r0, r1
+  ret
+|}
+
+let fib_image () = Wasp.Image.of_asm_string ~name:"fib" fib_src
+
+(* dies immediately: wild load far outside guest memory *)
+let crash_image () =
+  Wasp.Image.of_asm_string ~name:"crash" {|
+start:
+  mov r1, 0x7ffffff0
+  ld64 r0, [r1]
+  hlt
+|}
+
+let test_inject_provision_fail () =
+  let w = R.create ~pool:false () in
+  R.set_fault_plan w
+    (Some
+       (FP.create
+          [ (Kvmsim.Kvm.site_provision_fail, FP.Every { start = 0; interval = 0 }) ]));
+  (match R.run w (fib_image ()) () with
+  | exception Kvmsim.Kvm.Injected_failure site ->
+      Alcotest.(check string) "names the site" Kvmsim.Kvm.site_provision_fail site
+  | _ -> Alcotest.fail "expected Injected_failure from VM creation");
+  Alcotest.(check int) "stat counted"
+    1
+    (Kvmsim.Kvm.stats (R.kvm w)).Kvmsim.Kvm.injected_faults;
+  (* the next creation is opportunity 1: no longer scheduled *)
+  match R.run w (fib_image ()) () with
+  | { R.outcome = R.Exited _; _ } -> ()
+  | _ -> Alcotest.fail "second run should survive"
+
+let test_inject_guest_hang () =
+  let w = R.create () in
+  R.set_fault_plan w
+    (Some
+       (FP.create [ (Kvmsim.Kvm.site_guest_hang, FP.Every { start = 0; interval = 0 }) ]));
+  let r = R.run w (fib_image ()) ~fuel:10_000 () in
+  (match r.R.outcome with
+  | R.Fuel_exhausted -> ()
+  | _ -> Alcotest.fail "a hung guest must burn its fuel");
+  Alcotest.(check bool) "stat counted" true
+    ((Kvmsim.Kvm.stats (R.kvm w)).Kvmsim.Kvm.injected_faults >= 1)
+
+let test_inject_spurious_exit_costs_cycles () =
+  let baseline () =
+    let w = R.create ~seed:0x51 () in
+    (R.run w (fib_image ()) ()).R.cycles
+  in
+  let armed () =
+    let w = R.create ~seed:0x51 () in
+    R.set_fault_plan w
+      (Some
+         (FP.create
+            [ (Kvmsim.Kvm.site_spurious_exit, FP.Every { start = 0; interval = 1 }) ]));
+    (R.run w (fib_image ()) ()).R.cycles
+  in
+  let plain = baseline () and a = armed () and b = armed () in
+  Alcotest.(check int64) "injection cost is deterministic" a b;
+  Alcotest.(check bool)
+    (Printf.sprintf "storm slower than clean run (%Ld vs %Ld)" a plain)
+    true (a > plain)
+
+(* snapshot image borrowed from test_wasp: init loop, snapshot, then use
+   the argument *)
+let snap_image =
+  Wasp.Image.of_asm_string ~name:"snap"
+    {|
+  mov r10, 0
+init:
+  add r10, 1
+  cmp r10, 5000
+  jlt init
+  mov r0, 6        ; snapshot hypercall
+  out 1, r0
+  mov r1, 0
+  ld64 r1, [r1]
+  add r1, r10
+  mov r0, 0
+  out 1, r0
+|}
+
+let snap_policy = Wasp.Policy.of_list [ Wasp.Hc.snapshot ]
+
+let test_inject_snapshot_corrupt () =
+  let w = R.create () in
+  R.set_fault_plan w
+    (Some
+       (FP.create
+          [ (Kvmsim.Kvm.site_snapshot_corrupt, FP.Every { start = 0; interval = 0 }) ]));
+  (* first run captures the snapshot; restores are the opportunities *)
+  let r1 = R.run w snap_image ~policy:snap_policy ~snapshot_key:"chaos" ~args:[ 1L ] () in
+  Alcotest.(check int64) "capture run is clean" 5001L r1.R.return_value;
+  let r2 = R.run w snap_image ~policy:snap_policy ~snapshot_key:"chaos" ~args:[ 2L ] () in
+  (match r2.R.outcome with
+  | R.Faulted _ -> ()
+  | _ -> Alcotest.fail "restoring a corrupted snapshot must fault the guest");
+  (* opportunity 1 is past the schedule: the store itself is intact *)
+  let r3 = R.run w snap_image ~policy:snap_policy ~snapshot_key:"chaos" ~args:[ 3L ] () in
+  Alcotest.(check int64) "later restores are clean" 5003L r3.R.return_value
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_supervisor_clean_success () =
+  let w = R.create () in
+  let sup = S.create w in
+  let o = S.run sup (fib_image ()) () in
+  (match o.S.result with
+  | Ok r -> Alcotest.(check int64) "fib result" 55L r.R.return_value
+  | Error (_, msg) -> Alcotest.failf "unexpected failure: %s" msg);
+  Alcotest.(check int) "one attempt" 1 o.S.attempts;
+  Alcotest.(check int) "no retries" 0 o.S.retries;
+  Alcotest.(check int) "no backoff" 0 o.S.backoff_cycles;
+  let st = S.stats sup in
+  Alcotest.(check int) "stats supervised" 1 st.S.supervised;
+  Alcotest.(check int) "stats succeeded" 1 st.S.succeeded
+
+let test_supervisor_retries_transient_hang () =
+  let w = R.create () in
+  (* hang exactly the first KVM_RUN; the retry's runs are clean *)
+  R.set_fault_plan w
+    (Some
+       (FP.create [ (Kvmsim.Kvm.site_guest_hang, FP.Every { start = 0; interval = 0 }) ]));
+  let sup =
+    S.create ~config:{ S.default_config with S.attempt_fuel = Some 10_000 } w
+  in
+  let o = S.run sup (fib_image ()) () in
+  (match o.S.result with
+  | Ok r -> Alcotest.(check int64) "recovered result" 55L r.R.return_value
+  | Error (_, msg) -> Alcotest.failf "supervisor should have recovered: %s" msg);
+  Alcotest.(check int) "two attempts" 2 o.S.attempts;
+  Alcotest.(check int) "one retry" 1 o.S.retries;
+  Alcotest.(check int) "backed off the base delay" S.default_config.S.backoff_base
+    o.S.backoff_cycles
+
+let test_supervisor_timeout_class_and_backoff () =
+  let w = R.create () in
+  R.set_fault_plan w
+    (Some (FP.create [ (Kvmsim.Kvm.site_guest_hang, FP.Prob 1.0) ]));
+  let config =
+    {
+      S.default_config with
+      S.max_retries = 3;
+      backoff_base = 100;
+      backoff_factor = 2;
+      attempt_fuel = Some 5_000;
+      quarantine_threshold = 1000;
+    }
+  in
+  let sup = S.create ~config w in
+  let before = Cycles.Clock.now (R.clock w) in
+  let o = S.run sup (fib_image ()) () in
+  (match o.S.result with
+  | Error (S.Timeout, _) -> ()
+  | Error (c, m) -> Alcotest.failf "wrong class %s: %s" (S.error_class_to_string c) m
+  | Ok _ -> Alcotest.fail "every attempt hangs; must fail");
+  Alcotest.(check int) "all attempts spent" 4 o.S.attempts;
+  Alcotest.(check int) "backoff 100+200+400" 700 o.S.backoff_cycles;
+  Alcotest.(check bool) "clock charged at least the backoff" true
+    (Cycles.Clock.elapsed_since (R.clock w) before >= 700L);
+  let st = S.stats sup in
+  Alcotest.(check int) "stats retries" 3 st.S.retries;
+  Alcotest.(check int) "stats failed" 1 st.S.failed
+
+let test_supervisor_fault_class () =
+  let w = R.create () in
+  let sup =
+    S.create
+      ~config:{ S.default_config with S.max_retries = 1; quarantine_threshold = 1000 }
+      w
+  in
+  let o = S.run sup (crash_image ()) () in
+  match o.S.result with
+  | Error (S.Fault, _) -> Alcotest.(check int) "retried once" 2 o.S.attempts
+  | Error (c, m) -> Alcotest.failf "wrong class %s: %s" (S.error_class_to_string c) m
+  | Ok _ -> Alcotest.fail "wild load must fault"
+
+let test_supervisor_policy_is_terminal () =
+  (* clock hypercall under deny-all: completes, but with a denial *)
+  let img =
+    Wasp.Image.of_asm_string ~name:"denier"
+      {|
+start:
+  mov r0, 12
+  out 1, r0
+  mov r0, 0
+  out 1, r0
+  hlt
+|}
+  in
+  let w = R.create () in
+  let sup = S.create ~config:{ S.default_config with S.fail_on_denied = true } w in
+  let o = S.run sup img () in
+  (match o.S.result with
+  | Error (S.Policy, _) -> ()
+  | Error (c, m) -> Alcotest.failf "wrong class %s: %s" (S.error_class_to_string c) m
+  | Ok _ -> Alcotest.fail "denied hypercall must be a policy failure");
+  Alcotest.(check int) "policy violations are not retried" 1 o.S.attempts;
+  (* without fail_on_denied the same run is a success *)
+  let lax = S.create w in
+  match (S.run lax img ()).S.result with
+  | Ok _ -> ()
+  | Error (_, m) -> Alcotest.failf "lax supervisor should succeed: %s" m
+
+let test_supervisor_quarantine_lifecycle () =
+  let w = R.create () in
+  let config =
+    {
+      S.default_config with
+      S.max_retries = 0;
+      quarantine_threshold = 2;
+      quarantine_cooldown = 1_000L;
+    }
+  in
+  let sup = S.create ~config w in
+  let img = crash_image () in
+  let fail_once () =
+    match (S.run sup img ()).S.result with
+    | Error (S.Fault, _) -> ()
+    | _ -> Alcotest.fail "expected a fault"
+  in
+  fail_once ();
+  Alcotest.(check bool) "one failure: not yet quarantined" false
+    (S.quarantined sup ~key:"crash");
+  fail_once ();
+  Alcotest.(check bool) "streak hit threshold" true (S.quarantined sup ~key:"crash");
+  let o = S.run sup img () in
+  (match o.S.result with
+  | Error (S.Overload, _) -> ()
+  | _ -> Alcotest.fail "quarantined image must be rejected");
+  Alcotest.(check int) "rejected without running" 0 o.S.attempts;
+  Alcotest.(check int) "rejection counted" 1 (S.stats sup).S.quarantine_rejections;
+  (* cooldown elapses on the virtual clock: one probe is admitted *)
+  Cycles.Clock.advance_int (R.clock w) 2_000;
+  Alcotest.(check bool) "cooldown lifts quarantine" false
+    (S.quarantined sup ~key:"crash");
+  let probe = S.run sup img () in
+  Alcotest.(check int) "probe actually ran" 1 probe.S.attempts;
+  Alcotest.(check bool) "failed probe re-quarantines" true
+    (S.quarantined sup ~key:"crash");
+  S.release_quarantine sup ~key:"crash";
+  Alcotest.(check bool) "manual release" false (S.quarantined sup ~key:"crash");
+  (* the streak was forgotten too: one failure doesn't re-quarantine *)
+  fail_once ();
+  Alcotest.(check bool) "streak reset by release" false (S.quarantined sup ~key:"crash")
+
+let test_supervisor_success_resets_streak () =
+  let w = R.create () in
+  let config =
+    { S.default_config with S.max_retries = 0; quarantine_threshold = 2 }
+  in
+  let sup = S.create ~config w in
+  ignore (S.run sup (crash_image ()) ~key:"k" ());
+  ignore (S.run sup (fib_image ()) ~key:"k" ());
+  ignore (S.run sup (crash_image ()) ~key:"k" ());
+  Alcotest.(check bool) "success in between resets the streak" false
+    (S.quarantined sup ~key:"k")
+
+let chaos_arm () =
+  let w = R.create ~seed:0xD1CE () in
+  R.set_fault_plan w
+    (Some
+       (FP.create ~seed:0xFA17
+          [
+            (Kvmsim.Kvm.site_guest_hang, FP.Prob 0.2);
+            (Kvmsim.Kvm.site_spurious_exit, FP.Prob 0.3);
+          ]));
+  let sup =
+    S.create
+      ~config:
+        { S.default_config with S.attempt_fuel = Some 20_000; quarantine_threshold = 50 }
+      w
+  in
+  let img = fib_image () in
+  for _ = 1 to 20 do
+    ignore (S.run sup img ())
+  done;
+  ((S.stats sup).S.retries, Cycles.Clock.now (R.clock w))
+
+let test_supervisor_retry_schedule_deterministic () =
+  let retries_a, clock_a = chaos_arm () in
+  let retries_b, clock_b = chaos_arm () in
+  Alcotest.(check bool) "the plan actually bit" true (retries_a > 0);
+  Alcotest.(check int) "same retry schedule" retries_a retries_b;
+  Alcotest.(check int64) "same final cycle count" clock_a clock_b
+
+(* ------------------------------------------------------------------ *)
+(* Chaos recordings replay with zero divergence                        *)
+(* ------------------------------------------------------------------ *)
+
+let record_chaos plan =
+  let seed = 0xACE in
+  let img = fib_image () in
+  let w = R.create ~seed () in
+  R.set_fault_plan w (Some plan);
+  let rc = Profiler.Replay.create () in
+  Profiler.Replay.set_image rc ~name:img.Wasp.Image.name
+    ~mode:(Vm.Modes.to_string img.Wasp.Image.mode) ~origin:img.Wasp.Image.origin
+    ~entry:img.Wasp.Image.entry ~mem_size:img.Wasp.Image.mem_size
+    ~code:(Bytes.to_string img.Wasp.Image.code);
+  Profiler.Replay.set_env rc ~fault_plan:(FP.to_string plan) ~seed ~policy:"deny_all"
+    ~fuel:1_000_000 ();
+  R.set_recorder w (Some rc);
+  let r = R.run w img ~fuel:1_000_000 () in
+  Profiler.Replay.finish rc ~cycles:r.R.cycles
+    ~outcome:
+      (match r.R.outcome with
+      | R.Exited _ -> "exited"
+      | R.Faulted _ -> "faulted"
+      | R.Fuel_exhausted -> "fuel")
+    ~return_value:r.R.return_value;
+  rc
+
+let test_chaos_vxr_zero_divergence () =
+  let plan () =
+    FP.create ~seed:0xC4A05
+      [
+        (Kvmsim.Kvm.site_spurious_exit, FP.Every { start = 0; interval = 2 });
+        (Kvmsim.Kvm.site_ept_storm, FP.Every { start = 1; interval = 3 });
+      ]
+  in
+  let p = plan () in
+  let a = record_chaos p in
+  Alcotest.(check bool) "faults were injected" true (FP.total_injected p > 0);
+  (* re-arm from the recording's own textual plan, as --replay does *)
+  let recorded =
+    match Profiler.Replay.fault_plan a with
+    | Some text -> text
+    | None -> Alcotest.fail "recording lost its fault plan"
+  in
+  let q =
+    match FP.of_string recorded with
+    | Ok q -> q
+    | Error e -> Alcotest.failf "recorded plan unparseable: %s" e
+  in
+  let b = record_chaos q in
+  Alcotest.(check (list string)) "chaos replay is cycle-for-cycle" []
+    (Profiler.Replay.diff a b)
+
+let () =
+  Alcotest.run "supervisor"
+    [
+      ( "fault-plan",
+        [
+          Alcotest.test_case "round trip" `Quick test_plan_round_trip;
+          Alcotest.test_case "schedule" `Quick test_plan_schedule;
+          Alcotest.test_case "one-shot schedule" `Quick test_plan_one_shot_schedule;
+          Alcotest.test_case "prob deterministic" `Quick test_plan_prob_deterministic;
+          Alcotest.test_case "site independence" `Quick test_plan_site_streams_independent;
+          Alcotest.test_case "reset and copy" `Quick test_plan_reset_and_copy;
+          Alcotest.test_case "unknown site" `Quick test_plan_unknown_site_never_fires;
+          Alcotest.test_case "parse errors" `Quick test_plan_parse_errors;
+        ] );
+      ( "injection",
+        [
+          Alcotest.test_case "provision fail" `Quick test_inject_provision_fail;
+          Alcotest.test_case "guest hang" `Quick test_inject_guest_hang;
+          Alcotest.test_case "spurious exit cost" `Quick
+            test_inject_spurious_exit_costs_cycles;
+          Alcotest.test_case "snapshot corrupt" `Quick test_inject_snapshot_corrupt;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "clean success" `Quick test_supervisor_clean_success;
+          Alcotest.test_case "retries transient hang" `Quick
+            test_supervisor_retries_transient_hang;
+          Alcotest.test_case "timeout class and backoff" `Quick
+            test_supervisor_timeout_class_and_backoff;
+          Alcotest.test_case "fault class" `Quick test_supervisor_fault_class;
+          Alcotest.test_case "policy terminal" `Quick test_supervisor_policy_is_terminal;
+          Alcotest.test_case "quarantine lifecycle" `Quick
+            test_supervisor_quarantine_lifecycle;
+          Alcotest.test_case "success resets streak" `Quick
+            test_supervisor_success_resets_streak;
+          Alcotest.test_case "retry determinism" `Quick
+            test_supervisor_retry_schedule_deterministic;
+        ] );
+      ( "chaos-replay",
+        [
+          Alcotest.test_case "vxr zero divergence" `Quick test_chaos_vxr_zero_divergence;
+        ] );
+    ]
