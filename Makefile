@@ -4,10 +4,11 @@
 # so they are safe to run in parallel (make -j) and leave nothing behind.
 
 BENCH_JSON_DIR ?= /tmp/wasp-bench-json
-BENCH_GATE_FIGS ?= fig12 memshare
+BENCH_GATE_FIGS ?= fig12 memshare chaos_slo
 
 .PHONY: all check test bench bench-json bench-baselines bench-gate \
-	trace-smoke sched-smoke profiler-smoke chaos-smoke fmt clean
+	trace-smoke sched-smoke profiler-smoke chaos-smoke slo-smoke \
+	explain-smoke fmt clean
 
 all:
 	dune build
@@ -19,6 +20,8 @@ check:
 	$(MAKE) sched-smoke
 	$(MAKE) profiler-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) slo-smoke
+	$(MAKE) explain-smoke
 
 test: check
 
@@ -71,6 +74,25 @@ chaos-smoke:
 	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
 	dune exec bin/wasprun.exe -- --example --chaos --record $$d/chaos.vxr; \
 	dune exec bin/wasprun.exe -- --replay $$d/chaos.vxr
+
+# SLO smoke: run the chaos burn-rate arm and require that at least one
+# alert fired during the storm AND everything recovered afterwards
+slo-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bench/main.exe -- chaos_slo > $$d/slo.txt; \
+	grep -E 'SLO-SMOKE: alerts_fired=[1-9][0-9]* .* recovered=yes' $$d/slo.txt \
+	  || { echo "slo-smoke: alert did not fire or did not recover:"; cat $$d/slo.txt; exit 1; }
+
+# explain smoke: same-seed runs of --explain-slowest must print
+# byte-identical causal timelines (deterministic trace ids + virtual
+# clock), and the span tree must tile the root exactly
+explain-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --chaos --repeat 5 --explain-slowest 1 > $$d/a.txt; \
+	dune exec bin/wasprun.exe -- --example --chaos --repeat 5 --explain-slowest 1 > $$d/b.txt; \
+	cmp $$d/a.txt $$d/b.txt || { echo "explain-smoke: same-seed explain output diverged"; exit 1; }; \
+	grep -q 'conservation: .* (exact)' $$d/a.txt \
+	  || { echo "explain-smoke: span tree does not tile the root exactly:"; cat $$d/a.txt; exit 1; }
 
 # formatting gate; skipped gracefully where ocamlformat is not installed
 # (CI always runs it)

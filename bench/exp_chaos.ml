@@ -110,6 +110,120 @@ let supervised_arm img plan =
     final_cycle = Cycles.Clock.now (Wasp.Runtime.clock w);
   }
 
+(* SLO arm: feed every supervised invocation into an availability
+   objective and watch the multi-window burn-rate rules fire during a
+   fault storm and clear once the quarantine cooldown elapses and clean
+   traffic refills the short windows. Requests arrive on a fixed
+   virtual-time cadence so the rolling windows are meaningful and the
+   10M-cycle quarantine cooldown actually elapses during recovery. *)
+
+let slo_target = 0.99
+let slo_period = 4_000_000_000L
+let inter_arrival = 500_000 (* cycles between request arrivals *)
+
+(* Storm rates are deliberately brutal: with ~4 attempts per invocation
+   a mild storm is absorbed by the retry loop and no budget burns. This
+   one exhausts attempts, trips quarantine, and keeps the rejections
+   coming — exactly the shape a burn-rate alert exists to catch. *)
+let storm_plan () =
+  Cycles.Fault_plan.create ~seed:plan_seed
+    [
+      (Kvmsim.Kvm.site_spurious_exit, Cycles.Fault_plan.Prob 0.6);
+      (Kvmsim.Kvm.site_guest_hang, Cycles.Fault_plan.Prob 0.5);
+      (Kvmsim.Kvm.site_provision_fail, Cycles.Fault_plan.Prob 0.4);
+      (Kvmsim.Kvm.site_ept_storm, Cycles.Fault_plan.Prob 0.3);
+    ]
+
+type slo_phase_row = {
+  phase : string;
+  n : int;
+  good : int;
+  fired_cum : int;
+  cleared_cum : int;
+  alerting_end : bool;
+  peak : float;
+}
+
+let slo_phase sup img slo ~phase ~n plan =
+  let w = Wasp.Supervisor.runtime sup in
+  Wasp.Runtime.set_fault_plan w plan;
+  let good = ref 0 in
+  for _ = 1 to n do
+    Cycles.Clock.advance_int (Wasp.Runtime.clock w) inter_arrival;
+    let o = Wasp.Supervisor.run sup img () in
+    match o.Wasp.Supervisor.result with Ok _ -> incr good | Error _ -> ()
+  done;
+  {
+    phase;
+    n;
+    good = !good;
+    fired_cum = Telemetry.Slo.alerts_fired slo;
+    cleared_cum = Telemetry.Slo.alerts_cleared slo;
+    alerting_end = Telemetry.Slo.alerting slo;
+    peak = Telemetry.Slo.peak_burn slo;
+  }
+
+let run_slo () =
+  Bench_util.header "Chaos SLO: burn-rate alerting through a fault storm"
+    "observability extension; SLO semantics of docs/observability.md";
+  let img = Wasp.Image.of_asm_string ~name:"chaosfib" ~mode:Vm.Modes.Long fib_source in
+  let w = Wasp.Runtime.create ~seed:runtime_seed () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  Telemetry.Hub.enable_tracing hub ~seed:runtime_seed;
+  let sup =
+    Wasp.Supervisor.create
+      ~config:
+        {
+          Wasp.Supervisor.default_config with
+          Wasp.Supervisor.attempt_fuel = Some attempt_fuel;
+        }
+      w
+  in
+  let slo =
+    Telemetry.Slo.create ~hub ~name:"chaos_availability" ~target:slo_target
+      ~period:slo_period ()
+  in
+  Wasp.Supervisor.set_slo sup (Some slo);
+  (* sequence explicitly: list elements evaluate right-to-left *)
+  let warm = slo_phase sup img slo ~phase:"warm" ~n:80 None in
+  let storm = slo_phase sup img slo ~phase:"storm" ~n:80 (Some (storm_plan ())) in
+  let recovery = slo_phase sup img slo ~phase:"recovery" ~n:160 None in
+  let rows = [ warm; storm; recovery ] in
+  Bench_util.table ~fig:"chaos_slo"
+    ~header:
+      [
+        "phase"; "invocations"; "good"; "avail"; "alerts fired"; "alerts cleared";
+        "alerting at end"; "peak burn";
+      ]
+    (List.map
+       (fun r ->
+         [
+           r.phase;
+           string_of_int r.n;
+           string_of_int r.good;
+           Printf.sprintf "%.2f%%" (100.0 *. float_of_int r.good /. float_of_int r.n);
+           string_of_int r.fired_cum;
+           string_of_int r.cleared_cum;
+           (if r.alerting_end then "yes" else "no");
+           Printf.sprintf "%.1f" r.peak;
+         ])
+       rows);
+  let recovered = (not recovery.alerting_end) && recovery.good > storm.good in
+  Bench_util.note
+    "objective: %.0f%% availability over %.1fGcycles; rules: fast 5x burn, slow 2x burn"
+    (slo_target *. 100.0)
+    (Int64.to_float slo_period /. 1e9);
+  Bench_util.note
+    "SLO-SMOKE: alerts_fired=%d alerts_cleared=%d alerting_after_storm=%s recovered=%s"
+    recovery.fired_cum recovery.cleared_cum
+    (if storm.alerting_end then "yes" else "no")
+    (if recovered then "yes" else "no");
+  if recovery.fired_cum = 0 then
+    Bench_util.note "WARNING: no SLO alert fired during the fault storm!";
+  if not recovered then
+    Bench_util.note "WARNING: SLO alert did not clear after quarantine/recovery!"
+
 let run () =
   Bench_util.header "Chaos: supervised availability under fault injection"
     "robustness extension; fault taxonomy of docs/robustness.md";

@@ -24,6 +24,7 @@ let experiments =
     ("ablations", "design-choice ablations (hypercalls, pool, marshalling)", Exp_ablations.run);
     ("memshare", "paged CoW snapshot restore scaling (memory refactor)", Exp_memshare.run);
     ("chaos", "fault injection: supervised vs unsupervised availability", Exp_chaos.run);
+    ("chaos_slo", "SLO burn-rate alerting through a fault storm", Exp_chaos.run_slo);
     ("bechamel", "wall-clock microbenchmarks of the simulator", Bechamel_suite.run);
   ]
 

@@ -6,8 +6,11 @@
    --json-out) against committed baselines, cell by cell. Numeric cells
    must agree within a relative tolerance (default 15%); non-numeric
    cells must match exactly. A structural mismatch (missing figure,
-   different table count, different header) fails loudly with a hint to
-   regenerate the baselines. Exit 0 = within tolerance, 1 = regression,
+   fewer tables than the baseline, different header) fails loudly with a
+   hint to regenerate the baselines — except a *new* figure (fresh
+   parses, no baseline committed yet) or extra fresh tables, which are
+   reported as informational so the PR introducing a figure isn't
+   blocked by its own gate. Exit 0 = within tolerance, 1 = regression,
    2 = structural/usage error. *)
 
 open Cmdliner
@@ -94,11 +97,24 @@ let structural_hint =
 let compare_fig ~tolerance ~fig baseline fresh =
   let failures = ref [] in
   let structural = ref [] in
+  let notices = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   let misshapen fmt = Printf.ksprintf (fun m -> structural := m :: !structural) fmt in
+  let notice fmt = Printf.ksprintf (fun m -> notices := m :: !notices) fmt in
+  (* An experiment growing a new table is additive — compare the common
+     prefix and mention the extras. A table *disappearing* is structural:
+     the baseline promises coverage the fresh run no longer delivers. *)
+  let nb = List.length baseline and nf = List.length fresh in
+  let baseline, fresh =
+    if nf > nb then begin
+      notice "%s: %d new table(s) in fresh output with no baseline yet (informational)"
+        fig (nf - nb);
+      (baseline, List.filteri (fun i _ -> i < nb) fresh)
+    end
+    else (baseline, fresh)
+  in
   if List.length baseline <> List.length fresh then
-    misshapen "%s: %d tables in baseline vs %d fresh" fig (List.length baseline)
-      (List.length fresh)
+    misshapen "%s: %d tables in baseline vs %d fresh" fig nb nf
   else
     List.iteri
       (fun ti (b, f) ->
@@ -125,7 +141,7 @@ let compare_fig ~tolerance ~fig baseline fresh =
                   (List.combine br fr))
             (List.combine b.rows f.rows))
       (List.combine baseline fresh);
-  (List.rev !structural, List.rev !failures)
+  (List.rev !structural, List.rev !failures, List.rev !notices)
 
 let run baseline_dir fresh_dir tolerance figs =
   if figs = [] then begin
@@ -140,6 +156,15 @@ let run baseline_dir fresh_dir tolerance figs =
         let bpath = Filename.concat baseline_dir file in
         let fpath = Filename.concat fresh_dir file in
         match (parse_bench bpath, parse_bench fpath) with
+        | Error _, Ok _ when not (Sys.file_exists bpath) ->
+            (* a brand-new figure: fresh output parses but nothing is
+               committed yet. Informational, not a gate failure — the
+               gate would otherwise block the very PR that introduces
+               the figure. *)
+            Printf.printf
+              "NEW %s: no committed baseline (%s); fresh output parses -- commit it \
+               with `make bench-baselines` to start gating\n"
+              fig bpath
         | Error m, _ ->
             Printf.eprintf "benchdiff: baseline %s\n" m;
             incr structural_total
@@ -147,7 +172,8 @@ let run baseline_dir fresh_dir tolerance figs =
             Printf.eprintf "benchdiff: fresh %s\n" m;
             incr structural_total
         | Ok b, Ok f ->
-            let structural, failures = compare_fig ~tolerance ~fig b f in
+            let structural, failures, notices = compare_fig ~tolerance ~fig b f in
+            List.iter (fun m -> Printf.printf "NOTICE %s\n" m) notices;
             List.iter (fun m -> Printf.eprintf "STRUCTURE %s\n" m) structural;
             List.iter (fun m -> Printf.eprintf "REGRESSION %s\n" m) failures;
             structural_total := !structural_total + List.length structural;

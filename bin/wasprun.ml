@@ -15,6 +15,8 @@
                                # telemetry: Chrome trace + metrics dump
      wasprun --check-trace t.json
                                # validate a trace-event dump (CI smoke)
+     wasprun --example --repeat 8 --explain-slowest 2
+                               # causal timelines of the 2 slowest runs
 *)
 
 open Cmdliner
@@ -258,7 +260,8 @@ let print_mem_stats hub w =
   print_endline "--------------"
 
 let run file example example_fault mode allow all trace_json metrics mem_stats check
-    profile profile_folded record replay seed chaos fault_plan_file =
+    profile profile_folded record replay seed chaos fault_plan_file repeat
+    explain_slowest =
   match (check, replay) with
   | Some path, _ -> check_trace path
   | None, Some path -> replay_file path
@@ -302,14 +305,24 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
               | Error msg ->
                   Printf.eprintf "error: fault plan: %s\n" msg;
                   1
+              | Ok _ when repeat < 1 ->
+                  prerr_endline "error: --repeat must be >= 1";
+                  1
+              | Ok _ when record <> None && repeat > 1 ->
+                  prerr_endline "error: --record captures a single invocation; drop --repeat";
+                  1
               | Ok plan ->
               let w = Wasp.Runtime.create ~seed () in
               (match plan with
               | Some p -> Wasp.Runtime.set_fault_plan w (Some p)
               | None -> ());
               let hub =
-                if trace_json <> None || metrics || mem_stats then begin
+                if trace_json <> None || metrics || mem_stats || explain_slowest > 0
+                then begin
                   let h = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+                  (* ids come from the same --seed, so --explain-slowest
+                     prints byte-identical timelines across runs *)
+                  if explain_slowest > 0 then Telemetry.Hub.enable_tracing h ~seed;
                   Wasp.Runtime.set_telemetry w (Some h);
                   Some h
                 end
@@ -343,7 +356,11 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                 (Wasp.Image.size image) image.Wasp.Image.origin
                 (Vm.Modes.to_string image.Wasp.Image.mode)
                 (Format.asprintf "%a" Wasp.Policy.pp policy);
-              let r = Wasp.Runtime.run w image ~policy ~fuel:default_fuel () in
+              let r = ref (Wasp.Runtime.run w image ~policy ~fuel:default_fuel ()) in
+              for _ = 2 to repeat do
+                r := Wasp.Runtime.run w image ~policy ~fuel:default_fuel ()
+              done;
+              let r = !r in
               if r.Wasp.Runtime.console <> "" then
                 Printf.printf "--- console ---\n%s---------------\n" r.Wasp.Runtime.console;
               let trace_write_failed =
@@ -390,6 +407,13 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
               | _ -> ());
               (match hub with
               | Some h when mem_stats -> print_mem_stats h w
+              | _ -> ());
+              (match hub with
+              | Some h when explain_slowest > 0 ->
+                  print_newline ();
+                  print_string
+                    (Profiler.Explain.slowest ~n:explain_slowest ~hub:h
+                       ?flight:(Wasp.Runtime.flight w) ())
               | _ -> ());
               (match plan with
               | Some p ->
@@ -526,12 +550,29 @@ let () =
             "Run under the fault plan read from $(docv) (site=trigger lines; see \
              docs/robustness.md). Overrides $(b,--chaos)")
   in
+  let repeat =
+    Arg.(
+      value & opt int 1
+      & info [ "repeat" ] ~docv:"K"
+          ~doc:
+            "Run the image $(docv) times in one runtime (pool and caches stay warm), so \
+             $(b,--explain-slowest) has a population to rank")
+  in
+  let explain_slowest =
+    Arg.(
+      value & opt int 0
+      & info [ "explain-slowest" ] ~docv:"N"
+          ~doc:
+            "After the run, print the full causal timeline (span tree, VM exits, faults, \
+             retries, exemplars) of the $(docv) slowest invocations. Enables request \
+             tracing, seeded by $(b,--seed), so the report is identical across runs")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
         const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
         $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed
-        $ chaos $ fault_plan)
+        $ chaos $ fault_plan $ repeat $ explain_slowest)
   in
   exit (Cmd.eval' cmd)

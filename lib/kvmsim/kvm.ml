@@ -95,6 +95,13 @@ let fault_plan sys = sys.plan
    Bookkeeping charges no cycles — the *consequence* of the injection
    (the spurious round trip, the storm, the raised failure) is what the
    site charges. *)
+(* Trace id of the request currently on-CPU, so black-box entries are
+   greppable by trace. None when tracing is off or no span is open. *)
+let active_trace sys =
+  match sys.telemetry with
+  | None -> None
+  | Some h -> Telemetry.Hub.current_trace h
+
 let note_injection sys site =
   sys.stats.injected_faults <- sys.stats.injected_faults + 1;
   (match sys.telemetry with
@@ -111,6 +118,7 @@ let note_injection sys site =
   | Some fr ->
       let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
       Profiler.Flight.record fr
+        ?trace:(active_trace sys)
         ~at:(Cycles.Clock.now (clock sys))
         ~core:sys.cur ~pc (Profiler.Flight.Injected site)
 
@@ -161,6 +169,7 @@ let on_page_fault sys ~shared ~page =
     | Some fr ->
         let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
         Profiler.Flight.record fr
+          ?trace:(active_trace sys)
           ~at:(Cycles.Clock.now (clock sys))
           ~core:sys.cur ~pc
           (Profiler.Flight.Ept { page })
@@ -239,6 +248,7 @@ let run ?fuel v =
     | None -> ()
     | Some fr ->
         Profiler.Flight.record fr
+          ?trace:(active_trace sys)
           ~at:(Cycles.Clock.now (clock sys))
           ~core:sys.cur ~pc:(Vm.Cpu.pc v.cpu) kind
   in

@@ -1,0 +1,17 @@
+(** Causal timelines for traced runs ([wasprun --explain-slowest]).
+
+    Groups the hub's retained spans by trace id and renders the N
+    slowest trace roots as full post-mortems: the span tree with
+    per-span cycles and cores, a conservation check (do the root's
+    direct children tile it exactly?), the trace's instants (supervisor
+    retries, pool hits/stalls, injected faults, SLO alerts), the
+    flight-ring VM exits stamped with the trace, and every histogram
+    exemplar that resolves to it. Derived entirely from virtual-clock
+    stamps and deterministic ids, the report is byte-identical across
+    same-seed runs. *)
+
+val slowest : ?n:int -> hub:Telemetry.Hub.t -> ?flight:Flight.t -> unit -> string
+(** [slowest ~n ~hub ~flight ()] renders the [n] (default 1) slowest
+    traced invocations (spans with a trace id and no parent), ranked by
+    duration, ties broken by creation order. Returns a note instead
+    when no traced spans were retained. *)

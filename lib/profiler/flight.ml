@@ -20,6 +20,7 @@ type entry = {
   core : int;
   pc : int;             (** guest pc at the exit *)
   kind : kind;
+  trace : int64 option; (** active trace id, when request tracing is on *)
   mutable note : string;  (** hypervisor annotation (hypercall nr/args/ret) *)
 }
 
@@ -39,8 +40,8 @@ let capacity t = t.capacity
 let total t = t.total
 let count t = min t.total t.capacity
 
-let record t ~at ~core ~pc kind =
-  let e = { seq = t.total; at; core; pc; kind; note = "" } in
+let record t ?trace ~at ~core ~pc kind =
+  let e = { seq = t.total; at; core; pc; kind; trace; note = "" } in
   t.ring.(t.next) <- Some e;
   t.next <- (t.next + 1) mod t.capacity;
   t.total <- t.total + 1;
@@ -73,8 +74,11 @@ let kind_to_string = function
   | Injected site -> Printf.sprintf "INJECTED %s" site
 
 let pp_entry ppf e =
-  Format.fprintf ppf "#%-6d cyc=%-12Ld core=%d pc=0x%06x %s%s" e.seq e.at e.core e.pc
+  Format.fprintf ppf "#%-6d cyc=%-12Ld core=%d pc=0x%06x %s%s%s" e.seq e.at e.core e.pc
     (kind_to_string e.kind)
+    (match e.trace with
+    | Some id -> Printf.sprintf " trace=%016Lx" id
+    | None -> "")
     (if e.note = "" then "" else "  ; " ^ e.note)
 
 let dump t ~reason =

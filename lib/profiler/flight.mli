@@ -30,6 +30,10 @@ type entry = private {
   core : int;
   pc : int;
   kind : kind;
+  trace : int64 option;
+      (** trace id of the request that took the exit, stamped when the
+          telemetry hub has tracing enabled — the hook that makes a slow
+          request's exits greppable in the black box *)
   mutable note : string;
 }
 
@@ -46,7 +50,7 @@ val total : t -> int
 val count : t -> int
 (** Exits currently retained ([min total capacity]). *)
 
-val record : t -> at:int64 -> core:int -> pc:int -> kind -> unit
+val record : t -> ?trace:int64 -> at:int64 -> core:int -> pc:int -> kind -> unit
 
 val annotate_last : t -> string -> unit
 (** Attach hypervisor context (e.g. "write(1, 0x80, 5) -> 5") to the most

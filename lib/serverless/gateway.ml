@@ -14,6 +14,21 @@ type breaker = {
 
 type bucket = { mutable tokens : float; mutable last_refill : int64 }
 
+type slo_config = {
+  availability_target : float;
+  latency_target : float;
+  latency_threshold : int64;
+  slo_period : int64;
+}
+
+let default_slo_config =
+  {
+    availability_target = 0.99;
+    latency_target = 0.99;
+    latency_threshold = 50_000_000L;
+    slo_period = 10_000_000_000L;
+  }
+
 type t = {
   platform : Vespid.t;
   mutable next_core : int;
@@ -23,6 +38,8 @@ type t = {
   bucket : bucket;
   mutable shed_count : int;
   mutable breaker_rejections : int;
+  mutable slos : (Telemetry.Slo.t * Telemetry.Slo.t) option;
+      (* (availability, latency), when enabled *)
 }
 
 let create ?(breaker = default_breaker_config) ?shed platform =
@@ -45,6 +62,7 @@ let create ?(breaker = default_breaker_config) ?shed platform =
       };
     shed_count = 0;
     breaker_rejections = 0;
+    slos = None;
   }
 
 let hub t = Wasp.Runtime.telemetry (Vespid.runtime t.platform)
@@ -53,6 +71,39 @@ let now t = Cycles.Clock.now (clock t)
 
 let shed_count t = t.shed_count
 let breaker_rejections t = t.breaker_rejections
+
+let enable_slos t ?(config = default_slo_config) () =
+  match hub t with
+  | None -> invalid_arg "Gateway.enable_slos: platform runtime has no telemetry hub"
+  | Some h ->
+      let avail =
+        Telemetry.Slo.create ~hub:h ~name:"gateway_availability"
+          ~target:config.availability_target ~period:config.slo_period ()
+      in
+      let lat =
+        Telemetry.Slo.create ~hub:h ~name:"gateway_latency"
+          ~objective:(Telemetry.Slo.Latency_under config.latency_threshold)
+          ~target:config.latency_target ~period:config.slo_period ()
+      in
+      t.slos <- Some (avail, lat)
+
+let availability_slo t = Option.map fst t.slos
+let latency_slo t = Option.map snd t.slos
+let slos t = match t.slos with None -> [] | Some (a, l) -> [ a; l ]
+
+(* Shed and breaker-rejected requests are bad availability — from the
+   caller's side they failed, however deliberate the refusal. Latency
+   is judged over completed invocations only (a 500 says nothing about
+   speed; a refusal has no meaningful latency). *)
+let slo_availability t ~good =
+  match t.slos with
+  | Some (avail, _) -> Telemetry.Slo.record avail ~good
+  | None -> ()
+
+let slo_latency t cycles =
+  match t.slos with
+  | Some (_, lat) -> Telemetry.Slo.record_latency lat cycles
+  | None -> ()
 
 let tincr t name =
   match hub t with Some h -> Telemetry.Hub.incr h name | None -> ()
@@ -160,6 +211,7 @@ let invoke t name body =
   if not (try_take_token t) then begin
     t.shed_count <- t.shed_count + 1;
     tincr t "gateway_shed_total";
+    slo_availability t ~good:false;
     respond ~status:429 "overloaded, request shed\n"
   end
   else begin
@@ -177,19 +229,23 @@ let invoke t name body =
     | Open ->
         t.breaker_rejections <- t.breaker_rejections + 1;
         tincr t "gateway_breaker_rejections_total";
+        slo_availability t ~good:false;
         respond ~status:503 (Printf.sprintf "circuit open for %s\n" name)
     | Closed | Half_open -> (
         (* spread requests round-robin over the simulated cores *)
         let core = t.next_core in
         t.next_core <- (core + 1) mod Wasp.Runtime.cores (Vespid.runtime t.platform);
         match
-          Vespid.invoke_on t.platform ~core ~name ~input:(Bytes.of_string body)
+          Vespid.invoke_timed_on t.platform ~core ~name ~input:(Bytes.of_string body)
         with
-        | Ok out ->
+        | Ok out, cycles ->
             note_success t name b;
+            slo_availability t ~good:true;
+            slo_latency t cycles;
             respond ~status:200 out
-        | Error e ->
+        | Error e, _ ->
             note_failure t name b;
+            slo_availability t ~good:false;
             respond ~status:500 (Printf.sprintf "function error: %s\n" e)
         | exception Vespid.Unknown_function _ ->
             (* a bad name says nothing about the function's health *)

@@ -42,6 +42,38 @@ val create : ?breaker:breaker_config -> ?shed:shed_config -> Vespid.t -> t
     on the platform runtime's virtual clock, so gateway behaviour is
     deterministic and replayable. *)
 
+(** {1 Service-level objectives} *)
+
+type slo_config = {
+  availability_target : float;
+      (** required good fraction of invoke requests (default 0.99) *)
+  latency_target : float;
+      (** required fraction of successful invokes under the threshold
+          (default 0.99) *)
+  latency_threshold : int64;
+      (** latency budget per invoke, virtual cycles (default 50M,
+          ~18.6ms at 2.69 GHz) *)
+  slo_period : int64;
+      (** rolling SLO period in virtual cycles; burn-rate windows are
+          derived from it (default 10G, ~3.7 virtual seconds) *)
+}
+
+val default_slo_config : slo_config
+
+val enable_slos : t -> ?config:slo_config -> unit -> unit
+(** Declare the gateway's objectives on the platform hub: an
+    availability SLO (shed and breaker-rejected requests count bad;
+    404s for unknown names do not) and a latency SLO over successful
+    invokes. Every invoke then feeds both and re-evaluates the
+    burn-rate alerts. @raise Invalid_argument when the platform
+    runtime has no telemetry hub. *)
+
+val slos : t -> Telemetry.Slo.t list
+(** The declared objectives, [[]] until {!enable_slos}. *)
+
+val availability_slo : t -> Telemetry.Slo.t option
+val latency_slo : t -> Telemetry.Slo.t option
+
 val parse_register_target : string -> string * string
 (** [parse_register_target "name?entry=fn"] is [("name", "fn")]; the
     entry defaults to ["main"]. Pairs split on the first ['='] only, so

@@ -107,8 +107,8 @@ let export_core_stats hub sched =
 (* Multi-core closed loop: clients fire against the scheduler instead of
    a FIFO server, so requests run as real work on per-core clocks (with
    work stealing, and idle cycles feeding the pool's reclaim drain). *)
-let run_cores ?(freq_ghz = 2.69) ?(think_time_s = 0.05) ?(steal = true) ~runtime ~request
-    ~profile () =
+let run_cores ?(freq_ghz = 2.69) ?(think_time_s = 0.05) ?(steal = true) ?on_complete
+    ~runtime ~request ~profile () =
   let cps = freq_ghz *. 1e9 in
   let cycles_of_s s = Int64.of_float (s *. cps) in
   let n = Wasp.Runtime.cores runtime in
@@ -143,7 +143,10 @@ let run_cores ?(freq_ghz = 2.69) ?(think_time_s = 0.05) ?(steal = true) ~runtime
           Dessim.Cores.submit sched ~at (fun ~core ->
               request ();
               let done_at = Cycles.Clock.now clocks.(core) in
-              samples := { at = done_at; latency = Int64.sub done_at at } :: !samples;
+              let latency = Int64.sub done_at at in
+              samples := { at = done_at; latency } :: !samples;
+              (* e.g. feed a latency SLO on the completing core's clock *)
+              (match on_complete with Some f -> f ~latency | None -> ());
               let next = Int64.add done_at think in
               if Int64.compare next phase_end < 0 then fire next)
         in

@@ -37,6 +37,7 @@ val run_cores :
   ?freq_ghz:float ->
   ?think_time_s:float ->
   ?steal:bool ->
+  ?on_complete:(latency:int64 -> unit) ->
   runtime:Wasp.Runtime.t ->
   request:(unit -> unit) ->
   profile:phase list ->
@@ -49,7 +50,10 @@ val run_cores :
     switched to [Scheduled], so async cleaning consumes idle windows and
     contended acquires stall. Per-core utilization, steal and reclaim
     stats are exported to the runtime's telemetry hub (when attached) as
-    [sched_*] metrics; the scheduler is returned for direct inspection. *)
+    [sched_*] metrics; the scheduler is returned for direct inspection.
+    [on_complete] fires after every finished request with its queueing +
+    service latency, on the completing core's clock — the hook for
+    feeding a {!Telemetry.Slo} from a load run. *)
 
 val export_core_stats : Telemetry.Hub.t -> Dessim.Cores.t -> unit
 (** Publish a scheduler's per-core gauges ([sched_core<i>_utilization],

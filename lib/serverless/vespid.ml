@@ -21,6 +21,19 @@ let invoke_timed t ~name ~input =
         | Some hub ->
             Telemetry.Hub.incr hub "vespid_invocations_total";
             Telemetry.Hub.observe hub "vespid_invoke_cycles" cycles;
+            (* the per-function series shares the family and carries the
+               same exemplar, so a tail bucket names both the function
+               and a trace that landed there *)
+            let exemplar =
+              match Telemetry.Hub.current_trace hub with
+              | Some id -> Some (Telemetry.Tracectx.id_to_string id)
+              | None -> None
+            in
+            Telemetry.Metrics.observe ?exemplar
+              (Telemetry.Metrics.histogram
+                 (Telemetry.Hub.metrics hub)
+                 ~labels:[ ("fn", name) ] "vespid_invoke_cycles")
+              cycles;
             (match outcome with
             | Error _ -> Telemetry.Hub.incr hub "vespid_errors_total"
             | Ok _ -> ())
@@ -34,6 +47,8 @@ let invoke_timed t ~name ~input =
 
 let invoke t ~name ~input = fst (invoke_timed t ~name ~input)
 
-let invoke_on t ~core ~name ~input =
+let invoke_timed_on t ~core ~name ~input =
   Wasp.Runtime.on_core t.wasp core;
-  fst (invoke_timed t ~name ~input)
+  invoke_timed t ~name ~input
+
+let invoke_on t ~core ~name ~input = fst (invoke_timed_on t ~core ~name ~input)

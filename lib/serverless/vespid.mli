@@ -31,8 +31,17 @@ val invoke : t -> name:string -> input:bytes -> (string, string) result
     @raise Unknown_function *)
 
 val invoke_timed : t -> name:string -> input:bytes -> (string, string) result * int64
-(** Like {!invoke} but also returns the invocation latency in cycles. *)
+(** Like {!invoke} but also returns the invocation latency in cycles.
+    With a hub attached, the latency lands in [vespid_invoke_cycles]
+    twice — the plain family and an [fn]-labeled series — both stamped
+    with the active trace id as an exemplar when tracing is on. *)
 
 val invoke_on : t -> core:int -> name:string -> input:bytes -> (string, string) result
 (** {!invoke} pinned to a simulated core of the underlying runtime: the
     invocation charges that core's clock and uses its pool shard. *)
+
+val invoke_timed_on :
+  t -> core:int -> name:string -> input:bytes -> (string, string) result * int64
+(** {!invoke_timed} pinned to a core — the latency is measured on that
+    core's clock, so callers on another core (the gateway) get a
+    consistent per-invocation figure. *)

@@ -88,14 +88,32 @@ let series ?title ~header points =
   in
   table ?title ~header rows
 
-let percentile_table ?title ?(unit_label = "") rows =
+let percentile_table ?title ?(unit_label = "") ?slo rows =
   let u = if unit_label = "" then "" else Printf.sprintf " (%s)" unit_label in
-  let header = [ "label"; "n"; "p50" ^ u; "p90" ^ u; "p99" ^ u; "max" ^ u ] in
+  let slo_header = match slo with None -> [] | Some _ -> [ "slo p99" ^ u; "slo" ] in
+  let header =
+    [ "label"; "n"; "p50" ^ u; "p90" ^ u; "p99" ^ u; "p99.9" ^ u; "max" ^ u ]
+    @ slo_header
+  in
   let fmt v = Printf.sprintf "%.2f" v in
+  (* Verdict against the row's declared p99 target; rows without a
+     target (or without samples) show a dash. *)
+  let verdict label xs =
+    match slo with
+    | None -> []
+    | Some targets -> (
+        match List.assoc_opt label targets with
+        | None -> [ "-"; "-" ]
+        | Some target ->
+            if Array.length xs = 0 then [ fmt target; "-" ]
+            else if Descriptive.percentile xs 99.0 <= target then [ fmt target; "met" ]
+            else [ fmt target; "MISSED" ])
+  in
   let body =
     List.map
       (fun (label, xs) ->
-        if Array.length xs = 0 then [ label; "0"; "-"; "-"; "-"; "-" ]
+        if Array.length xs = 0 then
+          [ label; "0"; "-"; "-"; "-"; "-"; "-" ] @ verdict label xs
         else
           [
             label;
@@ -103,8 +121,10 @@ let percentile_table ?title ?(unit_label = "") rows =
             fmt (Descriptive.percentile xs 50.0);
             fmt (Descriptive.percentile xs 90.0);
             fmt (Descriptive.percentile xs 99.0);
+            fmt (Descriptive.percentile xs 99.9);
             fmt (Descriptive.maximum xs);
-          ])
+          ]
+          @ verdict label xs)
       rows
   in
   table ?title ~header body

@@ -24,11 +24,18 @@ val series :
     value, for figure-style line data. *)
 
 val percentile_table :
-  ?title:string -> ?unit_label:string -> (string * float array) list -> string
+  ?title:string ->
+  ?unit_label:string ->
+  ?slo:(string * float) list ->
+  (string * float array) list ->
+  string
 (** [percentile_table rows] renders one row per labeled sample set with
-    n, p50, p90, p99 and max columns (linear-interpolated percentiles via
-    {!Descriptive.percentile}). [unit_label] annotates the value columns,
-    e.g. ["us"]. Empty sample sets render as dashes. *)
+    n, p50, p90, p99, p99.9 and max columns (linear-interpolated
+    percentiles via {!Descriptive.percentile}). [unit_label] annotates
+    the value columns, e.g. ["us"]. Empty sample sets render as dashes.
+    [slo] maps row labels to p99 targets (same unit as the samples):
+    when given, two extra columns show each row's target and a
+    met/MISSED verdict (dashes for rows without a target). *)
 
 val histogram : ?title:string -> ?width:int -> (string * int) list -> string
 (** [histogram entries] renders labeled integer counts as horizontal bars

@@ -23,6 +23,33 @@ let args_json args =
    (Chrome treats tid 0 oddly, so core 0 maps to tid 1). *)
 let tid_of_core core = core + 1
 
+(* When tracing is on, a child span that opened on a different core than
+   its parent gets a flow start/finish pair so Perfetto draws the causal
+   arrow across thread tracks. Flows are keyed by the child's span id,
+   which the tracer guarantees unique. *)
+let flows items =
+  let spans =
+    List.filter_map (function Span.Complete s -> Some s | Span.Instant _ -> None) items
+  in
+  let by_id = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      match List.assoc_opt "span_id" s.Span.args with
+      | Some id -> Hashtbl.replace by_id id s
+      | None -> ())
+    spans;
+  List.filter_map
+    (fun s ->
+      match
+        (List.assoc_opt "parent_id" s.Span.args, List.assoc_opt "span_id" s.Span.args)
+      with
+      | Some pid, Some sid -> (
+          match Hashtbl.find_opt by_id pid with
+          | Some p when p.Span.core <> s.Span.core -> Some (p, s, sid)
+          | _ -> None)
+      | _ -> None)
+    spans
+
 let to_json ?(process = "wasp") hub =
   let clk = Hub.clock hub in
   let us c = Cycles.Clock.to_us clk c in
@@ -65,5 +92,18 @@ let to_json ?(process = "wasp") hub =
                "{\"name\":\"%s\",\"cat\":\"wasp\",\"ph\":\"i\",\"ts\":%.3f,\"s\":\"t\",\"pid\":1,\"tid\":%d,\"args\":%s}"
                (escape i.i_name) (us i.i_at) (tid_of_core i.i_core) (args_json i.i_args)))
     items;
+  List.iter
+    (fun (p, s, sid) ->
+      Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"trace\",\"cat\":\"wasp.flow\",\"ph\":\"s\",\"id\":\"0x%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           (escape sid) (us p.Span.start_cycles) (tid_of_core p.Span.core));
+      Buffer.add_char buf ',';
+      Buffer.add_string buf
+        (Printf.sprintf
+           "{\"name\":\"trace\",\"cat\":\"wasp.flow\",\"ph\":\"f\",\"bp\":\"e\",\"id\":\"0x%s\",\"ts\":%.3f,\"pid\":1,\"tid\":%d}"
+           (escape sid) (us s.Span.start_cycles) (tid_of_core s.Span.core)))
+    (flows items);
   Buffer.add_string buf "]}";
   Buffer.contents buf

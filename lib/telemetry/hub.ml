@@ -14,13 +14,26 @@ let set_core t core = Span.set_core t.sink core
 let spans t = t.sink
 let metrics t = t.registry
 
+let enable_tracing t ~seed = Span.set_tracer t.sink (Some (Tracectx.create ~seed))
+let tracing_enabled t = Span.tracer t.sink <> None
+let current_ids t = Span.current_ids t.sink
+let current_trace t = Span.current_trace t.sink
+
 let enter t ?args name = Span.enter t.sink ?args name
 let leave t ?args () = Span.leave t.sink ?args ()
 let with_span t ?args name f = Span.with_span t.sink ?args name f
 let instant t ?args name = Span.instant t.sink ?args name
 
 let incr t ?by name = Metrics.incr ?by (Metrics.counter t.registry name)
-let observe t name v = Metrics.observe (Metrics.histogram t.registry name) v
+
+let observe t name v =
+  let exemplar =
+    match current_trace t with
+    | Some id -> Some (Tracectx.id_to_string id)
+    | None -> None
+  in
+  Metrics.observe ?exemplar (Metrics.histogram t.registry name) v
+
 let set_gauge t name v = Metrics.set (Metrics.gauge t.registry name) v
 
 let clear_spans t = Span.clear t.sink

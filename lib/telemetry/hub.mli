@@ -29,6 +29,21 @@ val set_core : t -> int -> unit
 val spans : t -> Span.sink
 val metrics : t -> Metrics.t
 
+(** {1 Trace context} *)
+
+val enable_tracing : t -> seed:int -> unit
+(** Attach a fresh {!Tracectx.t} to the span sink: from here on every
+    root span starts a trace and nested spans carry
+    [trace_id]/[span_id]/[parent_id] args (see {!Span.set_tracer}).
+    Same seed, byte-identical ids. {!observe} starts stamping histogram
+    exemplars with the active trace id. *)
+
+val tracing_enabled : t -> bool
+val current_ids : t -> Tracectx.ids option
+val current_trace : t -> int64 option
+(** Trace id of the innermost open span ([None] when tracing is off or
+    no span is open). *)
+
 (** {1 Span conveniences} *)
 
 val enter : t -> ?args:(string * string) list -> string -> unit
@@ -39,7 +54,11 @@ val instant : t -> ?args:(string * string) list -> string -> unit
 (** {1 Metric conveniences (find-or-register by name)} *)
 
 val incr : t -> ?by:int -> string -> unit
+
 val observe : t -> string -> int64 -> unit
+(** Record into the named histogram; when tracing is on and a span is
+    open, the sample carries the active trace id as an exemplar. *)
+
 val set_gauge : t -> string -> float -> unit
 
 val clear_spans : t -> unit

@@ -12,10 +12,14 @@ type gauge = {
   mutable g_value : float;
 }
 
+type exemplar = { e_trace : string; e_value : int64 }
+
 type histogram = {
   h_name : string;
   h_help : string;
+  h_labels : (string * string) list;
   h_buckets : int array;
+  h_exemplars : exemplar option array;
   mutable h_count : int;
   mutable h_sum : int64;
   mutable h_min : int64;
@@ -30,9 +34,12 @@ let num_buckets = 63
 
 let create () = { tbl = Hashtbl.create 32; order = [] }
 
+(* [order] records first registration only: re-registering a key (e.g. a
+   lookup racing a replace) must not move it, or exposition order would
+   depend on call history rather than creation order. *)
 let register t key metric =
-  Hashtbl.replace t.tbl key metric;
-  t.order <- key :: t.order
+  if not (Hashtbl.mem t.tbl key) then t.order <- key :: t.order;
+  Hashtbl.replace t.tbl key metric
 
 (* Labeled series live in the same registry as plain ones, keyed by
    name plus the rendered label set so each (name, labels) pair is its
@@ -66,23 +73,26 @@ let gauge t ?(help = "") ?(labels = []) name =
       register t key (Gauge g);
       g
 
-let histogram t ?(help = "") name =
-  match Hashtbl.find_opt t.tbl name with
+let histogram t ?(help = "") ?(labels = []) name =
+  let key = series_key name labels in
+  match Hashtbl.find_opt t.tbl key with
   | Some (Histogram h) -> h
-  | Some _ -> invalid_arg ("Metrics.histogram: " ^ name ^ " is not a histogram")
+  | Some _ -> invalid_arg ("Metrics.histogram: " ^ key ^ " is not a histogram")
   | None ->
       let h =
         {
           h_name = name;
           h_help = help;
+          h_labels = labels;
           h_buckets = Array.make num_buckets 0;
+          h_exemplars = Array.make num_buckets None;
           h_count = 0;
           h_sum = 0L;
           h_min = Int64.max_int;
           h_max = 0L;
         }
       in
-      register t name (Histogram h);
+      register t key (Histogram h);
       h
 
 let incr ?(by = 1) c = c.c_value <- c.c_value + by
@@ -103,10 +113,13 @@ let bucket_bounds i =
   let hi = if i >= num_buckets - 1 then Int64.max_int else Int64.of_int (1 lsl i) in
   (lo, hi)
 
-let observe h v =
+let observe ?exemplar h v =
   let v = if Int64.compare v 0L < 0 then 0L else v in
   let i = bucket_index v in
   h.h_buckets.(i) <- h.h_buckets.(i) + 1;
+  (match exemplar with
+  | Some trace -> h.h_exemplars.(i) <- Some { e_trace = trace; e_value = v }
+  | None -> ());
   h.h_count <- h.h_count + 1;
   h.h_sum <- Int64.add h.h_sum v;
   if Int64.compare v h.h_min < 0 then h.h_min <- v;
@@ -153,6 +166,20 @@ let cumulative_buckets h =
       cum := !cum + c;
       (hi, !cum))
     (nonempty_buckets h)
+
+(* Exemplars aligned with [cumulative_buckets]: one (upper bound,
+   exemplar) pair per occupied bucket that recorded one. *)
+let bucket_exemplars h =
+  let acc = ref [] in
+  for i = num_buckets - 1 downto 0 do
+    if h.h_buckets.(i) > 0 then
+      match h.h_exemplars.(i) with
+      | Some e ->
+          let _, hi = bucket_bounds i in
+          acc := (hi, e) :: !acc
+      | None -> ()
+  done;
+  !acc
 
 let find t name = Hashtbl.find_opt t.tbl name
 

@@ -23,10 +23,17 @@ type gauge = private {
   mutable g_value : float;
 }
 
+type exemplar = { e_trace : string; e_value : int64 }
+(** Last traced observation to land in a bucket: the trace id (16 hex
+    digits) and the observed value — what the Prometheus exporter renders
+    as an OpenMetrics [# {trace_id="..."} value] suffix. *)
+
 type histogram = private {
   h_name : string;
   h_help : string;
+  h_labels : (string * string) list;
   h_buckets : int array;   (** 63 log2 buckets *)
+  h_exemplars : exemplar option array;  (** per-bucket, newest wins *)
   mutable h_count : int;
   mutable h_sum : int64;
   mutable h_min : int64;
@@ -48,13 +55,20 @@ val counter : t -> ?help:string -> ?labels:(string * string) list -> string -> c
     a different kind of metric. *)
 
 val gauge : t -> ?help:string -> ?labels:(string * string) list -> string -> gauge
-val histogram : t -> ?help:string -> string -> histogram
+
+val histogram : t -> ?help:string -> ?labels:(string * string) list -> string -> histogram
+(** Find-or-register, with the same per-series (name, labels) identity
+    as {!counter}: each labeled series keeps its own buckets, exported
+    under one family with the series labels merged into the [le]
+    label set. *)
 
 val incr : ?by:int -> counter -> unit
 val set : gauge -> float -> unit
 
-val observe : histogram -> int64 -> unit
-(** Record one sample (negative values count as 0). *)
+val observe : ?exemplar:string -> histogram -> int64 -> unit
+(** Record one sample (negative values count as 0). [exemplar] is the
+    active trace id; when given, it replaces the landing bucket's
+    exemplar so every bucket remembers its most recent traced sample. *)
 
 val percentile : histogram -> float -> float
 (** [percentile h p] with [p] in [0,100]; 0.0 on an empty histogram.
@@ -73,7 +87,12 @@ val cumulative_buckets : histogram -> (int64 * int) list
 (** [(upper_bound, cumulative_count)] per occupied bucket, ascending —
     the Prometheus [le] series. *)
 
+val bucket_exemplars : histogram -> (int64 * exemplar) list
+(** [(upper_bound, exemplar)] for each occupied bucket holding one,
+    ascending; upper bounds match {!cumulative_buckets}. *)
+
 val find : t -> string -> metric option
 
 val to_list : t -> metric list
-(** All metrics in registration order (deterministic export order). *)
+(** All metrics in stable first-registration order (re-registration
+    never reorders), so exposition is deterministic across runs. *)

@@ -67,16 +67,34 @@ let to_text registry =
                g.Metrics.g_value)
       | Metrics.Histogram h ->
           preamble h.Metrics.h_name h.Metrics.h_help "histogram";
+          (* The family's own labels are merged with [le] on every bucket
+             line; a bucket whose last traced sample is known gets an
+             OpenMetrics exemplar suffix linking it to that trace. *)
+          let fam = h.Metrics.h_labels in
+          let exemplars = Metrics.bucket_exemplars h in
           List.iter
             (fun (le, cum) ->
+              let labels = fam @ [ ("le", Int64.to_string le) ] in
+              let suffix =
+                match List.assoc_opt le exemplars with
+                | Some e ->
+                    Printf.sprintf " # {trace_id=\"%s\"} %Ld" e.Metrics.e_trace
+                      e.Metrics.e_value
+                | None -> ""
+              in
               Buffer.add_string buf
-                (Printf.sprintf "%s_bucket{le=\"%Ld\"} %d\n" h.Metrics.h_name le cum))
+                (Printf.sprintf "%s_bucket%s %d%s\n" h.Metrics.h_name
+                   (render_labels labels) cum suffix))
             (Metrics.cumulative_buckets h);
           Buffer.add_string buf
-            (Printf.sprintf "%s_bucket{le=\"+Inf\"} %d\n" h.Metrics.h_name h.Metrics.h_count);
+            (Printf.sprintf "%s_bucket%s %d\n" h.Metrics.h_name
+               (render_labels (fam @ [ ("le", "+Inf") ]))
+               h.Metrics.h_count);
           Buffer.add_string buf
-            (Printf.sprintf "%s_sum %Ld\n" h.Metrics.h_name h.Metrics.h_sum);
+            (Printf.sprintf "%s_sum%s %Ld\n" h.Metrics.h_name (render_labels fam)
+               h.Metrics.h_sum);
           Buffer.add_string buf
-            (Printf.sprintf "%s_count %d\n" h.Metrics.h_name h.Metrics.h_count))
+            (Printf.sprintf "%s_count%s %d\n" h.Metrics.h_name (render_labels fam)
+               h.Metrics.h_count))
     (Metrics.to_list registry);
   Buffer.contents buf

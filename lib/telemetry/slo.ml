@@ -1,0 +1,197 @@
+(* Multi-window, multi-burn-rate SLO evaluation on the virtual clock.
+
+   An objective declares what fraction of events must be good over a
+   rolling period; burn rate is the ratio of the observed bad fraction
+   to the error budget (1 - target). A burn rate of 1.0 spends the
+   budget exactly over the period; the classic alerting rules page when
+   a large fraction of the budget burns in a small window, confirmed by
+   a short window so alerts clear promptly once the storm passes. All
+   windows are virtual-time cycle spans, so a chaos run alerts
+   identically on every replay. *)
+
+type rule = {
+  rule_name : string;
+  long_window : int64;
+  short_window : int64;
+  burn_threshold : float;
+}
+
+type objective = Availability | Latency_under of int64
+
+type rule_state = {
+  rule : rule;
+  mutable active : bool;
+  mutable peak_burn : float;
+}
+
+type t = {
+  hub : Hub.t;
+  name : string;
+  target : float;
+  objective : objective;
+  rules : rule_state list;
+  horizon : int64;
+  mutable events : (int64 * bool) list; (* newest first *)
+  mutable newest : int64;
+  mutable good_n : int;
+  mutable bad_n : int;
+  mutable fired_n : int;
+  mutable cleared_n : int;
+}
+
+(* The SRE-book pair: the fast rule fires when ~5% of the budget burns
+   in period/100 (burn 5x), the slow rule when ~10% burns in period/20
+   (burn 2x). Each is confirmed by a short window 1/12 its size. *)
+let default_rules ~period =
+  let div d =
+    let w = Int64.div period (Int64.of_int d) in
+    if Int64.compare w 1L < 0 then 1L else w
+  in
+  [
+    { rule_name = "fast"; long_window = div 100; short_window = div 1200; burn_threshold = 5.0 };
+    { rule_name = "slow"; long_window = div 20; short_window = div 240; burn_threshold = 2.0 };
+  ]
+
+let create ~hub ~name ?(objective = Availability) ~target ?rules ~period () =
+  if not (target > 0.0 && target < 1.0) then
+    invalid_arg "Slo.create: target must be inside (0, 1)";
+  if Int64.compare period 1L < 0 then invalid_arg "Slo.create: period must be >= 1";
+  let rules = match rules with Some r -> r | None -> default_rules ~period in
+  if rules = [] then invalid_arg "Slo.create: no rules";
+  List.iter
+    (fun r ->
+      if Int64.compare r.long_window r.short_window < 0 then
+        invalid_arg ("Slo.create: short window exceeds long window in rule " ^ r.rule_name))
+    rules;
+  let horizon =
+    List.fold_left
+      (fun acc r -> if Int64.compare r.long_window acc > 0 then r.long_window else acc)
+      1L rules
+  in
+  let t =
+    {
+      hub;
+      name;
+      target;
+      objective;
+      rules = List.map (fun r -> { rule = r; active = false; peak_burn = 0.0 }) rules;
+      horizon;
+      events = [];
+      newest = 0L;
+      good_n = 0;
+      bad_n = 0;
+      fired_n = 0;
+      cleared_n = 0;
+    }
+  in
+  let m = Hub.metrics hub in
+  Metrics.set
+    (Metrics.gauge m ~help:"declared SLO target" ~labels:[ ("slo", name) ] "slo_objective")
+    target;
+  t
+
+let name t = t.name
+let target t = t.target
+let objective t = t.objective
+let error_budget t = 1.0 -. t.target
+
+let in_window t w stamp = Int64.compare stamp (Int64.sub t.newest w) >= 0
+
+let burn_over t w =
+  let total = ref 0 and bad = ref 0 in
+  List.iter
+    (fun (stamp, good) ->
+      if in_window t w stamp then begin
+        incr total;
+        if not good then incr bad
+      end)
+    t.events;
+  if !total = 0 then 0.0
+  else float_of_int !bad /. float_of_int !total /. error_budget t
+
+let sgauge t ~rule name v =
+  Metrics.set
+    (Metrics.gauge (Hub.metrics t.hub) ~labels:[ ("slo", t.name); ("rule", rule) ] name)
+    v
+
+let sincr t ?rule name =
+  let labels =
+    ("slo", t.name) :: (match rule with Some r -> [ ("rule", r) ] | None -> [])
+  in
+  Metrics.incr (Metrics.counter (Hub.metrics t.hub) ~labels name)
+
+let evaluate t =
+  List.iter
+    (fun rs ->
+      let bl = burn_over t rs.rule.long_window in
+      let bs = burn_over t rs.rule.short_window in
+      if bl > rs.peak_burn then rs.peak_burn <- bl;
+      sgauge t ~rule:rs.rule.rule_name "slo_burn_rate" bl;
+      let firing = bl >= rs.rule.burn_threshold && bs >= rs.rule.burn_threshold in
+      let alert state =
+        Hub.instant t.hub
+          ~args:
+            [
+              ("slo", t.name);
+              ("rule", rs.rule.rule_name);
+              ("state", state);
+              ("burn_long", Printf.sprintf "%.2f" bl);
+              ("burn_short", Printf.sprintf "%.2f" bs);
+            ]
+          "slo_alert"
+      in
+      if firing && not rs.active then begin
+        rs.active <- true;
+        t.fired_n <- t.fired_n + 1;
+        sincr t ~rule:rs.rule.rule_name "slo_alerts_fired_total";
+        alert "firing"
+      end
+      else if (not firing) && rs.active then begin
+        rs.active <- false;
+        t.cleared_n <- t.cleared_n + 1;
+        sincr t ~rule:rs.rule.rule_name "slo_alerts_cleared_total";
+        alert "cleared"
+      end;
+      sgauge t ~rule:rs.rule.rule_name "slo_alert_active" (if rs.active then 1.0 else 0.0))
+    t.rules
+
+let record t ~good =
+  let stamp = Cycles.Clock.now (Hub.clock t.hub) in
+  if Int64.compare stamp t.newest > 0 then t.newest <- stamp;
+  t.events <- (stamp, good) :: t.events;
+  if good then t.good_n <- t.good_n + 1 else t.bad_n <- t.bad_n + 1;
+  sincr t "slo_events_total";
+  if not good then sincr t "slo_bad_events_total";
+  let cutoff = Int64.sub t.newest t.horizon in
+  t.events <- List.filter (fun (s, _) -> Int64.compare s cutoff >= 0) t.events;
+  evaluate t
+
+let record_latency t cycles =
+  match t.objective with
+  | Latency_under threshold -> record t ~good:(Int64.compare cycles threshold <= 0)
+  | Availability ->
+      invalid_arg "Slo.record_latency: objective is availability, use record"
+
+let alerting t = List.exists (fun rs -> rs.active) t.rules
+
+let rule_alerting t ~rule =
+  List.exists (fun rs -> rs.rule.rule_name = rule && rs.active) t.rules
+
+let burn_rate t ~rule =
+  match List.find_opt (fun rs -> rs.rule.rule_name = rule) t.rules with
+  | None -> invalid_arg ("Slo.burn_rate: unknown rule " ^ rule)
+  | Some rs -> (burn_over t rs.rule.long_window, burn_over t rs.rule.short_window)
+
+let peak_burn t =
+  List.fold_left (fun acc rs -> Float.max acc rs.peak_burn) 0.0 t.rules
+
+let alerts_fired t = t.fired_n
+let alerts_cleared t = t.cleared_n
+let good_count t = t.good_n
+let bad_count t = t.bad_n
+
+let compliance t =
+  let total = t.good_n + t.bad_n in
+  if total = 0 then 1.0 else float_of_int t.good_n /. float_of_int total
+
+let met t = compliance t >= t.target

@@ -26,6 +26,7 @@ type frame = {
   f_seq : int;
   f_core : int;
   f_args : (string * string) list;
+  f_ids : Tracectx.ids option;
 }
 
 type sink = {
@@ -37,6 +38,7 @@ type sink = {
   mutable n : int;
   mutable dropped_n : int;
   mutable next_seq : int;
+  mutable tracer : Tracectx.t option;
 }
 
 let create ?(capacity = 65536) ~clock () =
@@ -49,6 +51,7 @@ let create ?(capacity = 65536) ~clock () =
     n = 0;
     dropped_n = 0;
     next_seq = 0;
+    tracer = None;
   }
 
 let clock s = s.clk
@@ -56,6 +59,17 @@ let set_clock s clk = s.clk <- clk
 
 let core s = s.core
 let set_core s core = s.core <- core
+
+let set_tracer s tr = s.tracer <- tr
+let tracer s = s.tracer
+
+let current_ids s =
+  match s.stack with [] -> None | f :: _ -> f.f_ids
+
+let current_trace s =
+  match current_ids s with
+  | Some ids -> Some ids.Tracectx.trace_id
+  | None -> None
 
 let push_item s item =
   if s.n >= s.capacity then s.dropped_n <- s.dropped_n + 1
@@ -70,6 +84,11 @@ let fresh_seq s =
   q
 
 let enter s ?(args = []) name =
+  let ids =
+    match s.tracer with
+    | None -> None
+    | Some tr -> Some (Tracectx.enter tr ~parent:(current_ids s))
+  in
   let frame =
     {
       f_name = name;
@@ -78,6 +97,7 @@ let enter s ?(args = []) name =
       f_seq = fresh_seq s;
       f_core = s.core;
       f_args = args;
+      f_ids = ids;
     }
   in
   s.stack <- frame :: s.stack
@@ -87,6 +107,9 @@ let leave s ?(args = []) () =
   | [] -> ()
   | f :: rest ->
       s.stack <- rest;
+      let id_args =
+        match f.f_ids with None -> [] | Some ids -> Tracectx.args_of_ids ids
+      in
       push_item s
         (Complete
            {
@@ -96,7 +119,7 @@ let leave s ?(args = []) () =
              depth = f.f_depth;
              seq = f.f_seq;
              core = f.f_core;
-             args = f.f_args @ args;
+             args = id_args @ f.f_args @ args;
            })
 
 let with_span s ?args name f =
@@ -110,6 +133,11 @@ let with_span s ?args name f =
       raise e
 
 let instant s ?(args = []) name =
+  let id_args =
+    match current_ids s with
+    | Some ids -> [ ("trace_id", Tracectx.id_to_string ids.Tracectx.trace_id) ]
+    | None -> []
+  in
   push_item s
     (Instant
        {
@@ -118,7 +146,7 @@ let instant s ?(args = []) name =
          i_depth = List.length s.stack;
          i_seq = fresh_seq s;
          i_core = s.core;
-         i_args = args;
+         i_args = id_args @ args;
        })
 
 let item_seq = function Complete sp -> sp.seq | Instant i -> i.i_seq

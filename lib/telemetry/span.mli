@@ -52,6 +52,22 @@ val set_core : sink -> int -> unit
     Chrome exporter lays each core out as its own thread track). The
     runtime's core switcher keeps this in sync with {!set_clock}. *)
 
+val set_tracer : sink -> Tracectx.t option -> unit
+(** Attach (or detach) a {!Tracectx.t}. While attached, every {!enter}
+    mints span ids: a depth-0 span starts a fresh trace, nested spans
+    inherit the enclosing trace and link to their parent. Retained spans
+    carry [trace_id]/[span_id]/[parent_id] args; instants carry the
+    active [trace_id]. *)
+
+val tracer : sink -> Tracectx.t option
+
+val current_ids : sink -> Tracectx.ids option
+(** Ids of the innermost open span, when tracing is on. *)
+
+val current_trace : sink -> int64 option
+(** Trace id of the innermost open span, when tracing is on — what
+    exemplars and flight-ring entries are stamped with. *)
+
 val enter : sink -> ?args:(string * string) list -> string -> unit
 (** Open a span stamped at [Clock.now]. *)
 

@@ -1,0 +1,41 @@
+type ids = {
+  trace_id : int64;
+  span_id : int64;
+  parent_id : int64 option;
+}
+
+type t = { rng : Cycles.Rng.t }
+
+let create ~seed = { rng = Cycles.Rng.create ~seed }
+
+(* Ids must be non-zero so the all-zeroes id can never collide with a
+   real one (mirrors the W3C trace-context invalid-id rule). The draw
+   comes from the tracer's own stream, never the simulation RNG, so
+   enabling tracing cannot perturb a replay. *)
+let rec fresh_id t =
+  let v = Cycles.Rng.int64 t.rng in
+  if Int64.equal v 0L then fresh_id t else v
+
+let enter t ~parent =
+  match parent with
+  | None ->
+      let trace_id = fresh_id t in
+      let span_id = fresh_id t in
+      { trace_id; span_id; parent_id = None }
+  | Some p ->
+      { trace_id = p.trace_id; span_id = fresh_id t; parent_id = Some p.span_id }
+
+let id_to_string id = Printf.sprintf "%016Lx" id
+
+let id_of_string s =
+  match Int64.of_string_opt ("0x" ^ s) with
+  | Some v when String.length s = 16 -> Some v
+  | _ -> None
+
+let args_of_ids ids =
+  let base =
+    [ ("trace_id", id_to_string ids.trace_id); ("span_id", id_to_string ids.span_id) ]
+  in
+  match ids.parent_id with
+  | None -> base
+  | Some p -> base @ [ ("parent_id", id_to_string p) ]

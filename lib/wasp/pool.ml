@@ -169,6 +169,17 @@ let take_pending shard mem_size =
 
 let acquire t ~mem_size ~mode =
   let shard = current_shard t in
+  (* A nested span (inside the provision phase) so a traced request can
+     attribute its provision cycles to hit/stall/miss specifically. *)
+  let tspan f =
+    match t.telemetry with
+    | None -> f ()
+    | Some h ->
+        Telemetry.Hub.with_span h
+          ~args:[ ("mem_size", string_of_int mem_size) ]
+          "pool_acquire" f
+  in
+  tspan @@ fun () ->
   let hit shell =
     t.stats.reused <- t.stats.reused + 1;
     (match t.telemetry with

@@ -56,6 +56,7 @@ type t = {
   config : config;
   stats : stats;
   streaks : (string, streak) Hashtbl.t;
+  mutable slo : Telemetry.Slo.t option;
 }
 
 let create ?(config = default_config) rt =
@@ -78,11 +79,20 @@ let create ?(config = default_config) rt =
         quarantine_rejections = 0;
       };
     streaks = Hashtbl.create 8;
+    slo = None;
   }
 
 let runtime t = t.rt
 let config t = t.config
 let stats t = t.stats
+
+let set_slo t slo = t.slo <- slo
+let slo t = t.slo
+
+(* Quarantine rejections count as bad availability: from the caller's
+   side a rejected request failed, however cheap the rejection was. *)
+let slo_record t ~good =
+  match t.slo with None -> () | Some s -> Telemetry.Slo.record s ~good
 
 let now t = Cycles.Clock.now (Runtime.clock t.rt)
 
@@ -189,10 +199,20 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
   let key = match key with Some k -> k | None -> image.Image.name in
   t.stats.supervised <- t.stats.supervised + 1;
   tincr t "wasp_supervised_total";
+  let tspan ?(sargs = []) name f =
+    match Runtime.telemetry t.rt with
+    | None -> f ()
+    | Some h -> Telemetry.Hub.with_span h ~args:sargs name f
+  in
+  (* The whole supervised invocation is one span; each attempt (backoff
+     included, so attempts tile the parent exactly) is a sibling child
+     span — a retried request reads as a fan of attempts in the trace. *)
+  tspan ~sargs:[ ("key", key) ] "supervised" @@ fun () ->
   let start = now t in
   if quarantined t ~key then begin
     t.stats.quarantine_rejections <- t.stats.quarantine_rejections + 1;
     tincr t "wasp_quarantine_rejections_total";
+    slo_record t ~good:false;
     {
       result = Error (Overload, Printf.sprintf "image %S is quarantined" key);
       attempts = 0;
@@ -214,18 +234,21 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
     let max_attempts = t.config.max_retries + 1 in
     let backoff_total = ref 0 in
     let rec attempt k =
-      if k > 1 then begin
-        let d = backoff_for t ~retry:(k - 1) in
-        Cycles.Clock.advance_int (Runtime.clock t.rt) d;
-        backoff_total := !backoff_total + d;
-        t.stats.retries <- t.stats.retries + 1;
-        t.stats.backoff_cycles <- Int64.add t.stats.backoff_cycles (Int64.of_int d);
-        tincr t "wasp_retries_total";
-        tinstant t
-          ~args:[ ("attempt", string_of_int k); ("backoff", string_of_int d) ]
-          "supervisor_retry"
-      end;
+      (* the attempt span closes before any recursion, so attempt k+1 is
+         its sibling, not its child *)
       let verdict =
+        tspan ~sargs:[ ("attempt", string_of_int k) ] "attempt" @@ fun () ->
+        if k > 1 then begin
+          let d = backoff_for t ~retry:(k - 1) in
+          Cycles.Clock.advance_int (Runtime.clock t.rt) d;
+          backoff_total := !backoff_total + d;
+          t.stats.retries <- t.stats.retries + 1;
+          t.stats.backoff_cycles <- Int64.add t.stats.backoff_cycles (Int64.of_int d);
+          tincr t "wasp_retries_total";
+          tinstant t
+            ~args:[ ("attempt", string_of_int k); ("backoff", string_of_int d) ]
+            "supervisor_retry"
+        end;
         match
           Runtime.run t.rt image ?policy ?input ?args ?snapshot_key
             ?fuel:t.config.attempt_fuel ()
@@ -252,6 +275,7 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
           end
     in
     let result, attempts = attempt 1 in
+    slo_record t ~good:(match result with Ok _ -> true | Error _ -> false);
     {
       result;
       attempts;

@@ -79,6 +79,14 @@ val runtime : t -> Runtime.t
 val config : t -> config
 val stats : t -> stats
 
+val set_slo : t -> Telemetry.Slo.t option -> unit
+(** Attach an availability objective: every supervised invocation then
+    records one event — good on success, bad on an exhausted/terminal
+    failure or a quarantine rejection — re-evaluating the burn-rate
+    rules on the spot. *)
+
+val slo : t -> Telemetry.Slo.t option
+
 val run :
   t ->
   Image.t ->
@@ -95,7 +103,10 @@ val run :
     [wasp_supervised_failures_total] (plain and [class]-labeled),
     [wasp_retries_total], [wasp_quarantine_rejections_total], and the
     [wasp_quarantined_images] gauge; each retry also leaves a
-    [supervisor_retry] instant in the span stream. *)
+    [supervisor_retry] instant in the span stream. Spans: the whole
+    invocation is a [supervised] span whose children are sibling
+    [attempt] spans (backoff charged inside its attempt, so attempts
+    tile the parent exactly). *)
 
 val quarantined : t -> key:string -> bool
 (** Is [key] quarantined as of the runtime's current virtual clock? *)

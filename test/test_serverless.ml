@@ -282,6 +282,98 @@ let test_shed_off_by_default () =
   done;
   Alcotest.(check int) "no sheds counted" 0 (Serverless.Gateway.shed_count g)
 
+(* ------------------------------------------------------------------ *)
+(* Gateway tracing and SLOs                                            *)
+(* ------------------------------------------------------------------ *)
+
+let traced_gateway ?(seed = 0xACE) ?shed () =
+  let w = Wasp.Runtime.create ~seed ~clean:`Async () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  Telemetry.Hub.enable_tracing hub ~seed;
+  let g = Serverless.Gateway.create ?shed (Serverless.Vespid.create w) in
+  (w, hub, g)
+
+let span_arg k (s : Telemetry.Span.span) = List.assoc_opt k s.Telemetry.Span.args
+
+let test_gateway_trace_rooted_at_route () =
+  let _, hub, g = traced_gateway () in
+  ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+  Telemetry.Hub.clear_spans hub;
+  Alcotest.(check int) "invoke ok" 200
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  let spans = Telemetry.Span.spans (Telemetry.Hub.spans hub) in
+  let roots =
+    List.filter (fun (s : Telemetry.Span.span) -> span_arg "parent_id" s = None) spans
+  in
+  (match roots with
+  | [ r ] -> Alcotest.(check string) "root is the route span" "route" r.Telemetry.Span.name
+  | l -> Alcotest.failf "expected exactly one root span, got %d" (List.length l));
+  let root = List.hd roots in
+  let trace = Option.get (span_arg "trace_id" root) in
+  Alcotest.(check bool) "gateway, vespid and runtime share the trace" true
+    (List.for_all (fun s -> span_arg "trace_id" s = Some trace) spans);
+  (* the whole causal chain is retained: route -> invoke -> invocation
+     -> provision -> pool_acquire, linked by parent ids *)
+  List.iter
+    (fun name ->
+      Alcotest.(check bool) (name ^ " span in trace") true
+        (List.exists (fun (s : Telemetry.Span.span) -> s.Telemetry.Span.name = name) spans))
+    [ "route"; "invoke"; "invocation"; "provision"; "pool_acquire" ]
+
+let test_gateway_trace_ids_deterministic () =
+  let run () =
+    let _, hub, g = traced_gateway ~seed:11 () in
+    ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+    ignore (Serverless.Gateway.handle g (post "/invoke/ok" "hi"));
+    List.map
+      (fun (s : Telemetry.Span.span) ->
+        (s.name, span_arg "trace_id" s, span_arg "span_id" s, span_arg "parent_id" s))
+      (Telemetry.Span.spans (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check bool) "same seed, byte-identical gateway traces" true (run () = run ())
+
+let test_gateway_slo_recording () =
+  let _, hub, g =
+    traced_gateway ~shed:{ Serverless.Gateway.burst = 4; refill_per_s = 0.0001 } ()
+  in
+  ignore hub;
+  Serverless.Gateway.enable_slos g ();
+  let avail = Option.get (Serverless.Gateway.availability_slo g) in
+  let lat = Option.get (Serverless.Gateway.latency_slo g) in
+  ignore (Serverless.Gateway.handle g (post "/register/ok?entry=shout" shout_src));
+  ignore (Serverless.Gateway.handle g (post "/register/bad?entry=boom" boom_src));
+  (* 404 is the caller's mistake: no SLO event at all *)
+  ignore (Serverless.Gateway.handle g (post "/invoke/nope" "x"));
+  Alcotest.(check int) "404 not counted" 0
+    (Telemetry.Slo.good_count avail + Telemetry.Slo.bad_count avail);
+  (* success: good availability + a latency sample *)
+  ignore (Serverless.Gateway.handle g (post "/invoke/ok" "hi"));
+  Alcotest.(check int) "success is good" 1 (Telemetry.Slo.good_count avail);
+  Alcotest.(check int) "success has a latency event" 1
+    (Telemetry.Slo.good_count lat + Telemetry.Slo.bad_count lat);
+  (* failure: bad availability, no latency sample *)
+  ignore (Serverless.Gateway.handle g (post "/invoke/bad" "x"));
+  Alcotest.(check int) "500 is bad" 1 (Telemetry.Slo.bad_count avail);
+  Alcotest.(check int) "no latency for failures" 1
+    (Telemetry.Slo.good_count lat + Telemetry.Slo.bad_count lat);
+  (* exhaust the token bucket (the 404 probe burned a token too):
+     sheds are bad availability *)
+  ignore (Serverless.Gateway.handle g (post "/invoke/ok" "hi"));
+  Alcotest.(check int) "shed" 429
+    (status_of (Serverless.Gateway.handle g (post "/invoke/ok" "hi")));
+  Alcotest.(check int) "shed is bad" 2 (Telemetry.Slo.bad_count avail);
+  Alcotest.(check bool) "compliance reflects the mix" true
+    (Telemetry.Slo.compliance avail < 1.0)
+
+let test_gateway_slo_requires_hub () =
+  let w = Wasp.Runtime.create ~clean:`Async () in
+  let g = Serverless.Gateway.create (Serverless.Vespid.create w) in
+  Alcotest.(check bool) "enable_slos without a hub rejected" true
+    (match Serverless.Gateway.enable_slos g () with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
 let () =
   Alcotest.run "serverless"
     [
@@ -319,5 +411,14 @@ let () =
             test_breaker_closes_on_successful_probe;
           Alcotest.test_case "shed accounting" `Quick test_shed_accounting;
           Alcotest.test_case "shed off by default" `Quick test_shed_off_by_default;
+        ] );
+      ( "tracing-slo",
+        [
+          Alcotest.test_case "trace rooted at route span" `Quick
+            test_gateway_trace_rooted_at_route;
+          Alcotest.test_case "trace ids deterministic" `Quick
+            test_gateway_trace_ids_deterministic;
+          Alcotest.test_case "slo recording" `Quick test_gateway_slo_recording;
+          Alcotest.test_case "slo requires hub" `Quick test_gateway_slo_requires_hub;
         ] );
     ]

@@ -447,6 +447,102 @@ let record_chaos plan =
     ~return_value:r.R.return_value;
   rc
 
+(* ------------------------------------------------------------------ *)
+(* Supervision in the trace: sibling attempts, SLO wiring              *)
+(* ------------------------------------------------------------------ *)
+
+let traced_supervisor ?(config = S.default_config) () =
+  let w = R.create () in
+  let hub = Telemetry.Hub.create ~clock:(R.clock w) () in
+  R.set_telemetry w (Some hub);
+  Telemetry.Hub.enable_tracing hub ~seed:0xACE;
+  (S.create ~config w, hub)
+
+let span_arg k (s : Telemetry.Span.span) = List.assoc_opt k s.Telemetry.Span.args
+
+let test_supervisor_attempts_are_siblings () =
+  let sup, hub =
+    traced_supervisor
+      ~config:
+        {
+          S.default_config with
+          S.max_retries = 3;
+          attempt_fuel = Some 5_000;
+          quarantine_threshold = 1000;
+        }
+      ()
+  in
+  R.set_fault_plan (S.runtime sup)
+    (Some (FP.create [ (Kvmsim.Kvm.site_guest_hang, FP.Prob 1.0) ]));
+  let o = S.run sup (fib_image ()) () in
+  Alcotest.(check int) "all attempts spent" 4 o.S.attempts;
+  let spans = Telemetry.Span.spans (Telemetry.Hub.spans hub) in
+  let supervised = List.find (fun (s : Telemetry.Span.span) -> s.name = "supervised") spans in
+  let sid = Option.get (span_arg "span_id" supervised) in
+  let attempts =
+    List.filter (fun (s : Telemetry.Span.span) -> s.name = "attempt") spans
+  in
+  Alcotest.(check int) "one span per attempt" 4 (List.length attempts);
+  (* every attempt is a *direct* child of the supervised span — a fan of
+     siblings, not a recursion ladder *)
+  List.iter
+    (fun s ->
+      Alcotest.(check (option string)) "attempt parent = supervised" (Some sid)
+        (span_arg "parent_id" s))
+    attempts;
+  Alcotest.(check (list string)) "attempt numbers in order" [ "1"; "2"; "3"; "4" ]
+    (List.filter_map (span_arg "attempt") attempts);
+  (* backoff is charged inside its attempt, so attempts tile the parent *)
+  let sum =
+    List.fold_left (fun acc (s : Telemetry.Span.span) -> Int64.add acc s.duration)
+      0L attempts
+  in
+  Alcotest.(check int64) "attempts tile the supervised span"
+    supervised.Telemetry.Span.duration sum;
+  (* the retry instants carry the trace id of the supervised invocation *)
+  let trace = Option.get (span_arg "trace_id" supervised) in
+  let retries =
+    List.filter_map
+      (function
+        | Telemetry.Span.Instant { i_name = "supervisor_retry"; i_args; _ } ->
+            List.assoc_opt "trace_id" i_args
+        | _ -> None)
+      (Telemetry.Span.items (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check (list string)) "retries stamped with the trace" [ trace; trace; trace ]
+    retries
+
+let test_supervisor_slo_wiring () =
+  let sup, hub =
+    traced_supervisor
+      ~config:
+        {
+          S.default_config with
+          S.max_retries = 0;
+          attempt_fuel = Some 5_000;
+          quarantine_threshold = 2;
+        }
+      ()
+  in
+  let slo =
+    Telemetry.Slo.create ~hub ~name:"sup" ~target:0.9 ~period:100_000_000L ()
+  in
+  S.set_slo sup (Some slo);
+  let img = fib_image () in
+  let o = S.run sup img () in
+  Alcotest.(check bool) "clean run succeeds" true (Result.is_ok o.S.result);
+  Alcotest.(check int) "success recorded good" 1 (Telemetry.Slo.good_count slo);
+  R.set_fault_plan (S.runtime sup)
+    (Some (FP.create [ (Kvmsim.Kvm.site_guest_hang, FP.Prob 1.0) ]));
+  ignore (S.run sup img ());
+  ignore (S.run sup img ());
+  Alcotest.(check int) "exhausted failures recorded bad" 2 (Telemetry.Slo.bad_count slo);
+  (* image is quarantined now; the rejection is an SLO event too *)
+  Alcotest.(check bool) "quarantined" true (S.quarantined sup ~key:"fib");
+  ignore (S.run sup img ());
+  Alcotest.(check int) "quarantine rejection recorded bad" 3
+    (Telemetry.Slo.bad_count slo)
+
 let test_chaos_vxr_zero_divergence () =
   let plan () =
     FP.create ~seed:0xC4A05
@@ -510,6 +606,9 @@ let () =
             test_supervisor_success_resets_streak;
           Alcotest.test_case "retry determinism" `Quick
             test_supervisor_retry_schedule_deterministic;
+          Alcotest.test_case "attempts are sibling spans" `Quick
+            test_supervisor_attempts_are_siblings;
+          Alcotest.test_case "slo wiring" `Quick test_supervisor_slo_wiring;
         ] );
       ( "chaos-replay",
         [

@@ -373,6 +373,260 @@ let test_memory_gauges () =
   ignore (gauge "vm_page_cache_entries");
   ignore (gauge "vm_page_cache_bytes")
 
+(* --- trace context (causal request tracing) --------------------------- *)
+
+let contains hay sub =
+  let n = String.length sub and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = sub || go (i + 1)) in
+  go 0
+
+let traced_run ?(seed = 0xACE) () =
+  let w = Wasp.Runtime.create ~seed () in
+  let hub = Telemetry.Hub.create ~clock:(Wasp.Runtime.clock w) () in
+  Wasp.Runtime.set_telemetry w (Some hub);
+  Telemetry.Hub.enable_tracing hub ~seed;
+  let r = Wasp.Runtime.run w (demo_image ()) ~policy:Wasp.Policy.allow_all () in
+  (w, hub, r)
+
+let arg k (s : Telemetry.Span.span) = List.assoc_opt k s.Telemetry.Span.args
+
+let test_trace_tree () =
+  let _, hub, r = traced_run () in
+  Alcotest.(check bool) "run exited" true (exited r);
+  let spans = Telemetry.Span.spans (Telemetry.Hub.spans hub) in
+  Alcotest.(check bool) "every span has trace+span ids" true
+    (List.for_all (fun s -> arg "trace_id" s <> None && arg "span_id" s <> None) spans);
+  let root =
+    List.find (fun (s : Telemetry.Span.span) -> s.name = "invocation" && s.depth = 0) spans
+  in
+  Alcotest.(check bool) "root has no parent" true (arg "parent_id" root = None);
+  let trace = Option.get (arg "trace_id" root) in
+  Alcotest.(check bool) "one trace spans the whole invocation" true
+    (List.for_all (fun s -> arg "trace_id" s = Some trace) spans);
+  (* parent links resolve to a retained span of the same trace *)
+  let sids = List.filter_map (arg "span_id") spans in
+  Alcotest.(check bool) "span ids unique" true
+    (List.length sids = List.length (List.sort_uniq compare sids));
+  List.iter
+    (fun s ->
+      match arg "parent_id" s with
+      | None -> ()
+      | Some pid ->
+          Alcotest.(check bool)
+            (Printf.sprintf "parent of %s retained" s.Telemetry.Span.name)
+            true (List.mem pid sids))
+    spans;
+  (* conservation via parent links: the root's direct children tile it *)
+  let rid = Option.get (arg "span_id" root) in
+  let child_sum =
+    List.fold_left
+      (fun acc s ->
+        if arg "parent_id" s = Some rid then Int64.add acc s.Telemetry.Span.duration
+        else acc)
+      0L spans
+  in
+  Alcotest.(check int64) "children tile the root exactly" root.Telemetry.Span.duration
+    child_sum
+
+let test_trace_ids_deterministic () =
+  let shape hub =
+    List.map
+      (fun (s : Telemetry.Span.span) ->
+        (s.name, arg "trace_id" s, arg "span_id" s, arg "parent_id" s))
+      (Telemetry.Span.spans (Telemetry.Hub.spans hub))
+  in
+  let _, h1, _ = traced_run ~seed:7 () in
+  let _, h2, _ = traced_run ~seed:7 () in
+  let _, h3, _ = traced_run ~seed:8 () in
+  Alcotest.(check bool) "same seed, byte-identical ids" true (shape h1 = shape h2);
+  Alcotest.(check bool) "different seed, different ids" true (shape h1 <> shape h3)
+
+let test_instants_stamped () =
+  let _, hub, _ = traced_run () in
+  let instants =
+    List.filter_map
+      (function
+        | Telemetry.Span.Instant { i_name; i_args; _ } -> Some (i_name, i_args)
+        | Telemetry.Span.Complete _ -> None)
+      (Telemetry.Span.items (Telemetry.Hub.spans hub))
+  in
+  match List.assoc_opt "pool_miss" instants with
+  | None -> Alcotest.fail "expected a pool_miss instant"
+  | Some args ->
+      Alcotest.(check bool) "instant carries the active trace id" true
+        (List.mem_assoc "trace_id" args)
+
+let test_prometheus_exemplar () =
+  let _, hub, r = traced_run () in
+  let text = Telemetry.Prometheus.to_text (Telemetry.Hub.metrics hub) in
+  Alcotest.(check bool) "an exemplar suffix is rendered" true
+    (contains text " # {trace_id=\"");
+  (* the invocation histogram's exemplar resolves to the run's trace *)
+  let spans = Telemetry.Span.spans (Telemetry.Hub.spans hub) in
+  let root =
+    List.find (fun (s : Telemetry.Span.span) -> s.name = "invocation" && s.depth = 0) spans
+  in
+  let trace = Option.get (arg "trace_id" root) in
+  (match Telemetry.Metrics.find (Telemetry.Hub.metrics hub) "wasp_invocation_cycles" with
+  | Some (Telemetry.Metrics.Histogram h) -> (
+      match Telemetry.Metrics.bucket_exemplars h with
+      | [ (_, e) ] ->
+          Alcotest.(check string) "exemplar trace = invocation trace" trace
+            e.Telemetry.Metrics.e_trace;
+          Alcotest.(check int64) "exemplar value = invocation cycles"
+            r.Wasp.Runtime.cycles e.Telemetry.Metrics.e_value
+      | l -> Alcotest.failf "expected 1 exemplar, got %d" (List.length l))
+  | _ -> Alcotest.fail "missing wasp_invocation_cycles");
+  (* +Inf stays exemplar-free, per OpenMetrics practice for the closing bucket *)
+  Alcotest.(check bool) "+Inf bucket has no exemplar" false
+    (contains text "le=\"+Inf\"} 1 #")
+
+let test_labeled_histogram_export () =
+  let reg = Telemetry.Metrics.create () in
+  let ha = Telemetry.Metrics.histogram reg ~labels:[ ("fn", "alpha") ] "invoke_cycles" in
+  let hb = Telemetry.Metrics.histogram reg ~labels:[ ("fn", "beta") ] "invoke_cycles" in
+  Telemetry.Metrics.observe ha 3L;
+  Telemetry.Metrics.observe ha 3L;
+  Telemetry.Metrics.observe hb 100L;
+  Alcotest.(check bool) "series are independent" true
+    (ha.Telemetry.Metrics.h_count = 2 && hb.Telemetry.Metrics.h_count = 1);
+  let text = Telemetry.Prometheus.to_text reg in
+  Alcotest.(check bool) "family labels merged with le" true
+    (contains text "invoke_cycles_bucket{fn=\"alpha\",le=\"4\"} 2");
+  Alcotest.(check bool) "sum carries family labels" true
+    (contains text "invoke_cycles_sum{fn=\"alpha\"} 6");
+  Alcotest.(check bool) "count carries family labels" true
+    (contains text "invoke_cycles_count{fn=\"beta\"} 1")
+
+let test_registry_order_stable () =
+  let reg = Telemetry.Metrics.create () in
+  ignore (Telemetry.Metrics.counter reg "zeta");
+  ignore (Telemetry.Metrics.histogram reg ~labels:[ ("fn", "a") ] "hist");
+  ignore (Telemetry.Metrics.gauge reg "alpha");
+  (* re-registration must not reorder *)
+  ignore (Telemetry.Metrics.counter reg "zeta");
+  ignore (Telemetry.Metrics.gauge reg "alpha");
+  ignore (Telemetry.Metrics.histogram reg ~labels:[ ("fn", "a") ] "hist");
+  let names =
+    List.map
+      (function
+        | Telemetry.Metrics.Counter c -> c.Telemetry.Metrics.c_name
+        | Telemetry.Metrics.Gauge g -> g.Telemetry.Metrics.g_name
+        | Telemetry.Metrics.Histogram h -> h.Telemetry.Metrics.h_name)
+      (Telemetry.Metrics.to_list reg)
+  in
+  Alcotest.(check (list string)) "stable first-registration order"
+    [ "zeta"; "hist"; "alpha" ] names
+
+let test_chrome_flow_events () =
+  let clk = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~clock:clk () in
+  Telemetry.Hub.enable_tracing hub ~seed:42;
+  (* parent on core 0, child on core 1: a cross-core causal edge *)
+  Telemetry.Hub.enter hub "dispatch";
+  Cycles.Clock.advance clk 10L;
+  Telemetry.Hub.set_core hub 1;
+  Telemetry.Hub.with_span hub "work" (fun () -> Cycles.Clock.advance clk 5L);
+  Telemetry.Hub.set_core hub 0;
+  Telemetry.Hub.leave hub ();
+  let json = Telemetry.Chrome.to_json hub in
+  Alcotest.(check bool) "flow start event" true (contains json "\"ph\":\"s\"");
+  Alcotest.(check bool) "flow finish event" true (contains json "\"ph\":\"f\"");
+  Alcotest.(check bool) "flow category" true (contains json "\"cat\":\"wasp.flow\"")
+
+(* --- SLO burn-rate engine --------------------------------------------- *)
+
+let test_slo_fire_and_clear () =
+  let clk = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~clock:clk () in
+  let slo =
+    Telemetry.Slo.create ~hub ~name:"t" ~target:0.9
+      ~rules:
+        [
+          {
+            Telemetry.Slo.rule_name = "only";
+            long_window = 1_000L;
+            short_window = 100L;
+            burn_threshold = 2.0;
+          };
+        ]
+      ~period:10_000L ()
+  in
+  (* all-good traffic: no alert *)
+  for _ = 1 to 10 do
+    Cycles.Clock.advance clk 10L;
+    Telemetry.Slo.record slo ~good:true
+  done;
+  Alcotest.(check bool) "quiet under good traffic" false (Telemetry.Slo.alerting slo);
+  (* a bad burst: burn = 1.0 / 0.1 = 10x in both windows *)
+  for _ = 1 to 10 do
+    Cycles.Clock.advance clk 10L;
+    Telemetry.Slo.record slo ~good:false
+  done;
+  Alcotest.(check bool) "alert fires during the burst" true (Telemetry.Slo.alerting slo);
+  Alcotest.(check int) "one firing transition" 1 (Telemetry.Slo.alerts_fired slo);
+  Alcotest.(check bool) "peak burn recorded" true (Telemetry.Slo.peak_burn slo >= 2.0);
+  (* clean traffic refills the short window; the alert clears *)
+  for _ = 1 to 30 do
+    Cycles.Clock.advance clk 10L;
+    Telemetry.Slo.record slo ~good:true
+  done;
+  Alcotest.(check bool) "alert clears after recovery" false (Telemetry.Slo.alerting slo);
+  Alcotest.(check int) "one cleared transition" 1 (Telemetry.Slo.alerts_cleared slo);
+  (* transitions left instants in the span stream *)
+  let states =
+    List.filter_map
+      (function
+        | Telemetry.Span.Instant { i_name = "slo_alert"; i_args; _ } ->
+            List.assoc_opt "state" i_args
+        | _ -> None)
+      (Telemetry.Span.items (Telemetry.Hub.spans hub))
+  in
+  Alcotest.(check (list string)) "firing then cleared" [ "firing"; "cleared" ] states;
+  (* gauges exported under (slo, rule) labels *)
+  let g =
+    Telemetry.Metrics.gauge (Telemetry.Hub.metrics hub)
+      ~labels:[ ("slo", "t"); ("rule", "only") ]
+      "slo_alert_active"
+  in
+  Alcotest.(check (float 1e-9)) "alert gauge cleared" 0.0 g.Telemetry.Metrics.g_value
+
+let test_slo_latency_objective () =
+  let clk = Cycles.Clock.create () in
+  let hub = Telemetry.Hub.create ~clock:clk () in
+  let slo =
+    Telemetry.Slo.create ~hub ~name:"lat" ~objective:(Telemetry.Slo.Latency_under 100L)
+      ~target:0.99 ~period:1_000_000L ()
+  in
+  Cycles.Clock.advance clk 10L;
+  Telemetry.Slo.record_latency slo 50L;
+  Telemetry.Slo.record_latency slo 200L;
+  Alcotest.(check int) "under threshold is good" 1 (Telemetry.Slo.good_count slo);
+  Alcotest.(check int) "over threshold is bad" 1 (Telemetry.Slo.bad_count slo);
+  Alcotest.(check bool) "availability objective rejects record_latency" true
+    (match
+       Telemetry.Slo.record_latency
+         (Telemetry.Slo.create ~hub ~name:"avail" ~target:0.5 ~period:1_000L ())
+         1L
+     with
+    | () -> false
+    | exception Invalid_argument _ -> true)
+
+let test_percentile_table_slo_verdict () =
+  let out =
+    Stats.Report.percentile_table ~unit_label:"us"
+      ~slo:[ ("fast", 10.0); ("slow", 2.0) ]
+      [
+        ("fast", Array.init 100 (fun i -> float_of_int (i + 1) /. 20.0));
+        ("slow", Array.init 100 (fun i -> float_of_int (i + 1) /. 20.0));
+        ("untargeted", [| 1.0 |]);
+      ]
+  in
+  Alcotest.(check bool) "p99.9 column" true (contains out "p99.9");
+  Alcotest.(check bool) "slo column" true (contains out "slo p99 (us)");
+  Alcotest.(check bool) "met verdict" true (contains out "met");
+  Alcotest.(check bool) "missed verdict" true (contains out "MISSED")
+
 let () =
   Alcotest.run "telemetry"
     [
@@ -413,5 +667,27 @@ let () =
             test_trace_stamps_and_mirror;
           Alcotest.test_case "pool and kvm metrics" `Quick test_pool_and_kvm_metrics;
           Alcotest.test_case "paged-memory gauges" `Quick test_memory_gauges;
+        ] );
+      ( "tracectx",
+        [
+          Alcotest.test_case "one trace, parent links form a tree" `Quick test_trace_tree;
+          Alcotest.test_case "same seed, byte-identical ids" `Quick
+            test_trace_ids_deterministic;
+          Alcotest.test_case "instants carry the trace id" `Quick test_instants_stamped;
+          Alcotest.test_case "prometheus exemplar resolves" `Quick
+            test_prometheus_exemplar;
+          Alcotest.test_case "labeled histogram export" `Quick
+            test_labeled_histogram_export;
+          Alcotest.test_case "registry order stable" `Quick test_registry_order_stable;
+          Alcotest.test_case "chrome cross-core flow events" `Quick
+            test_chrome_flow_events;
+        ] );
+      ( "slo",
+        [
+          Alcotest.test_case "burn-rate alert fires and clears" `Quick
+            test_slo_fire_and_clear;
+          Alcotest.test_case "latency objective" `Quick test_slo_latency_objective;
+          Alcotest.test_case "percentile table slo verdict" `Quick
+            test_percentile_table_slo_verdict;
         ] );
     ]
