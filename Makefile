@@ -4,11 +4,11 @@
 # so they are safe to run in parallel (make -j) and leave nothing behind.
 
 BENCH_JSON_DIR ?= /tmp/wasp-bench-json
-BENCH_GATE_FIGS ?= fig12 memshare chaos_slo
+BENCH_GATE_FIGS ?= fig12 memshare chaos_slo translate
 
 .PHONY: all check test bench bench-json bench-baselines bench-gate \
 	trace-smoke sched-smoke profiler-smoke chaos-smoke slo-smoke \
-	explain-smoke fmt clean
+	explain-smoke translate-smoke fmt clean
 
 all:
 	dune build
@@ -22,6 +22,7 @@ check:
 	$(MAKE) chaos-smoke
 	$(MAKE) slo-smoke
 	$(MAKE) explain-smoke
+	$(MAKE) translate-smoke
 
 test: check
 
@@ -93,6 +94,19 @@ explain-smoke:
 	cmp $$d/a.txt $$d/b.txt || { echo "explain-smoke: same-seed explain output diverged"; exit 1; }; \
 	grep -q 'conservation: .* (exact)' $$d/a.txt \
 	  || { echo "explain-smoke: span tree does not tile the root exactly:"; cat $$d/a.txt; exit 1; }
+
+# translation smoke: a recording made under the translator must replay
+# with zero divergence on BOTH engines (the .vxr format is engine-blind),
+# and the engine-ablation bench must report zero architectural
+# divergence at a double-digit wall-clock speedup
+translate-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --record $$d/tr.vxr; \
+	dune exec bin/wasprun.exe -- --replay $$d/tr.vxr --no-translate; \
+	dune exec bin/wasprun.exe -- --replay $$d/tr.vxr; \
+	dune exec bench/main.exe -- translate > $$d/tr.txt; \
+	grep -E 'TRANSLATE-SMOKE: divergence=0 speedup=[0-9]{2,}x' $$d/tr.txt \
+	  || { echo "translate-smoke: engines diverged or speedup below 10x:"; cat $$d/tr.txt; exit 1; }
 
 # formatting gate; skipped gracefully where ocamlformat is not installed
 # (CI always runs it)

@@ -25,6 +25,7 @@ let experiments =
     ("memshare", "paged CoW snapshot restore scaling (memory refactor)", Exp_memshare.run);
     ("chaos", "fault injection: supervised vs unsupervised availability", Exp_chaos.run);
     ("chaos_slo", "SLO burn-rate alerting through a fault storm", Exp_chaos.run_slo);
+    ("translate", "interpreter vs superblock translation cache", Exp_translate.run);
     ("bechamel", "wall-clock microbenchmarks of the simulator", Bechamel_suite.run);
   ]
 

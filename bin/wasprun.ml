@@ -164,8 +164,12 @@ let check_trace path =
   | _ -> fail "top level is not an object"
 
 (* Re-execute a .vxr recording under the recorded seed/policy/fuel and
-   diff the fresh transcript against it, cycle for cycle. *)
-let replay_file path =
+   diff the fresh transcript against it, cycle for cycle. Replaying with
+   the opposite of the recording engine (--no-translate vs the default
+   translated run, or vice versa) is the cross-engine equivalence
+   check: zero divergence means interpreter and translator agree on
+   every hypercall cycle stamp. *)
+let replay_file ~translate path =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "replay: %s\n" m; 1) fmt in
   match Profiler.Replay.of_string (read_file path) with
   | exception Sys_error msg -> fail "%s" msg
@@ -188,7 +192,7 @@ let replay_file path =
               symbols = [];
             }
           in
-          let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) () in
+          let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) ~translate () in
           (* Chaos recordings carry their fault plan; re-arm an identical
              one so injected turbulence reproduces cycle-for-cycle. *)
           let plan_err = ref None in
@@ -261,10 +265,10 @@ let print_mem_stats hub w =
 
 let run file example example_fault mode allow all trace_json metrics mem_stats check
     profile profile_folded record replay seed chaos fault_plan_file repeat
-    explain_slowest =
+    explain_slowest translate =
   match (check, replay) with
   | Some path, _ -> check_trace path
-  | None, Some path -> replay_file path
+  | None, Some path -> replay_file ~translate path
   | None, None -> (
       let source =
         if example then Some example_source
@@ -312,7 +316,7 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                   prerr_endline "error: --record captures a single invocation; drop --repeat";
                   1
               | Ok plan ->
-              let w = Wasp.Runtime.create ~seed () in
+              let w = Wasp.Runtime.create ~seed ~translate () in
               (match plan with
               | Some p -> Wasp.Runtime.set_fault_plan w (Some p)
               | None -> ());
@@ -567,12 +571,30 @@ let () =
              retries, exemplars) of the $(docv) slowest invocations. Enables request \
              tracing, seeded by $(b,--seed), so the report is identical across runs")
   in
+  let translate =
+    Arg.(
+      value
+      & vflag true
+          [
+            ( true,
+              info [ "translate" ]
+                ~doc:
+                  "Execute the guest through the superblock translation cache (the \
+                   default). Simulated cycle counts are identical to the interpreter's" );
+            ( false,
+              info [ "no-translate" ]
+                ~doc:
+                  "Execute the guest through the step interpreter. Combined with \
+                   $(b,--replay) of a recording made under the default engine this is \
+                   the cross-engine zero-divergence check" );
+          ])
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
         const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
         $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed
-        $ chaos $ fault_plan $ repeat $ explain_slowest)
+        $ chaos $ fault_plan $ repeat $ explain_slowest $ translate)
   in
   exit (Cmd.eval' cmd)

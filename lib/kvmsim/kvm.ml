@@ -9,6 +9,9 @@ type system = {
       (* vCPU inside KVM_RUN right now: EPT violations taken from guest
          stores are stamped with its PC in the flight ring *)
   mutable plan : Cycles.Fault_plan.t option;
+  mutable translate : bool;
+      (* execute guests through the superblock translation cache; off =
+         pure interpreter. Cycle-identical either way. *)
 }
 
 and stats = {
@@ -31,7 +34,7 @@ let site_snapshot_corrupt = "snapshot_corrupt"
 
 type vm = { sys : system; mutable memory : Vm.Memory.t option }
 
-type vcpu = { parent : vm; cpu : Vm.Cpu.t }
+type vcpu = { parent : vm; cpu : Vm.Cpu.t; trans : Vm.Translate.t }
 
 type run_exit =
   | Hlt
@@ -40,7 +43,7 @@ type run_exit =
   | Fault of Vm.Cpu.fault
   | Out_of_fuel
 
-let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
+let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) ?(translate = true) () =
   if cores < 1 then invalid_arg "Kvm.open_dev: cores must be >= 1";
   {
     clocks = Array.init cores (fun _ -> Cycles.Clock.create ?freq_ghz ());
@@ -60,7 +63,11 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) () =
     flight = None;
     active_cpu = None;
     plan = None;
+    translate;
   }
+
+let set_translate sys on = sys.translate <- on
+let translate_enabled sys = sys.translate
 
 let clock sys = sys.clocks.(sys.cur)
 let cores sys = Array.length sys.clocks
@@ -201,12 +208,17 @@ let create_vcpu vm ~mode =
          stay in their owning core's pool shard, so guest execution is
          always billed to that core *)
       let cpu = Vm.Cpu.create ~mem:(vm_memory vm) ~mode ~clock:(clock vm.sys) in
-      { parent = vm; cpu })
+      { parent = vm; cpu; trans = Vm.Translate.create cpu })
 
 let vcpu_cpu v = v.cpu
 let vcpu_vm v = v.parent
+let vcpu_translation_stats v = Vm.Translate.stats v.trans
 
-let reset_vcpu v ~mode = Vm.Cpu.reset v.cpu ~mode
+let reset_vcpu v ~mode =
+  Vm.Cpu.reset v.cpu ~mode;
+  (* shell reuse: the pool's reset_zero already epoch-invalidates every
+     block; dropping them too keeps the table from accreting garbage *)
+  Vm.Translate.flush_cache v.trans
 
 let run ?fuel v =
   let sys = v.parent.sys in
@@ -238,6 +250,7 @@ let run ?fuel v =
                 Cycles.Clock.advance_int (clock sys) (spin * Cycles.Costs.alu);
                 Vm.Cpu.Out_of_fuel
               end
+              else if sys.translate then Vm.Translate.run ?fuel v.trans
               else Vm.Cpu.run ?fuel v.cpu)
         in
         charge sys Cycles.Costs.vmexit;

@@ -86,10 +86,19 @@ val plan_fires : system -> string -> bool
     applies the consequence. Exposed for sites that live above the KVM
     layer (the runtime's {!site_snapshot_corrupt}). *)
 
-val open_dev : ?seed:int -> ?freq_ghz:float -> ?cores:int -> unit -> system
+val open_dev :
+  ?seed:int -> ?freq_ghz:float -> ?cores:int -> ?translate:bool -> unit -> system
 (** [cores] (default 1) gives the system that many per-core virtual
     clocks; all charges land on the {e current} core's clock (see
-    {!set_core}). *)
+    {!set_core}). [translate] (default [true]) executes guests through
+    the {!Vm.Translate} superblock cache; either way the simulated
+    cycle counts are bit-for-bit identical, only wall-clock differs. *)
+
+val set_translate : system -> bool -> unit
+(** Toggle binary translation for subsequent {!run} calls (replay
+    tooling compares engines this way). *)
+
+val translate_enabled : system -> bool
 
 val clock : system -> Cycles.Clock.t
 (** The current core's clock (core 0 until {!set_core} is called). *)
@@ -145,8 +154,13 @@ val vcpu_cpu : vcpu -> Vm.Cpu.t
 
 val vcpu_vm : vcpu -> vm
 
+val vcpu_translation_stats : vcpu -> Vm.Translate.stats
+(** Counters of the vCPU's superblock cache (blocks compiled,
+    dispatches, invalidations, interpreter fallbacks). *)
+
 val reset_vcpu : vcpu -> mode:Vm.Modes.t -> unit
-(** Clear architectural state for shell reuse; memory is untouched. *)
+(** Clear architectural state for shell reuse and drop the vCPU's
+    translated blocks; memory is untouched. *)
 
 val run : ?fuel:int -> vcpu -> run_exit
 (** The [KVM_RUN] ioctl: charges syscall entry, in-kernel checks and VM

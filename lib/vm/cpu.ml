@@ -76,10 +76,15 @@ let reset t ~mode =
 
 (* Address check: guest RAM bounds are enforced by Memory; the mode's
    architectural limit (1 MB real, 4 GB protected, 1 GB mapped in long
-   mode) is enforced here, faulting like hardware would. *)
+   mode) is enforced here, faulting like hardware would.
+
+   Overflow-safe, mirroring [Memory.check]: [addr + size] wraps negative
+   for a base register near [max_int], which would slip past the limit
+   check and surface a host [Invalid_argument] instead of a guest fault.
+   [limit - size] cannot wrap once [addr >= 0] and [size >= 0]. *)
 let check_range t addr size =
   let limit = Modes.address_limit t.cpu_mode in
-  if addr < 0 || addr + size > limit then begin
+  if addr < 0 || addr > limit - size then begin
     match t.cpu_mode with
     | Modes.Long -> raise (Vm_fault (Page_fault { addr }))
     | Modes.Real | Modes.Protected -> raise (Vm_fault (Memory_oob { addr; size }))
@@ -108,6 +113,12 @@ let operand_value t : Instr.operand -> int64 = function
   | Reg r -> t.regs.(r)
   | Imm i -> Modes.mask t.cpu_mode i
 
+(* Hardware masks shift counts to the operand width: 0..31 outside long
+   mode, 0..63 in it. A single 63 mask let real/protected guests observe
+   counts 32..63 that a 32-bit machine reduces mod 32. *)
+let shift_mask t =
+  match t.cpu_mode with Modes.Real | Modes.Protected -> 31L | Modes.Long -> 63L
+
 let eval_binop t op l r pc =
   let open Int64 in
   let sl = Modes.sext t.cpu_mode l and sr = Modes.sext t.cpu_mode r in
@@ -122,9 +133,9 @@ let eval_binop t op l r pc =
   | And -> logand l r
   | Or -> logor l r
   | Xor -> logxor l r
-  | Shl -> shift_left l (to_int (logand r 63L))
-  | Shr -> shift_right_logical l (to_int (logand r 63L))
-  | Sar -> shift_right sl (to_int (logand r 63L))
+  | Shl -> shift_left l (to_int (logand r (shift_mask t)))
+  | Shr -> shift_right_logical l (to_int (logand r (shift_mask t)))
+  | Sar -> shift_right sl (to_int (logand r (shift_mask t)))
 
 let eval_cond t : Instr.cond -> bool = function
   | Eq -> t.signed_cmp = 0
@@ -148,6 +159,18 @@ let pop t =
   let v = read_mem t Instr.W64 sp in
   set_reg t Instr.sp (Int64.of_int (sp + 8));
   v
+
+(* Indirect branch targets (callr/ret) truncate to the mode width like
+   every architectural register write; a 32-bit-mode guest with a stale
+   high half lands at the masked address, it does not escape to a
+   truncated host-int one. A long-mode value still exceeding the host
+   int range clamps to the architectural limit so the next fetch faults
+   there — the same fault [Jmp] to an out-of-range target takes. *)
+let branch_target t v =
+  let v = Modes.mask t.cpu_mode v in
+  if Int64.unsigned_compare v (Int64.of_int max_int) > 0 then
+    Modes.address_limit t.cpu_mode
+  else Int64.to_int v
 
 let fetch t =
   let read_byte a =
@@ -197,10 +220,12 @@ let step_inner t start_pc : exit_reason option =
       None
   | Callr r ->
       push t (Int64.of_int next);
-      t.pc <- Int64.to_int t.regs.(r);
+      (* read the register after the push: callr through sp must see the
+         post-push stack pointer, exactly like hardware *)
+      t.pc <- branch_target t t.regs.(r);
       None
   | Ret ->
-      t.pc <- Int64.to_int (pop t);
+      t.pc <- branch_target t (pop t);
       None
   | Push src ->
       push t (operand_value t src);
@@ -248,3 +273,29 @@ let run ?(fuel = 200_000_000) t =
     end
   in
   try loop () with Vm_fault f -> Fault f | Memory.Fault { addr; size } -> Fault (Memory_oob { addr; size })
+
+(* ------------------------------------------------------------------ *)
+(* Translator support (see translate.ml)                               *)
+(* ------------------------------------------------------------------ *)
+
+let clock t = t.clock
+let regs t = t.regs
+let has_step_hook t = t.step_hook <> None
+
+let set_cmp t ~signed ~unsigned =
+  t.signed_cmp <- signed;
+  t.unsigned_cmp <- unsigned
+
+let add_retired t n = t.retired <- Int64.add t.retired (Int64.of_int n)
+
+(* Decode one instruction at [pc] without perturbing machine state:
+   faults during the fetch (out-of-range pc, truncated or invalid
+   encoding) yield [None] so the translator can end the superblock there
+   and leave the faulting fetch to the interpreter, which reports it
+   exactly as a per-step fetch would. *)
+let try_fetch t pc =
+  let saved = t.pc in
+  t.pc <- pc;
+  let r = try Some (fetch t) with Vm_fault _ | Memory.Fault _ -> None in
+  t.pc <- saved;
+  r

@@ -60,3 +60,56 @@ val run : ?fuel:int -> t -> exit_reason
 val reset : t -> mode:Modes.t -> unit
 (** Clear registers/flags/PC and switch mode (shell reuse). Guest memory
     is cleared separately by the pool. *)
+
+(** {1 Translator support}
+
+    The surface {!module:Translate} compiles against. These expose just
+    enough of the interpreter's internals for translated code to be
+    observationally identical to {!run} — same faults, same cycle
+    charges, same register truncation. Not intended for other callers. *)
+
+exception Vm_fault of fault
+(** Raised by faulting primitives below; {!run} converts it to
+    [Fault _]. The translator's dispatcher must do the same. *)
+
+val step : t -> exit_reason option
+(** Execute exactly one instruction at the current {!pc} ([None] =
+    continue). Raises {!Vm_fault} / {!Memory.Fault} with the PC rewound
+    to the faulting instruction. *)
+
+val clock : t -> Cycles.Clock.t
+val regs : t -> int64 array
+(** The live register file. Values are invariantly mode-masked; writers
+    must store masked values (or use {!set_reg}). *)
+
+val has_step_hook : t -> bool
+
+val set_cmp : t -> signed:int -> unsigned:int -> unit
+(** Set the comparison flags ([cmp]'s architectural effect). *)
+
+val add_retired : t -> int -> unit
+(** Credit [n] retired instructions (batched by translated blocks). *)
+
+val check_range : t -> int -> int -> unit
+(** [check_range t addr size] faults (mode-dependently) when the access
+    crosses the architectural limit. Overflow-safe. *)
+
+val read_mem : t -> Instr.width -> int -> int64
+val write_mem : t -> Instr.width -> int -> int64 -> unit
+val push : t -> int64 -> unit
+val pop : t -> int64
+
+val eval_binop : t -> Instr.binop -> int64 -> int64 -> int -> int64
+(** [eval_binop t op l r pc]: untruncated result; the caller masks. [pc]
+    only feeds the division-by-zero fault address. *)
+
+val eval_cond : t -> Instr.cond -> bool
+
+val branch_target : t -> int64 -> int
+(** Architectural target of an indirect branch: mode-masked, clamped to
+    the mode limit when it exceeds the host int range (the subsequent
+    fetch then faults exactly like [Jmp] out of range). *)
+
+val try_fetch : t -> int -> (Instr.t * int) option
+(** Decode the instruction at an address without touching machine state;
+    [None] when the fetch itself would fault. *)

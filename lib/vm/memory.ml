@@ -107,6 +107,8 @@ type t = {
   pages : page array;
   stamps : int array;       (* page p is dirty iff stamps.(p) = gen *)
   mutable gen : int;
+  vers : int array;         (* monotonic per-page content version (see below) *)
+  mutable epoch : int;      (* bulk content version: bumped by reset_zero *)
   mutable cow_faults : int;
   mutable zero_fills : int;
   mutable fault_hook : (shared:bool -> page:int -> unit) option;
@@ -120,6 +122,8 @@ let create ~size =
     pages = Array.make npages Zero;
     stamps = Array.make npages 0;
     gen = 1;
+    vers = Array.make npages 0;
+    epoch = 0;
     cow_faults = 0;
     zero_fills = 0;
     fault_hook = None;
@@ -139,7 +143,12 @@ let check t addr n =
 let mark t addr n =
   let first = addr lsr page_shift and last = (addr + n - 1) lsr page_shift in
   for p = first to last do
-    Array.unsafe_set t.stamps p t.gen
+    Array.unsafe_set t.stamps p t.gen;
+    (* content version: consumed by the translation cache to invalidate
+       superblocks decoded from these pages. Unlike the dirty stamps it
+       must survive [clear_dirty] — cleaning the dirty set does not
+       change page contents, rewriting them does. *)
+    Array.unsafe_set t.vers p (Array.unsafe_get t.vers p + 1)
   done
 
 let dirty_pages t =
@@ -159,6 +168,9 @@ let dirty_count t =
 (* The dirty bitmap is derived state: bumping the generation invalidates
    every stamp at once, O(1). *)
 let clear_dirty t = t.gen <- t.gen + 1
+
+let epoch t = t.epoch
+let page_version t p = Array.unsafe_get t.vers p
 
 let page_ro t p =
   match Array.unsafe_get t.pages p with
@@ -319,9 +331,12 @@ let fill_zero t =
   Array.fill t.pages 0 t.npages Zero
 
 (* Pool cleaning: drop every reference and start a fresh generation —
-   the simulated cost model still charges the memset this stands for. *)
+   the simulated cost model still charges the memset this stands for.
+   Bumping the epoch (rather than every page version) keeps the release
+   path O(1) while still invalidating every translated superblock. *)
 let reset_zero t =
   Array.fill t.pages 0 t.npages Zero;
+  t.epoch <- t.epoch + 1;
   clear_dirty t
 
 (* Publish page [p]: normalize all-zero Owned pages back to Zero, intern
@@ -431,6 +446,9 @@ let restore_image_cow t img =
   for p = 0 to t.npages - 1 do
     if Array.unsafe_get t.stamps p = t.gen then begin
       t.pages.(p) <- (if p < keep then img.i_pages.(p) else Zero);
+      (* this path replaces page contents without going through [mark];
+         bump the content version so stale superblocks are dropped *)
+      Array.unsafe_set t.vers p (Array.unsafe_get t.vers p + 1);
       incr pages;
       bytes := !bytes + min page_size (t.size - (p * page_size))
     end

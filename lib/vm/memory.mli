@@ -123,6 +123,24 @@ val dirty_count : t -> int
 
 val clear_dirty : t -> unit
 
+(** {1 Content versions}
+
+    Independent of the dirty stamps, every page carries a monotonic
+    {e content version} bumped whenever its bytes may change (stores,
+    image restores); {!reset_zero} instead bumps a memory-wide {e epoch}
+    in O(1). The translation cache ({!module:Translate}) records the
+    epoch and the versions of the pages a superblock was decoded from
+    and re-validates them before reuse, so self-modifying code and pool
+    resets invalidate exactly the stale blocks. {!clear_dirty} changes
+    neither — cleaning the dirty set does not alter contents. *)
+
+val epoch : t -> int
+(** Memory-wide content epoch; bumped by {!reset_zero}. *)
+
+val page_version : t -> int -> int
+(** Content version of page [p] (not bounds-checked; callers pass pages
+    obtained from successful accesses). *)
+
 (** {1 Fault accounting} *)
 
 val set_fault_hook : t -> (shared:bool -> page:int -> unit) option -> unit

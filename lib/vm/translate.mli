@@ -1,0 +1,42 @@
+(** Decode-once superblock translation cache for the vx CPU.
+
+    A drop-in fast path for {!Cpu.run}: basic blocks are decoded once
+    into closure-chain {e superblocks} (direct-threaded, chained on
+    fallthrough and static branch targets), keyed by [(pc, cpu_mode)]
+    and invalidated through {!Memory.page_version} / {!Memory.epoch} so
+    self-modifying code and pool resets flush exactly the stale blocks.
+
+    Observationally identical to the interpreter: same faults at the
+    same PCs, same exits, bit-for-bit identical cycle counts and retired
+    totals (exact {!Instr.cost} per instruction, batched and committed
+    at every host observation point), same fuel semantics. When a step
+    hook is installed (profiling), {!run} falls back to {!Cpu.run} so
+    the hook's one-call-per-instruction contract holds.
+
+    See [docs/translation.md] for the design. *)
+
+type t
+
+val create : Cpu.t -> t
+(** A translation cache bound to one CPU (and its memory). Blocks
+    persist across {!run} calls until invalidated. *)
+
+val run : ?fuel:int -> t -> Cpu.exit_reason
+(** Execute until a VM exit, like {!Cpu.run} (same default fuel,
+    resumable after I/O exits, PC rewound to the faulting instruction on
+    [Fault]). *)
+
+val flush_cache : t -> unit
+(** Drop every translated block (vcpu reset). Purely a performance
+    event — stale blocks are also caught by validation. *)
+
+(** {1 Introspection} *)
+
+type stats = {
+  mutable blocks_translated : int;  (** superblocks compiled (incl. retranslations) *)
+  mutable dispatches : int;         (** dispatcher entries (chained transfers excluded) *)
+  mutable invalidations : int;      (** stale blocks dropped or aborted mid-block *)
+  mutable hook_fallbacks : int;     (** runs delegated to the interpreter *)
+}
+
+val stats : t -> stats

@@ -36,8 +36,8 @@ type t = {
 }
 
 let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy)
-    ?(cores = 1) ?pool_capacity ?snapshot_capacity () =
-  let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores () in
+    ?(cores = 1) ?pool_capacity ?snapshot_capacity ?(translate = true) () =
+  let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores ~translate () in
   (* The flight recorder charges no cycles, so it stays attached for the
      runtime's whole life: every VM exit is always in the black box. *)
   Kvmsim.Kvm.set_flight sys (Some (Profiler.Flight.create ()));

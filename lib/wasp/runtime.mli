@@ -27,6 +27,7 @@ val create :
   ?cores:int ->
   ?pool_capacity:int ->
   ?snapshot_capacity:int ->
+  ?translate:bool ->
   unit ->
   t
 (** A fresh runtime. [pool] (default true) enables shell caching;
@@ -35,7 +36,10 @@ val create :
     mechanism. [cores] (default 1) gives the simulated machine that many
     per-core virtual clocks and pool shards; [pool_capacity] bounds each
     shard (default 64, LRU eviction beyond it); [snapshot_capacity]
-    bounds the snapshot store the same way (default 64 keys). *)
+    bounds the snapshot store the same way (default 64 keys).
+    [translate] (default true) runs guests through the superblock
+    translation cache — simulated cycles are identical either way, only
+    wall-clock throughput differs (profiled runs always interpret). *)
 
 val clock : t -> Cycles.Clock.t
 (** The current core's clock. *)

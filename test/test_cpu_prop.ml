@@ -26,6 +26,11 @@ let arb_case =
       let* b = gen_value in
       return (mode, op, a, b))
 
+(* hardware masks shift counts to the operand width: 31 outside long mode *)
+let shift_mask = function
+  | Vm.Modes.Real | Vm.Modes.Protected -> 31L
+  | Vm.Modes.Long -> 63L
+
 (* the reference: mode-masked storage, sign-extended signed operations *)
 let reference mode (op : Instr.binop) a b : int64 option =
   let open Int64 in
@@ -42,9 +47,9 @@ let reference mode (op : Instr.binop) a b : int64 option =
     | And -> Some (logand a' b')
     | Or -> Some (logor a' b')
     | Xor -> Some (logxor a' b')
-    | Shl -> Some (shift_left a' (to_int (logand b' 63L)))
-    | Shr -> Some (shift_right_logical a' (to_int (logand b' 63L)))
-    | Sar -> Some (shift_right (s a) (to_int (logand b' 63L)))
+    | Shl -> Some (shift_left a' (to_int (logand b' (shift_mask mode))))
+    | Shr -> Some (shift_right_logical a' (to_int (logand b' (shift_mask mode))))
+    | Sar -> Some (shift_right (s a) (to_int (logand b' (shift_mask mode))))
   in
   Option.map m result
 

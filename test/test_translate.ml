@@ -1,0 +1,386 @@
+(* Differential tests for the superblock translation cache: the
+   translator must be observationally identical to the interpreter —
+   same final registers and memory, same retired count, same exit
+   reason, and bit-for-bit identical simulated cycles — across random
+   programs, self-modifying code, and CoW-restored invocations. *)
+
+let origin = 0x8000
+
+(* ------------------------------------------------------------------ *)
+(* Differential harness                                                 *)
+(* ------------------------------------------------------------------ *)
+
+type outcome = {
+  exit : string;
+  regs : int64 array;
+  mem : bytes;
+  retired : int64;
+  cycles : int64;
+}
+
+let exit_str (e : Vm.Cpu.exit_reason) = Format.asprintf "%a" Vm.Cpu.pp_exit e
+
+(* Run [code] to completion under one engine, resuming deterministically
+   through a bounded number of I/O exits ([in] deposits a constant). *)
+let exec engine ~mode ~mem_size code =
+  let mem = Vm.Memory.create ~size:mem_size in
+  Vm.Memory.write_bytes mem ~off:origin code;
+  let clock = Cycles.Clock.create () in
+  let cpu = Vm.Cpu.create ~mem ~mode ~clock in
+  Vm.Cpu.set_pc cpu origin;
+  Vm.Cpu.set_sp cpu 0x8000;
+  let step =
+    match engine with
+    | `Interp -> fun fuel -> Vm.Cpu.run ~fuel cpu
+    | `Translate ->
+        let tr = Vm.Translate.create cpu in
+        fun fuel -> Vm.Translate.run ~fuel tr
+  in
+  let fuel = 50_000 in
+  let rec go budget =
+    let left = fuel - Int64.to_int (Vm.Cpu.instructions_retired cpu) in
+    if left <= 0 then Vm.Cpu.Out_of_fuel
+    else
+      match step left with
+      | Vm.Cpu.Io_out _ when budget > 0 -> go (budget - 1)
+      | Vm.Cpu.Io_in { reg; _ } when budget > 0 ->
+          Vm.Cpu.set_reg cpu reg 0x5A5AL;
+          go (budget - 1)
+      | e -> e
+  in
+  let e = go 32 in
+  {
+    exit = exit_str e;
+    regs = Array.init Instr.num_regs (Vm.Cpu.get_reg cpu);
+    mem = Vm.Memory.snapshot mem;
+    retired = Vm.Cpu.instructions_retired cpu;
+    cycles = Cycles.Clock.now clock;
+  }
+
+let same a b =
+  a.exit = b.exit && a.retired = b.retired && a.cycles = b.cycles && a.regs = b.regs
+  && Bytes.equal a.mem b.mem
+
+let check_same name a b =
+  Alcotest.(check string) (name ^ ": exit") a.exit b.exit;
+  Alcotest.(check int64) (name ^ ": retired") a.retired b.retired;
+  Alcotest.(check int64) (name ^ ": cycles") a.cycles b.cycles;
+  Array.iteri
+    (fun i v -> Alcotest.(check int64) (Printf.sprintf "%s: r%d" name i) v b.regs.(i))
+    a.regs;
+  Alcotest.(check bool) (name ^ ": memory") true (Bytes.equal a.mem b.mem)
+
+let both ?(mode = Vm.Modes.Long) ?(mem_size = 64 * 1024) name code =
+  let i = exec `Interp ~mode ~mem_size code in
+  let t = exec `Translate ~mode ~mem_size code in
+  check_same name i t;
+  (i, t)
+
+(* ------------------------------------------------------------------ *)
+(* Random-program fuzz (generators mirror test_isa's)                   *)
+(* ------------------------------------------------------------------ *)
+
+let gen_reg = QCheck.Gen.int_range 0 (Instr.num_regs - 1)
+
+let gen_operand =
+  QCheck.Gen.(
+    oneof
+      [
+        map (fun r -> Instr.Reg r) gen_reg;
+        map (fun i -> Instr.Imm i) (map Int64.of_int int);
+      ])
+
+let gen_binop =
+  QCheck.Gen.oneofl [ Instr.Add; Sub; Mul; Div; Rem; And; Or; Xor; Shl; Shr; Sar ]
+
+let gen_cond = QCheck.Gen.oneofl [ Instr.Eq; Ne; Lt; Le; Gt; Ge; Ult; Ule; Ugt; Uge ]
+let gen_width = QCheck.Gen.oneofl [ Instr.W8; W16; W32; W64 ]
+let gen_addr = QCheck.Gen.int_range 0 0xFFFFFF
+let gen_disp = QCheck.Gen.int_range (-4096) 4096
+let gen_port = QCheck.Gen.int_range 0 255
+
+let gen_instr : Instr.t QCheck.Gen.t =
+  QCheck.Gen.(
+    oneof
+      [
+        return Instr.Hlt;
+        return Instr.Nop;
+        return Instr.Ret;
+        map2 (fun r o -> Instr.Mov (r, o)) gen_reg gen_operand;
+        map3 (fun op r o -> Instr.Bin (op, r, o)) gen_binop gen_reg gen_operand;
+        map (fun r -> Instr.Neg r) gen_reg;
+        map (fun r -> Instr.Not r) gen_reg;
+        map2 (fun r o -> Instr.Cmp (r, o)) gen_reg gen_operand;
+        map (fun a -> Instr.Jmp a) gen_addr;
+        map2 (fun c a -> Instr.Jcc (c, a)) gen_cond gen_addr;
+        map (fun a -> Instr.Call a) gen_addr;
+        map (fun r -> Instr.Callr r) gen_reg;
+        map (fun o -> Instr.Push o) gen_operand;
+        map (fun r -> Instr.Pop r) gen_reg;
+        (let* w = gen_width and* rd = gen_reg and* rb = gen_reg and* d = gen_disp in
+         return (Instr.Load (w, rd, rb, d)));
+        (let* w = gen_width and* rb = gen_reg and* d = gen_disp and* o = gen_operand in
+         return (Instr.Store (w, rb, d, o)));
+        map3 (fun rd rb d -> Instr.Lea (rd, rb, d)) gen_reg gen_reg gen_disp;
+        map2 (fun p o -> Instr.Out (p, o)) gen_port gen_operand;
+        map2 (fun r p -> Instr.In (r, p)) gen_reg gen_port;
+        map (fun r -> Instr.Rdtsc r) gen_reg;
+      ])
+
+let gen_mode = QCheck.Gen.oneofl [ Vm.Modes.Real; Vm.Modes.Protected; Vm.Modes.Long ]
+
+let print_program (mode, instrs) =
+  Printf.sprintf "%s: %s" (Vm.Modes.to_string mode)
+    (String.concat "; " (List.map Instr.to_string instrs))
+
+let prop_differential =
+  QCheck.Test.make ~name:"random programs agree across engines" ~count:400
+    (QCheck.make ~print:print_program
+       QCheck.Gen.(pair gen_mode (list_size (int_range 1 60) gen_instr)))
+    (fun (mode, instrs) ->
+      let code = Encoding.encode_program instrs in
+      let mem_size = 64 * 1024 in
+      same (exec `Interp ~mode ~mem_size code) (exec `Translate ~mode ~mem_size code))
+
+(* ------------------------------------------------------------------ *)
+(* Directed: self-modifying code                                        *)
+(* ------------------------------------------------------------------ *)
+
+let layout instrs =
+  (* pc of each instruction when the program is loaded at [origin] *)
+  let _, pcs =
+    List.fold_left
+      (fun (pc, acc) i -> (pc + Encoding.encoded_size i, pc :: acc))
+      (origin, []) instrs
+  in
+  List.rev pcs
+
+let test_smc_same_block () =
+  (* the store overwrites the first byte of a later instruction in the
+     *same* superblock with 0x00 (hlt); both engines must halt before
+     the overwritten mov executes *)
+  let open Instr in
+  (* program shape: [mov r1, victim][st8 [r1], 0][mov r0, 1][hlt] *)
+  let shape victim =
+    [ Mov (1, Imm (Int64.of_int victim)); Store (W8, 1, 0, Imm 0L); Mov (0, Imm 1L); Hlt ]
+  in
+  (* the victim pc depends on the mov's encoded size, which depends on
+     the victim value; one fixpoint round converges (sizes stabilize) *)
+  let victim = List.nth (layout (shape 0)) 2 in
+  let prog = shape victim in
+  assert (List.nth (layout prog) 2 = victim);
+  let i, _ = both "smc same block" (Encoding.encode_program prog) in
+  Alcotest.(check string) "halts" "halt" i.exit;
+  Alcotest.(check int64) "overwritten mov never executed" 0L i.regs.(0)
+
+let test_smc_cross_block () =
+  (* pass 1 translates the victim block; pass 2 patches its first
+     instruction from another block. The stale superblock must be
+     invalidated on re-entry. *)
+  let open Instr in
+  let build victim patch =
+    [
+      Cmp (2, Imm 1L);
+      Jcc (Eq, patch);
+      Mov (2, Imm 1L);
+      Jmp victim;
+      (* patch: *)
+      Mov (1, Imm (Int64.of_int victim));
+      Store (W8, 1, 0, Imm 0L);
+      Jmp victim;
+      (* victim: *)
+      Mov (0, Imm 7L);
+      Jmp origin;
+    ]
+  in
+  (* iterate the layout to a fixpoint: label addresses feed immediate
+     sizes feed label addresses *)
+  let rec fix victim patch n =
+    let pcs = layout (build victim patch) in
+    let victim' = List.nth pcs 7 and patch' = List.nth pcs 4 in
+    if (victim', patch') = (victim, patch) || n = 0 then build victim' patch'
+    else fix victim' patch' (n - 1)
+  in
+  let prog = fix 0 0 8 in
+  let i, t = both "smc cross block" (Encoding.encode_program prog) in
+  Alcotest.(check string) "halts" "halt" i.exit;
+  Alcotest.(check int64) "pass-1 victim ran" 7L i.regs.(0);
+  ignore t
+
+(* ------------------------------------------------------------------ *)
+(* Directed: engine mechanics                                           *)
+(* ------------------------------------------------------------------ *)
+
+let make_cpu code =
+  let mem = Vm.Memory.create ~size:(64 * 1024) in
+  Vm.Memory.write_bytes mem ~off:origin code;
+  let cpu = Vm.Cpu.create ~mem ~mode:Vm.Modes.Long ~clock:(Cycles.Clock.create ()) in
+  Vm.Cpu.set_pc cpu origin;
+  Vm.Cpu.set_sp cpu 0x8000;
+  (cpu, mem)
+
+let test_hook_falls_back_to_interpreter () =
+  let open Instr in
+  let code = Encoding.encode_program [ Mov (0, Imm 1L); Nop; Nop; Hlt ] in
+  let cpu, _ = make_cpu code in
+  let tr = Vm.Translate.create cpu in
+  let hook_calls = ref 0 in
+  Vm.Cpu.set_step_hook cpu (fun ~pc:_ ~instr:_ ~cost:_ -> incr hook_calls);
+  (match Vm.Translate.run tr with
+  | Vm.Cpu.Halt -> ()
+  | other -> Alcotest.failf "expected halt, got %s" (exit_str other));
+  Alcotest.(check int) "hook fired once per retired instruction" 4 !hook_calls;
+  Alcotest.(check int64) "retired" 4L (Vm.Cpu.instructions_retired cpu);
+  Alcotest.(check int) "counted as fallback" 1 (Vm.Translate.stats tr).hook_fallbacks;
+  Alcotest.(check int) "nothing translated" 0 (Vm.Translate.stats tr).blocks_translated
+
+let test_block_reuse_and_invalidation () =
+  let open Instr in
+  let code = Encoding.encode_program [ Mov (0, Imm 1L); Hlt ] in
+  let cpu, mem = make_cpu code in
+  let tr = Vm.Translate.create cpu in
+  let run () =
+    Vm.Cpu.set_pc cpu origin;
+    match Vm.Translate.run tr with
+    | Vm.Cpu.Halt -> ()
+    | other -> Alcotest.failf "expected halt, got %s" (exit_str other)
+  in
+  run ();
+  let s = Vm.Translate.stats tr in
+  let after_first = s.blocks_translated in
+  Alcotest.(check bool) "translated something" true (after_first > 0);
+  run ();
+  Alcotest.(check int) "second run reuses the cached block" after_first
+    s.blocks_translated;
+  (* rewriting a code byte (same value, new version) must invalidate *)
+  Vm.Memory.write_u8 mem origin (Vm.Memory.read_u8 mem origin);
+  run ();
+  Alcotest.(check bool) "write to code page forces retranslation" true
+    (s.blocks_translated > after_first);
+  Alcotest.(check bool) "invalidation counted" true (s.invalidations > 0);
+  (* pool-style reset: epoch bump flushes everything *)
+  let snap = Vm.Memory.read_bytes mem ~off:origin ~len:(Bytes.length code) in
+  let before_reset = s.blocks_translated in
+  Vm.Memory.reset_zero mem;
+  Vm.Memory.write_bytes mem ~off:origin snap;
+  run ();
+  Alcotest.(check bool) "epoch bump forces retranslation" true
+    (s.blocks_translated > before_reset)
+
+let test_out_resumable_across_engines () =
+  let open Instr in
+  let prog = [ Mov (0, Imm 9L); Out (1, Reg 0); Mov (1, Reg 0); Hlt ] in
+  let code = Encoding.encode_program prog in
+  let drive run cpu =
+    (match run () with
+    | Vm.Cpu.Io_out { port = 1; value = 9L } -> ()
+    | other -> Alcotest.failf "expected out exit, got %s" (exit_str other));
+    Vm.Cpu.set_reg cpu 0 77L;
+    (match run () with
+    | Vm.Cpu.Halt -> ()
+    | other -> Alcotest.failf "expected halt, got %s" (exit_str other));
+    (Vm.Cpu.get_reg cpu 1, Vm.Cpu.instructions_retired cpu, Cycles.Clock.now (Vm.Cpu.clock cpu))
+  in
+  let cpu_i, _ = make_cpu code in
+  let ri = drive (fun () -> Vm.Cpu.run cpu_i) cpu_i in
+  let cpu_t, _ = make_cpu code in
+  let tr = Vm.Translate.create cpu_t in
+  let rt = drive (fun () -> Vm.Translate.run tr) cpu_t in
+  Alcotest.(check (triple int64 int64 int64)) "resume agrees" ri rt
+
+let test_fuel_exhaustion_matches () =
+  let open Instr in
+  (* tight infinite loop: both engines must stop at the same retired
+     count, cycles and pc *)
+  let code = Encoding.encode_program [ Jmp origin ] in
+  let cpu_i, _ = make_cpu code in
+  let ei = Vm.Cpu.run ~fuel:1000 cpu_i in
+  let cpu_t, _ = make_cpu code in
+  let tr = Vm.Translate.create cpu_t in
+  let et = Vm.Translate.run ~fuel:1000 tr in
+  Alcotest.(check string) "exit" (exit_str ei) (exit_str et);
+  Alcotest.(check int64) "retired" (Vm.Cpu.instructions_retired cpu_i)
+    (Vm.Cpu.instructions_retired cpu_t);
+  Alcotest.(check int64) "cycles"
+    (Cycles.Clock.now (Vm.Cpu.clock cpu_i))
+    (Cycles.Clock.now (Vm.Cpu.clock cpu_t));
+  Alcotest.(check int) "pc" (Vm.Cpu.pc cpu_i) (Vm.Cpu.pc cpu_t)
+
+(* ------------------------------------------------------------------ *)
+(* Runtime level: CoW restore between invocations                       *)
+(* ------------------------------------------------------------------ *)
+
+(* mirrors test_wasp's snapshot image: init loop, snapshot hypercall,
+   then argument-dependent work *)
+let snap_image =
+  Wasp.Image.of_asm_string ~name:"snap-translate"
+    {|
+  mov r10, 0
+init:
+  add r10, 1
+  cmp r10, 5000
+  jlt init
+  mov r0, 6        ; snapshot hypercall
+  out 1, r0
+  mov r1, 0
+  ld64 r1, [r1]
+  add r1, r10
+  mov r0, 0
+  out 1, r0
+|}
+
+let snap_policy = Wasp.Policy.of_list [ Wasp.Hc.snapshot ]
+
+let test_cow_restore_differential () =
+  (* `Cow reset rewrites dirtied pages between invocations while the
+     shell's translation cache persists: results and cycle counts must
+     match the interpreter exactly across all three invocations *)
+  let runs translate =
+    let w = Wasp.Runtime.create ~reset:`Cow ~translate () in
+    List.map
+      (fun arg ->
+        let r =
+          Wasp.Runtime.run w snap_image ~policy:snap_policy ~snapshot_key:"cowtr"
+            ~args:[ arg ] ()
+        in
+        (r.Wasp.Runtime.return_value, r.Wasp.Runtime.cycles, r.Wasp.Runtime.from_snapshot))
+      [ 1L; 2L; 3L ]
+  in
+  let translated = runs true and interpreted = runs false in
+  List.iteri
+    (fun i ((rv_t, cyc_t, snap_t), (rv_i, cyc_i, snap_i)) ->
+      Alcotest.(check int64) (Printf.sprintf "run %d return value" i) rv_i rv_t;
+      Alcotest.(check int64) (Printf.sprintf "run %d cycles" i) cyc_i cyc_t;
+      Alcotest.(check bool) (Printf.sprintf "run %d from_snapshot" i) snap_i snap_t)
+    (List.combine translated interpreted);
+  (* sanity: the workload actually exercised the snapshot path *)
+  match translated with
+  | [ (rv1, _, s1); (rv2, _, s2); _ ] ->
+      Alcotest.(check int64) "first run computed" 5001L rv1;
+      Alcotest.(check int64) "second run restored" 5002L rv2;
+      Alcotest.(check bool) "snapshot flags" true ((not s1) && s2)
+  | _ -> assert false
+
+let () =
+  Alcotest.run "translate"
+    [
+      ( "differential",
+        QCheck_alcotest.to_alcotest prop_differential
+        :: [
+             Alcotest.test_case "smc same block" `Quick test_smc_same_block;
+             Alcotest.test_case "smc cross block" `Quick test_smc_cross_block;
+             Alcotest.test_case "out resumable" `Quick test_out_resumable_across_engines;
+             Alcotest.test_case "fuel exhaustion" `Quick test_fuel_exhaustion_matches;
+           ] );
+      ( "engine",
+        [
+          Alcotest.test_case "hook falls back" `Quick test_hook_falls_back_to_interpreter;
+          Alcotest.test_case "reuse + invalidation" `Quick
+            test_block_reuse_and_invalidation;
+        ] );
+      ( "runtime",
+        [
+          Alcotest.test_case "cow restore differential" `Quick
+            test_cow_restore_differential;
+        ] );
+    ]

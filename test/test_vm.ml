@@ -534,6 +534,125 @@ let test_cpu_charges_cycles () =
 (* spin guard: default fuel test also proves jmp-to-self does not hang
    because of the fuel bound; keep it fast by using explicit fuel above. *)
 
+(* ------------------------------------------------------------------ *)
+(* Interpreter-semantics regressions (ISSUE 7 satellites)               *)
+(* ------------------------------------------------------------------ *)
+
+let test_cpu_check_range_overflow () =
+  (* a base register near max_int must fault at the mode limit, not wrap
+     [addr + size] negative and slip past the check into a host error *)
+  let exit, _, _, _ =
+    run_asm
+      ~setup:(fun cpu -> Vm.Cpu.set_reg cpu 1 (Int64.of_int max_int))
+      "ld64 r0, [r1]\nhlt"
+  in
+  match exit with
+  | Vm.Cpu.Fault (Vm.Cpu.Page_fault { addr }) ->
+      Alcotest.(check int) "faulting address" max_int addr
+  | other ->
+      Alcotest.failf "expected page fault, got %s"
+        (Format.asprintf "%a" Vm.Cpu.pp_exit other)
+
+let test_cpu_shift_count_mode_mask () =
+  (* hardware masks shift counts to the operand width: 31 outside long
+     mode, 63 in it *)
+  let exit, cpu, _, _ =
+    run_asm ~mode:Vm.Modes.Protected
+      "mov r0, 1\nshl r0, 33\nmov r1, 1\nshl r1, 32\nmov r2, 0x80000000\nsar r2, 63\nhlt"
+  in
+  (match exit with Vm.Cpu.Halt -> () | _ -> Alcotest.fail "halt");
+  Alcotest.(check int64) "protected: count 33 acts as 1" 2L (Vm.Cpu.get_reg cpu 0);
+  Alcotest.(check int64) "protected: count 32 acts as 0" 1L (Vm.Cpu.get_reg cpu 1);
+  Alcotest.(check int64) "protected: sar 63 acts as 31" 0xFFFFFFFFL (Vm.Cpu.get_reg cpu 2);
+  let exit, cpu, _, _ =
+    run_asm ~mode:Vm.Modes.Real ~mem_size:(2 lsl 20) "mov r0, 1\nshl r0, 32\nhlt"
+  in
+  (match exit with Vm.Cpu.Halt -> () | _ -> Alcotest.fail "halt");
+  Alcotest.(check int64) "real: count 32 acts as 0" 1L (Vm.Cpu.get_reg cpu 0);
+  let exit, cpu, _, _ = run_asm "mov r0, 1\nshl r0, 66\nmov r1, 1\nshl r1, 32\nhlt" in
+  (match exit with Vm.Cpu.Halt -> () | _ -> Alcotest.fail "halt");
+  Alcotest.(check int64) "long: count 66 acts as 2" 4L (Vm.Cpu.get_reg cpu 0);
+  Alcotest.(check int64) "long: count 32 shifts" 0x100000000L (Vm.Cpu.get_reg cpu 1)
+
+let test_cpu_ret_masks_target_real () =
+  (* memory can hold unmasked values: a 64-bit return address popped in
+     real mode must be truncated to 16 bits (landing on zeroed memory =
+     hlt), not jump to a truncated host-int address out of range *)
+  let exit, _, _, _ =
+    run_asm ~mode:Vm.Modes.Real
+      ~setup:(fun cpu ->
+        Vm.Cpu.set_sp cpu 0x7000;
+        Vm.Memory.write_u64 (Vm.Cpu.mem cpu) 0x7000 0x12345L)
+      "ret"
+  in
+  match exit with
+  | Vm.Cpu.Halt -> ()
+  | other ->
+      Alcotest.failf "expected halt at masked target, got %s"
+        (Format.asprintf "%a" Vm.Cpu.pp_exit other)
+
+let test_cpu_ret_oob_faults_at_limit () =
+  (* a long-mode return address beyond the host int range clamps to the
+     architectural limit and faults there, like jmp out of range *)
+  let exit, _, _, _ =
+    run_asm
+      ~setup:(fun cpu ->
+        Vm.Cpu.set_sp cpu 0x7000;
+        Vm.Memory.write_u64 (Vm.Cpu.mem cpu) 0x7000 Int64.min_int)
+      "ret"
+  in
+  match exit with
+  | Vm.Cpu.Fault (Vm.Cpu.Page_fault { addr }) ->
+      Alcotest.(check int) "faults at the 1 GB limit" (1 lsl 30) addr
+  | other ->
+      Alcotest.failf "expected page fault, got %s"
+        (Format.asprintf "%a" Vm.Cpu.pp_exit other)
+
+let test_cpu_callr_oob_faults_at_limit () =
+  let exit, _, _, _ =
+    run_asm ~setup:(fun cpu -> Vm.Cpu.set_reg cpu 1 Int64.min_int) "callr r1\nhlt"
+  in
+  match exit with
+  | Vm.Cpu.Fault (Vm.Cpu.Page_fault { addr }) ->
+      Alcotest.(check int) "faults at the 1 GB limit" (1 lsl 30) addr
+  | other ->
+      Alcotest.failf "expected page fault, got %s"
+        (Format.asprintf "%a" Vm.Cpu.pp_exit other)
+
+(* ------------------------------------------------------------------ *)
+(* Memory content versions (translation-cache invalidation feed)        *)
+(* ------------------------------------------------------------------ *)
+
+let test_mem_page_versions () =
+  let m = Vm.Memory.create ~size:(4 * 4096) in
+  let v0 = Vm.Memory.page_version m 0 in
+  Vm.Memory.write_u8 m 0 1;
+  Alcotest.(check bool) "write bumps the page version" true
+    (Vm.Memory.page_version m 0 > v0);
+  let v0 = Vm.Memory.page_version m 0 and v1 = Vm.Memory.page_version m 1 in
+  Vm.Memory.clear_dirty m;
+  Alcotest.(check int) "clear_dirty leaves versions alone" v0
+    (Vm.Memory.page_version m 0);
+  Vm.Memory.write_u16 m 4095 7;
+  Alcotest.(check bool) "straddling write bumps both pages" true
+    (Vm.Memory.page_version m 0 > v0 && Vm.Memory.page_version m 1 > v1);
+  let e0 = Vm.Memory.epoch m in
+  Vm.Memory.reset_zero m;
+  Alcotest.(check bool) "reset_zero bumps the epoch" true (Vm.Memory.epoch m > e0)
+
+let test_mem_restore_cow_bumps_versions () =
+  let m = Vm.Memory.create ~size:(4 * 4096) in
+  Vm.Memory.write_u8 m 0 0xAA;
+  let img = Vm.Memory.capture m in
+  Vm.Memory.clear_dirty m;
+  Vm.Memory.write_u8 m 4096 1;
+  let v0 = Vm.Memory.page_version m 0 and v1 = Vm.Memory.page_version m 1 in
+  let pages, _ = Vm.Memory.restore_image_cow m img in
+  Alcotest.(check int) "one dirty page restored" 1 pages;
+  Alcotest.(check int) "clean page version unchanged" v0 (Vm.Memory.page_version m 0);
+  Alcotest.(check bool) "restored page version bumped" true
+    (Vm.Memory.page_version m 1 > v1)
+
 let () =
   Alcotest.run "vm"
     [
@@ -609,5 +728,19 @@ let () =
           Alcotest.test_case "fuel bound" `Quick test_cpu_fuel;
           Alcotest.test_case "rdtsc monotone" `Quick test_cpu_rdtsc_monotone;
           Alcotest.test_case "cycles charged" `Quick test_cpu_charges_cycles;
+          Alcotest.test_case "range check overflow" `Quick test_cpu_check_range_overflow;
+          Alcotest.test_case "shift count mode mask" `Quick
+            test_cpu_shift_count_mode_mask;
+          Alcotest.test_case "ret masks target (real)" `Quick
+            test_cpu_ret_masks_target_real;
+          Alcotest.test_case "ret faults at limit" `Quick test_cpu_ret_oob_faults_at_limit;
+          Alcotest.test_case "callr faults at limit" `Quick
+            test_cpu_callr_oob_faults_at_limit;
+        ] );
+      ( "content-versions",
+        [
+          Alcotest.test_case "page versions" `Quick test_mem_page_versions;
+          Alcotest.test_case "restore_cow bumps versions" `Quick
+            test_mem_restore_cow_bumps_versions;
         ] );
     ]
