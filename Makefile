@@ -8,7 +8,7 @@ BENCH_GATE_FIGS ?= fig12 memshare chaos_slo translate
 
 .PHONY: all check test bench bench-json bench-baselines bench-gate \
 	trace-smoke sched-smoke profiler-smoke chaos-smoke slo-smoke \
-	explain-smoke translate-smoke fmt clean
+	explain-smoke translate-smoke vtrace-smoke fmt clean
 
 all:
 	dune build
@@ -23,6 +23,7 @@ check:
 	$(MAKE) slo-smoke
 	$(MAKE) explain-smoke
 	$(MAKE) translate-smoke
+	$(MAKE) vtrace-smoke
 
 test: check
 
@@ -107,6 +108,22 @@ translate-smoke:
 	dune exec bench/main.exe -- translate > $$d/tr.txt; \
 	grep -E 'TRANSLATE-SMOKE: divergence=0 speedup=[0-9]{2,}x' $$d/tr.txt \
 	  || { echo "translate-smoke: engines diverged or speedup below 10x:"; cat $$d/tr.txt; exit 1; }
+
+# vtrace smoke: attach a probe to a chaos recording run, require the
+# rendered table to see the workload, then replay the recording with the
+# same probe attached — the aggregate tables must be byte-identical
+# (probes are replay-stable and charge no simulated cycles)
+vtrace-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --example --chaos --record $$d/vt.vxr \
+	  --probe 'exit { count() by (reason) }' --probe-out $$d/rec.txt; \
+	grep -q '| hypercall' $$d/rec.txt \
+	  || { echo "vtrace-smoke: probe table missing hypercall exits:"; cat $$d/rec.txt; exit 1; }; \
+	dune exec bin/wasprun.exe -- --replay $$d/vt.vxr \
+	  --probe 'exit { count() by (reason) }' --probe-out $$d/rep.txt; \
+	cmp $$d/rec.txt $$d/rep.txt \
+	  || { echo "vtrace-smoke: record and replay probe tables differ"; \
+	       diff $$d/rec.txt $$d/rep.txt; exit 1; }
 
 # formatting gate; skipped gracefully where ocamlformat is not installed
 # (CI always runs it)

@@ -61,7 +61,38 @@ let make_tests () =
     Test.make ~name:"sec6.4/aes-block-encrypt"
       (Staged.stage (fun () -> ignore (Vcrypto.Aes.encrypt_block ks block ~pos:0)))
   in
-  [ t_table1; t_fig2; t_fig11; t_fig12; t_fig13; t_fig14; t_aes ]
+  (* vtrace overhead: the same virtine invocation with the probe engine
+     detached (single [None] check per site) vs. attached on the hot
+     sites.  Simulated cycles are identical by contract; this measures
+     the real-time cost. *)
+  let plain_w = Wasp.Runtime.create ~clean:`Async () in
+  let plain_c = Vcc.Compile.compile ~name:"pfib" fib_src in
+  ignore (Vcc.Compile.invoke plain_w plain_c "fib" [ 10L ] ());
+  let t_probe_off =
+    Test.make ~name:"vtrace/fib10-detached"
+      (Staged.stage (fun () ->
+           ignore (Vcc.Compile.invoke plain_w plain_c "fib" [ 10L ] ())))
+  in
+  let probed_w = Wasp.Runtime.create ~clean:`Async () in
+  let probed_c = Vcc.Compile.compile ~name:"qfib" fib_src in
+  let probes =
+    match
+      Vtrace.Engine.of_string
+        "exit { count() by (reason) }; hypercall { hist(cycles) by (nr) }; \
+         block { count() }"
+    with
+    | Ok e -> e
+    | Error m -> failwith m
+  in
+  Wasp.Runtime.set_probes probed_w (Some probes);
+  ignore (Vcc.Compile.invoke probed_w probed_c "fib" [ 10L ] ());
+  let t_probe_on =
+    Test.make ~name:"vtrace/fib10-probed"
+      (Staged.stage (fun () ->
+           ignore (Vcc.Compile.invoke probed_w probed_c "fib" [ 10L ] ())))
+  in
+  [ t_table1; t_fig2; t_fig11; t_fig12; t_fig13; t_fig14; t_aes;
+    t_probe_off; t_probe_on ]
 
 let run () =
   print_string (Stats.Report.section "Bechamel: simulator wall-clock microbenchmarks");

@@ -83,12 +83,25 @@ let split_numeric cell =
     | Some f -> Some (f, String.sub cell stop (n - stop))
     | None -> None
 
-let cell_ok ~tolerance a b =
+(* (relative drift if both cells are numeric with matching units, verdict) *)
+let cell_verdict ~tolerance a b =
   match (split_numeric a, split_numeric b) with
   | Some (x, ua), Some (y, ub) when ua = ub ->
       let scale = Float.max (Float.abs x) (Float.abs y) in
-      scale = 0.0 || Float.abs (x -. y) <= tolerance *. scale
-  | _ -> String.equal a b
+      let drift = if scale = 0.0 then 0.0 else Float.abs (x -. y) /. scale in
+      (Some drift, drift <= tolerance)
+  | _ -> (None, String.equal a b)
+
+(* One compared cell, kept for --summary-json. *)
+type cell = {
+  cl_table : string;
+  cl_row : int;
+  cl_col : string;
+  cl_baseline : string;
+  cl_fresh : string;
+  cl_drift : float option;
+  cl_ok : bool;
+}
 
 let structural_hint =
   "baseline shape differs from fresh output -- regenerate with `make bench-baselines` \
@@ -98,6 +111,7 @@ let compare_fig ~tolerance ~fig baseline fresh =
   let failures = ref [] in
   let structural = ref [] in
   let notices = ref [] in
+  let cells = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
   let misshapen fmt = Printf.ksprintf (fun m -> structural := m :: !structural) fmt in
   let notice fmt = Printf.ksprintf (fun m -> notices := m :: !notices) fmt in
@@ -135,21 +149,90 @@ let compare_fig ~tolerance ~fig baseline fresh =
               else
                 List.iteri
                   (fun ci (bc, fc) ->
-                    if not (cell_ok ~tolerance bc fc) then
+                    let drift, ok = cell_verdict ~tolerance bc fc in
+                    cells :=
+                      {
+                        cl_table = where;
+                        cl_row = ri;
+                        cl_col = List.nth b.header ci;
+                        cl_baseline = bc;
+                        cl_fresh = fc;
+                        cl_drift = drift;
+                        cl_ok = ok;
+                      }
+                      :: !cells;
+                    if not ok then
                       fail "%s row %d [%s]: %S vs fresh %S (tolerance %.0f%%)" where ri
                         (List.nth b.header ci) bc fc (tolerance *. 100.0))
                   (List.combine br fr))
             (List.combine b.rows f.rows))
       (List.combine baseline fresh);
-  (List.rev !structural, List.rev !failures, List.rev !notices)
+  (List.rev !structural, List.rev !failures, List.rev !notices, List.rev !cells)
 
-let run baseline_dir fresh_dir tolerance figs =
+(* --summary-json: a machine-readable verdict per compared cell, for the
+   CI artifact. Hand-rolled writer — the cell grammar is tiny and flat. *)
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 32 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let cell_json c =
+  Printf.sprintf
+    "{\"table\":\"%s\",\"row\":%d,\"col\":\"%s\",\"baseline\":\"%s\",\"fresh\":\"%s\",\"drift\":%s,\"ok\":%b}"
+    (json_escape c.cl_table) c.cl_row (json_escape c.cl_col)
+    (json_escape c.cl_baseline) (json_escape c.cl_fresh)
+    (match c.cl_drift with Some d -> Printf.sprintf "%.6f" d | None -> "null")
+    c.cl_ok
+
+let write_summary path ~tolerance ~figures ~structural_total ~regression_total =
+  let worst =
+    List.fold_left
+      (fun acc (_, _, cells) ->
+        List.fold_left
+          (fun acc c ->
+            match (c.cl_drift, acc) with
+            | None, _ -> acc
+            | Some d, Some w when d <= (match w.cl_drift with Some wd -> wd | None -> 0.0)
+              ->
+                acc
+            | Some _, _ -> Some c)
+          acc cells)
+      None figures
+  in
+  let fig_json (fig, status, cells) =
+    Printf.sprintf "{\"figure\":\"%s\",\"status\":\"%s\",\"cells\":[%s]}"
+      (json_escape fig) status
+      (String.concat "," (List.map cell_json cells))
+  in
+  let doc =
+    Printf.sprintf
+      "{\"tolerance\":%.6f,\"structural\":%d,\"regressions\":%d,\"worst_drift\":%s,\"figures\":[%s]}\n"
+      tolerance structural_total regression_total
+      (match worst with Some c -> cell_json c | None -> "null")
+      (String.concat "," (List.map fig_json figures))
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc
+
+let run baseline_dir fresh_dir tolerance summary_json figs =
   if figs = [] then begin
     prerr_endline "benchdiff: name at least one figure (e.g. fig12 memshare)";
     2
   end
   else begin
     let structural_total = ref 0 and regression_total = ref 0 in
+    let figures = ref [] in
     List.iter
       (fun fig ->
         let file = Printf.sprintf "BENCH_%s.json" fig in
@@ -164,24 +247,38 @@ let run baseline_dir fresh_dir tolerance figs =
             Printf.printf
               "NEW %s: no committed baseline (%s); fresh output parses -- commit it \
                with `make bench-baselines` to start gating\n"
-              fig bpath
+              fig bpath;
+            figures := (fig, "new", []) :: !figures
         | Error m, _ ->
             Printf.eprintf "benchdiff: baseline %s\n" m;
-            incr structural_total
+            incr structural_total;
+            figures := (fig, "structural", []) :: !figures
         | _, Error m ->
             Printf.eprintf "benchdiff: fresh %s\n" m;
-            incr structural_total
+            incr structural_total;
+            figures := (fig, "structural", []) :: !figures
         | Ok b, Ok f ->
-            let structural, failures, notices = compare_fig ~tolerance ~fig b f in
+            let structural, failures, notices, cells = compare_fig ~tolerance ~fig b f in
             List.iter (fun m -> Printf.printf "NOTICE %s\n" m) notices;
             List.iter (fun m -> Printf.eprintf "STRUCTURE %s\n" m) structural;
             List.iter (fun m -> Printf.eprintf "REGRESSION %s\n" m) failures;
             structural_total := !structural_total + List.length structural;
             regression_total := !regression_total + List.length failures;
+            let status =
+              if structural <> [] then "structural"
+              else if failures <> [] then "regression"
+              else "ok"
+            in
+            figures := (fig, status, cells) :: !figures;
             if structural = [] && failures = [] then
               Printf.printf "%s: ok (within %.0f%% of baseline)\n" fig
                 (tolerance *. 100.0))
       figs;
+    (match summary_json with
+    | Some path ->
+        write_summary path ~tolerance ~figures:(List.rev !figures)
+          ~structural_total:!structural_total ~regression_total:!regression_total
+    | None -> ());
     if !structural_total > 0 then begin
       Printf.eprintf "benchdiff: %s\n" structural_hint;
       2
@@ -212,10 +309,19 @@ let () =
       & info [ "tolerance" ] ~docv:"FRAC"
           ~doc:"Allowed relative drift for numeric cells (default 0.15)")
   in
+  let summary_json =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "summary-json" ] ~docv:"PATH"
+          ~doc:
+            "Write a machine-readable summary (per-cell verdicts, worst relative \
+             drift) to $(docv) for the CI artifact")
+  in
   let figs = Arg.(value & pos_all string [] & info [] ~docv:"FIG") in
   let cmd =
     Cmd.v
       (Cmd.info "benchdiff" ~doc:"compare bench JSON outputs against committed baselines")
-      Term.(const run $ baseline $ fresh $ tolerance $ figs)
+      Term.(const run $ baseline $ fresh $ tolerance $ summary_json $ figs)
   in
   exit (Cmd.eval' cmd)

@@ -163,13 +163,37 @@ let check_trace path =
       | _ -> fail "no traceEvents array")
   | _ -> fail "top level is not an object"
 
+(* --probe: compile the (repeatable, ';'-joined) probe spec. *)
+let build_probes probe =
+  match probe with
+  | [] -> Ok None
+  | specs -> (
+      match Vtrace.Engine.of_string (String.concat "; " specs) with
+      | Ok e -> Ok (Some e)
+      | Error msg -> Error msg)
+
+(* Probe output goes to --probe-out if given, stdout otherwise — the
+   same bytes either way, so recording and replay tables can be diffed. *)
+let emit_probes probes probe_out =
+  match probes with
+  | None -> ()
+  | Some e -> (
+      let text = Vtrace.Engine.render e in
+      match probe_out with
+      | Some path ->
+          write_file path text;
+          Printf.printf "probe aggregates written to %s\n" path
+      | None ->
+          print_newline ();
+          print_string text)
+
 (* Re-execute a .vxr recording under the recorded seed/policy/fuel and
    diff the fresh transcript against it, cycle for cycle. Replaying with
    the opposite of the recording engine (--no-translate vs the default
    translated run, or vice versa) is the cross-engine equivalence
    check: zero divergence means interpreter and translator agree on
    every hypercall cycle stamp. *)
-let replay_file ~translate path =
+let replay_file ~translate ~probe ~probe_out ?flight_capacity path =
   let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "replay: %s\n" m; 1) fmt in
   match Profiler.Replay.of_string (read_file path) with
   | exception Sys_error msg -> fail "%s" msg
@@ -181,6 +205,9 @@ let replay_file ~translate path =
       with
       | Error msg, _ | _, Error msg -> fail "%s" msg
       | Ok mode, Ok policy ->
+          match build_probes probe with
+          | Error msg -> fail "bad probe spec: %s" msg
+          | Ok probes ->
           let image : Wasp.Image.t =
             {
               name = Profiler.Replay.image_name recorded;
@@ -192,7 +219,11 @@ let replay_file ~translate path =
               symbols = [];
             }
           in
-          let w = Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) ~translate () in
+          let w =
+            Wasp.Runtime.create ~seed:(Profiler.Replay.seed recorded) ~translate
+              ?flight_capacity ()
+          in
+          Wasp.Runtime.set_probes w probes;
           (* Chaos recordings carry their fault plan; re-arm an identical
              one so injected turbulence reproduces cycle-for-cycle. *)
           let plan_err = ref None in
@@ -219,6 +250,7 @@ let replay_file ~translate path =
           Profiler.Replay.finish fresh ~cycles:r.Wasp.Runtime.cycles
             ~outcome:(outcome_string r.Wasp.Runtime.outcome)
             ~return_value:r.Wasp.Runtime.return_value;
+          emit_probes probes probe_out;
           (match Profiler.Replay.diff recorded fresh with
           | [] ->
               Printf.printf
@@ -265,10 +297,13 @@ let print_mem_stats hub w =
 
 let run file example example_fault mode allow all trace_json metrics mem_stats check
     profile profile_folded record replay seed chaos fault_plan_file repeat
-    explain_slowest translate =
+    explain_slowest translate probe probe_out flight_capacity =
   match (check, replay) with
+  | _ when (match flight_capacity with Some n -> n < 1 | None -> false) ->
+      prerr_endline "error: --flight-capacity must be >= 1";
+      1
   | Some path, _ -> check_trace path
-  | None, Some path -> replay_file ~translate path
+  | None, Some path -> replay_file ~translate ~probe ~probe_out ?flight_capacity path
   | None, None -> (
       let source =
         if example then Some example_source
@@ -316,7 +351,13 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                   prerr_endline "error: --record captures a single invocation; drop --repeat";
                   1
               | Ok plan ->
-              let w = Wasp.Runtime.create ~seed ~translate () in
+              match build_probes probe with
+              | Error msg ->
+                  Printf.eprintf "error: bad probe spec: %s\n" msg;
+                  1
+              | Ok probes ->
+              let w = Wasp.Runtime.create ~seed ~translate ?flight_capacity () in
+              Wasp.Runtime.set_probes w probes;
               (match plan with
               | Some p -> Wasp.Runtime.set_fault_plan w (Some p)
               | None -> ());
@@ -332,6 +373,10 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                 end
                 else None
               in
+              (match (probes, hub) with
+              | Some e, Some h ->
+                  Vtrace.Engine.set_metrics e (Some (Telemetry.Hub.metrics h))
+              | _ -> ());
               let prof =
                 if profile || profile_folded <> None then begin
                   let p = Profiler.Profile.create () in
@@ -402,6 +447,10 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
                   Printf.printf "recording written to %s (%d hypercall events)\n" path
                     (Profiler.Replay.event_count rc)
               | _ -> ());
+              (match (probes, hub) with
+              | Some e, Some h -> Vtrace.Engine.export e (Telemetry.Hub.metrics h)
+              | _ -> ());
+              emit_probes probes probe_out;
               (match hub with
               | Some h when metrics ->
                   print_newline ();
@@ -589,12 +638,38 @@ let () =
                    the cross-engine zero-divergence check" );
           ])
   in
+  let probe =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "probe" ] ~docv:"SPEC"
+          ~doc:
+            "Attach a vtrace probe (repeatable; see docs/vtrace.md), e.g. \
+             $(b,'exit { count() by (reason) }'). Probes charge zero simulated \
+             cycles; aggregate tables print after the run. Works with $(b,--replay) \
+             too, so recorded and replayed tables can be diffed")
+  in
+  let probe_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "probe-out" ] ~docv:"FILE"
+          ~doc:"Write the probe aggregate tables to $(docv) instead of stdout")
+  in
+  let flight_capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "flight-capacity" ] ~docv:"N"
+          ~doc:"Size of the VM-exit flight ring (default 128)")
+  in
   let cmd =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
         const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
         $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed
-        $ chaos $ fault_plan $ repeat $ explain_slowest $ translate)
+        $ chaos $ fault_plan $ repeat $ explain_slowest $ translate $ probe $ probe_out
+        $ flight_capacity)
   in
   exit (Cmd.eval' cmd)

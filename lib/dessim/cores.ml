@@ -79,6 +79,7 @@ type t = {
   mutable next_seq : int;
   mutable rr : int;       (* round-robin cursor for unpinned submits *)
   mutable submitted : int;
+  mutable probes : Vtrace.Engine.t option;
 }
 
 let create ?(steal = true) ?switch ?idle clocks =
@@ -102,7 +103,20 @@ let create ?(steal = true) ?switch ?idle clocks =
     next_seq = 0;
     rr = 0;
     submitted = 0;
+    probes = None;
   }
+
+let set_probes t e = t.probes <- e
+
+(* vtrace scheduler sites; fired outside the clocks' charged windows so
+   they never perturb the schedule. *)
+let fire t site ~core ~reason ~cycles ~nr =
+  match t.probes with
+  | None -> ()
+  | Some e ->
+      ignore
+        (Vtrace.Engine.fire e
+           (Vtrace.Ctx.make ~core ~reason ~cycles ~nr:(Int64.of_int nr) site))
 
 let cores t = Array.length t.clocks
 let core_stats t = t.per_core
@@ -180,7 +194,10 @@ let step t =
       (match Heap.pop t.queues.(src) with
       | Some popped -> assert (popped.seq = task.seq)
       | None -> assert false);
-      if src <> c then t.per_core.(c).stolen <- t.per_core.(c).stolen + 1;
+      if src <> c then begin
+        t.per_core.(c).stolen <- t.per_core.(c).stolen + 1;
+        fire t "steal" ~core:c ~reason:"steal" ~cycles:0L ~nr:src
+      end;
       let clk = t.clocks.(c) in
       let nw = Cycles.Clock.now clk in
       if Int64.compare task.at nw > 0 then begin
@@ -195,14 +212,20 @@ let step t =
         let s = t.per_core.(c) in
         s.idle_cycles <- Int64.add s.idle_cycles window;
         s.reclaim_cycles <- Int64.add s.reclaim_cycles (Int64.of_int spent);
-        Cycles.Clock.advance clk window
+        Cycles.Clock.advance clk window;
+        fire t "idle" ~core:c ~reason:"wait" ~cycles:window ~nr:spent
       end;
       (match t.switch with Some f -> f c | None -> ());
       let before = Cycles.Clock.now clk in
       task.fn ~core:c;
       let s = t.per_core.(c) in
-      s.busy_cycles <- Int64.add s.busy_cycles (Cycles.Clock.elapsed_since clk before);
+      let busy = Cycles.Clock.elapsed_since clk before in
+      s.busy_cycles <- Int64.add s.busy_cycles busy;
       s.executed <- s.executed + 1;
+      fire t "sched"
+        ~core:c
+        ~reason:(if src <> c then "stolen" else "local")
+        ~cycles:busy ~nr:task.seq;
       true
 
 let run t = while step t do () done

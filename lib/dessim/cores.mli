@@ -62,3 +62,12 @@ val steals : t -> int
 val core_stats : t -> core_stats array
 val utilization : t -> core:int -> float
 (** [busy / (busy + idle)]; 0 before the core has done anything. *)
+
+val set_probes : t -> Vtrace.Engine.t option -> unit
+(** Attach (or detach) a vtrace probe engine. Sites: ["sched"] after each
+    task runs ([core] = executing core, [reason] = [local]/[stolen],
+    [cycles] = the task's busy window, [nr] = its submission sequence),
+    ["steal"] when a task migrates ([nr] = victim core) and ["idle"] for
+    each accounted wait window ([cycles] = the window, [nr] = the cycles
+    the idle hook consumed). Probes fire outside the charged windows and
+    never perturb the schedule. *)

@@ -12,6 +12,14 @@ type system = {
   mutable translate : bool;
       (* execute guests through the superblock translation cache; off =
          pure interpreter. Cycle-identical either way. *)
+  mutable probes : Vtrace.Engine.t option;
+  mutable hc_port : int option;
+      (* the hypercall port, when a runtime above us declared one:
+         Io_out exits on it fire vtrace "exit" probes as "hypercall" *)
+  mutable block_probe : (pc:int -> unit) option;
+      (* prebuilt superblock-entry observer, installed on each vCPU's
+         translation cache while running; None unless a block probe is
+         attached *)
 }
 
 and stats = {
@@ -64,6 +72,9 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) ?(translate = true) () =
     active_cpu = None;
     plan = None;
     translate;
+    probes = None;
+    hc_port = None;
+    block_probe = None;
   }
 
 let set_translate sys on = sys.translate <- on
@@ -109,6 +120,23 @@ let active_trace sys =
   | None -> None
   | Some h -> Telemetry.Hub.current_trace h
 
+let set_hc_port sys port = sys.hc_port <- port
+
+let set_probes sys e =
+  sys.probes <- e;
+  sys.block_probe <-
+    (match e with
+    | Some eng when Vtrace.Engine.wants eng "block" ->
+        Some
+          (fun ~pc ->
+            ignore
+              (Vtrace.Engine.fire eng
+                 (Vtrace.Ctx.make ~core:sys.cur ?trace:(active_trace sys) ~pc
+                    "block")))
+    | _ -> None)
+
+let probes sys = sys.probes
+
 let note_injection sys site =
   sys.stats.injected_faults <- sys.stats.injected_faults + 1;
   (match sys.telemetry with
@@ -120,14 +148,22 @@ let note_injection sys site =
       Telemetry.Metrics.incr
         (Telemetry.Metrics.counter m ~help ~labels:[ ("site", site) ]
            "wasp_faults_injected_total"));
-  match sys.flight with
+  (match sys.flight with
   | None -> ()
   | Some fr ->
       let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
       Profiler.Flight.record fr
         ?trace:(active_trace sys)
         ~at:(Cycles.Clock.now (clock sys))
-        ~core:sys.cur ~pc (Profiler.Flight.Injected site)
+        ~core:sys.cur ~pc (Profiler.Flight.Injected site));
+  match sys.probes with
+  | None -> ()
+  | Some e ->
+      let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
+      ignore
+        (Vtrace.Engine.fire e
+           (Vtrace.Ctx.make ~core:sys.cur ?trace:(active_trace sys) ~pc
+              ~reason:site "inject"))
 
 let plan_fires sys site =
   match sys.plan with
@@ -169,17 +205,27 @@ let on_page_fault sys ~shared ~page =
   if shared then begin
     sys.stats.ept_violations <- sys.stats.ept_violations + 1;
     kincr sys "kvm_ept_violations_total";
-    Cycles.Clock.advance_int (clock sys)
-      (Cycles.Costs.ept_violation + Cycles.Costs.memcpy_cost Vm.Memory.page_size);
-    match sys.flight with
+    let cost =
+      Cycles.Costs.ept_violation + Cycles.Costs.memcpy_cost Vm.Memory.page_size
+    in
+    Cycles.Clock.advance_int (clock sys) cost;
+    let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
+    (match sys.flight with
     | None -> ()
     | Some fr ->
-        let pc = match sys.active_cpu with Some cpu -> Vm.Cpu.pc cpu | None -> 0 in
         Profiler.Flight.record fr
           ?trace:(active_trace sys)
           ~at:(Cycles.Clock.now (clock sys))
           ~core:sys.cur ~pc
-          (Profiler.Flight.Ept { page })
+          (Profiler.Flight.Ept { page }));
+    match sys.probes with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Vtrace.Engine.fire e
+             (Vtrace.Ctx.make ~core:sys.cur ?trace:(active_trace sys) ~pc
+                ~reason:"cow_break" ~cycles:(Int64.of_int cost)
+                ~nr:(Int64.of_int page) "ept"))
   end
 
 let set_user_memory_region vm ~size =
@@ -224,6 +270,8 @@ let run ?fuel v =
   let sys = v.parent.sys in
   sys.stats.runs <- sys.stats.runs + 1;
   kincr sys "kvm_runs_total";
+  let t0 = Cycles.Clock.now (clock sys) in
+  Vm.Translate.set_block_hook v.trans sys.block_probe;
   let exit =
     kspan sys "vcpu_run" (fun () ->
         charge sys (Cycles.Costs.ioctl_syscall + Cycles.Costs.kvm_run_checks + Cycles.Costs.vmentry);
@@ -265,26 +313,53 @@ let run ?fuel v =
           ~at:(Cycles.Clock.now (clock sys))
           ~core:sys.cur ~pc:(Vm.Cpu.pc v.cpu) kind
   in
+  (* vtrace "exit" site: fires after the flight entry so a matching
+     probe can stamp it; charges nothing. [cycles] is this KVM_RUN's
+     entry-to-exit duration on the current core's clock. *)
+  let fire_exit reason nr =
+    match sys.probes with
+    | None -> ()
+    | Some e ->
+        let fired =
+          Vtrace.Engine.fire e
+            (Vtrace.Ctx.make ~core:sys.cur ?trace:(active_trace sys)
+               ~pc:(Vm.Cpu.pc v.cpu) ~reason
+               ~cycles:(Int64.sub (Cycles.Clock.now (clock sys)) t0)
+               ~fuel:(Option.value fuel ~default:0)
+               ~nr "exit")
+        in
+        if fired > 0 then
+          match sys.flight with
+          | None -> ()
+          | Some fr -> Profiler.Flight.append_note fr "vtrace"
+  in
   match exit with
   | Vm.Cpu.Halt ->
       record_exit Profiler.Flight.Halt;
+      fire_exit "hlt" 0L;
       Hlt
   | Vm.Cpu.Io_out { port; value } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
       kincr sys "kvm_io_exits_total";
       record_exit (Profiler.Flight.Io_out { port; value });
+      (match sys.hc_port with
+      | Some p when p = port -> fire_exit "hypercall" value
+      | _ -> fire_exit "io_out" (Int64.of_int port));
       Io_out { port; value }
   | Vm.Cpu.Io_in { port; reg } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
       kincr sys "kvm_io_exits_total";
       record_exit (Profiler.Flight.Io_in { port });
+      fire_exit "io_in" (Int64.of_int port);
       Io_in { port; reg }
   | Vm.Cpu.Fault f ->
       sys.stats.fault_exits <- sys.stats.fault_exits + 1;
       kincr sys "kvm_fault_exits_total";
       record_exit
         (Profiler.Flight.Fault (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f)));
+      fire_exit "fault" 0L;
       Fault f
   | Vm.Cpu.Out_of_fuel ->
       record_exit Profiler.Flight.Fuel;
+      fire_exit "fuel" 0L;
       Out_of_fuel

@@ -130,6 +130,26 @@ val set_flight : system -> Profiler.Flight.t option -> unit
 
 val flight : system -> Profiler.Flight.t option
 
+val set_probes : system -> Vtrace.Engine.t option -> unit
+(** Attach (or detach) a vtrace probe engine. Sites fired by this layer:
+    ["exit"] (every {!run} return — reason [hlt]/[io_out]/[io_in]/
+    [fault]/[fuel], or [hypercall] with [nr] = the hypercall number when
+    the out port matches {!set_hc_port}; [cycles] = the run's
+    entry-to-exit duration), ["ept"] (CoW break; [nr] = page, [cycles] =
+    charged cost), ["inject"] (fault-plan fire; [reason] = site) and
+    ["block"] (superblock entry under the translated engine — installed
+    as a {!Vm.Translate} block hook, so it does {e not} force the
+    interpreter fallback). When an ["exit"] probe fires, the flight
+    ring's newest entry is annotated ["vtrace"]. Probes charge zero
+    simulated cycles; detached sites cost one [None] check. *)
+
+val probes : system -> Vtrace.Engine.t option
+
+val set_hc_port : system -> int option -> unit
+(** Declare the hypercall port (the runtime above passes its [Hc.port]):
+    [Io_out] exits on it fire ["exit"] probes with reason ["hypercall"]
+    and [nr] = the value written (the hypercall number). *)
+
 val create_vm : system -> vm
 (** [KVM_CREATE_VM]: charges the in-kernel allocation cost. *)
 

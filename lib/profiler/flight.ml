@@ -49,6 +49,11 @@ let record t ?trace ~at ~core ~pc kind =
 
 let annotate_last t note = match t.last with Some e -> e.note <- note | None -> ()
 
+let append_note t note =
+  match t.last with
+  | None -> ()
+  | Some e -> e.note <- (if e.note = "" then note else e.note ^ "; " ^ note)
+
 (* Oldest-first list of retained entries. *)
 let entries t =
   let n = count t in

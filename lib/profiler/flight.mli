@@ -56,6 +56,11 @@ val annotate_last : t -> string -> unit
 (** Attach hypervisor context (e.g. "write(1, 0x80, 5) -> 5") to the most
     recently recorded exit. *)
 
+val append_note : t -> string -> unit
+(** Like {!annotate_last} but appends (["; "]-separated) instead of
+    replacing, so several observers (hypercall dispatch, vtrace probes)
+    can stamp the same exit without clobbering each other. *)
+
 val entries : t -> entry list
 (** Retained entries, oldest first. *)
 

@@ -50,6 +50,11 @@ val begin_invocation : t -> symbols:(string * int) list -> clock:Cycles.Clock.t 
 val on_step : t -> pc:int -> instr:Instr.t -> cost:int -> unit
 (** The vCPU step hook target (see [Vm.Cpu.set_step_hook]). *)
 
+val opcode_key : Instr.t -> string
+(** Short mnemonic for an instruction ("mov", "add", …) — the key the
+    per-opcode table buckets by; also used by vtrace ["instr"] probes as
+    their [reason] field. *)
+
 val end_invocation : t -> execute_cycles:int64 -> unit
 (** Called after the execute phase with the span's duration; books the
     non-guest residue as [\[vmm\]] cycles. *)

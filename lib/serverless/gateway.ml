@@ -108,6 +108,22 @@ let slo_latency t cycles =
 let tincr t name =
   match hub t with Some h -> Telemetry.Hub.incr h name | None -> ()
 
+(* vtrace "gateway" site: one fire per admission decision. *)
+let fire t ~fn ~reason ~cycles =
+  match Wasp.Runtime.probes (Vespid.runtime t.platform) with
+  | None -> ()
+  | Some e ->
+      let trace =
+        match hub t with
+        | None -> None
+        | Some h -> Telemetry.Hub.current_trace h
+      in
+      ignore
+        (Vtrace.Engine.fire e
+           (Vtrace.Ctx.make
+              ~core:(Wasp.Runtime.current_core (Vespid.runtime t.platform))
+              ?trace ~fn ~reason ~cycles "gateway"))
+
 let breaker_for t name =
   match Hashtbl.find_opt t.breakers name with
   | Some b -> b
@@ -211,6 +227,7 @@ let invoke t name body =
   if not (try_take_token t) then begin
     t.shed_count <- t.shed_count + 1;
     tincr t "gateway_shed_total";
+    fire t ~fn:name ~reason:"shed" ~cycles:0L;
     slo_availability t ~good:false;
     respond ~status:429 "overloaded, request shed\n"
   end
@@ -229,6 +246,7 @@ let invoke t name body =
     | Open ->
         t.breaker_rejections <- t.breaker_rejections + 1;
         tincr t "gateway_breaker_rejections_total";
+        fire t ~fn:name ~reason:"breaker" ~cycles:0L;
         slo_availability t ~good:false;
         respond ~status:503 (Printf.sprintf "circuit open for %s\n" name)
     | Closed | Half_open -> (
@@ -240,15 +258,18 @@ let invoke t name body =
         with
         | Ok out, cycles ->
             note_success t name b;
+            fire t ~fn:name ~reason:"ok" ~cycles;
             slo_availability t ~good:true;
             slo_latency t cycles;
             respond ~status:200 out
-        | Error e, _ ->
+        | Error e, cycles ->
             note_failure t name b;
+            fire t ~fn:name ~reason:"error" ~cycles;
             slo_availability t ~good:false;
             respond ~status:500 (Printf.sprintf "function error: %s\n" e)
         | exception Vespid.Unknown_function _ ->
             (* a bad name says nothing about the function's health *)
+            fire t ~fn:name ~reason:"not_found" ~cycles:0L;
             respond ~status:404 (Printf.sprintf "no such function: %s\n" name))
   end
 

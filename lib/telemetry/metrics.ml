@@ -3,6 +3,7 @@ type counter = {
   c_help : string;
   c_labels : (string * string) list;
   mutable c_value : int;
+  c_bad : int ref;  (* the registry's shared bad-sample tally *)
 }
 
 type gauge = {
@@ -10,6 +11,7 @@ type gauge = {
   g_help : string;
   g_labels : (string * string) list;
   mutable g_value : float;
+  g_bad : int ref;
 }
 
 type exemplar = { e_trace : string; e_value : int64 }
@@ -24,15 +26,20 @@ type histogram = {
   mutable h_sum : int64;
   mutable h_min : int64;
   mutable h_max : int64;
+  h_bad : int ref;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
 
-type t = { tbl : (string, metric) Hashtbl.t; mutable order : string list (* newest first *) }
+type t = {
+  tbl : (string, metric) Hashtbl.t;
+  mutable order : string list;  (* newest first *)
+  bad : int ref;  (* rejected samples across all series *)
+}
 
 let num_buckets = 63
 
-let create () = { tbl = Hashtbl.create 32; order = [] }
+let create () = { tbl = Hashtbl.create 32; order = []; bad = ref 0 }
 
 (* [order] records first registration only: re-registering a key (e.g. a
    lookup racing a replace) must not move it, or exposition order would
@@ -59,7 +66,9 @@ let counter t ?(help = "") ?(labels = []) name =
   | Some (Counter c) -> c
   | Some _ -> invalid_arg ("Metrics.counter: " ^ key ^ " is not a counter")
   | None ->
-      let c = { c_name = name; c_help = help; c_labels = labels; c_value = 0 } in
+      let c =
+        { c_name = name; c_help = help; c_labels = labels; c_value = 0; c_bad = t.bad }
+      in
       register t key (Counter c);
       c
 
@@ -69,7 +78,9 @@ let gauge t ?(help = "") ?(labels = []) name =
   | Some (Gauge g) -> g
   | Some _ -> invalid_arg ("Metrics.gauge: " ^ key ^ " is not a gauge")
   | None ->
-      let g = { g_name = name; g_help = help; g_labels = labels; g_value = 0.0 } in
+      let g =
+        { g_name = name; g_help = help; g_labels = labels; g_value = 0.0; g_bad = t.bad }
+      in
       register t key (Gauge g);
       g
 
@@ -90,13 +101,22 @@ let histogram t ?(help = "") ?(labels = []) name =
           h_sum = 0L;
           h_min = Int64.max_int;
           h_max = 0L;
+          h_bad = t.bad;
         }
       in
       register t key (Histogram h);
       h
 
-let incr ?(by = 1) c = c.c_value <- c.c_value + by
-let set g v = g.g_value <- v
+(* Bad samples (negative counter increments, NaN gauge values, negative
+   histogram observations) never corrupt a series: counters stay
+   monotone, gauges keep their last good value, observations clamp to
+   zero. Each rejection bumps the registry-wide tally, exported as
+   [telemetry_bad_samples_total] once nonzero. *)
+let incr ?(by = 1) c =
+  if by < 0 then c.c_bad := !(c.c_bad) + 1 else c.c_value <- c.c_value + by
+
+let set g v =
+  if Float.is_nan v then g.g_bad := !(g.g_bad) + 1 else g.g_value <- v
 
 (* Bucket 0 holds zeros; bucket i >= 1 holds [2^(i-1), 2^i). *)
 let bucket_index v =
@@ -114,7 +134,13 @@ let bucket_bounds i =
   (lo, hi)
 
 let observe ?exemplar h v =
-  let v = if Int64.compare v 0L < 0 then 0L else v in
+  let v =
+    if Int64.compare v 0L < 0 then begin
+      h.h_bad := !(h.h_bad) + 1;
+      0L
+    end
+    else v
+  in
   let i = bucket_index v in
   h.h_buckets.(i) <- h.h_buckets.(i) + 1;
   (match exemplar with
@@ -181,7 +207,37 @@ let bucket_exemplars h =
   done;
   !acc
 
-let find t name = Hashtbl.find_opt t.tbl name
+let bad_samples t = !(t.bad)
+
+(* [telemetry_bad_samples_total] materializes lazily, on the first read
+   after a rejection: registering it eagerly in [create] would put it at
+   the head of every exposition whether or not anything misbehaved. *)
+let sync_bad t =
+  if !(t.bad) > 0 then begin
+    let key = "telemetry_bad_samples_total" in
+    let c =
+      match Hashtbl.find_opt t.tbl key with
+      | Some (Counter c) -> c
+      | Some _ | None ->
+          let c =
+            {
+              c_name = key;
+              c_help = "samples rejected by the registry (negative increment, NaN gauge, negative observation)";
+              c_labels = [];
+              c_value = 0;
+              c_bad = t.bad;
+            }
+          in
+          register t key (Counter c);
+          c
+    in
+    c.c_value <- !(t.bad)
+  end
+
+let find t name =
+  sync_bad t;
+  Hashtbl.find_opt t.tbl name
 
 let to_list t =
+  sync_bad t;
   List.rev_map (fun name -> Hashtbl.find t.tbl name) t.order

@@ -14,6 +14,7 @@ type counter = private {
   c_help : string;
   c_labels : (string * string) list;  (** Prometheus-style label set; [[]] = plain *)
   mutable c_value : int;
+  c_bad : int ref;  (** the owning registry's shared bad-sample tally *)
 }
 
 type gauge = private {
@@ -21,6 +22,7 @@ type gauge = private {
   g_help : string;
   g_labels : (string * string) list;
   mutable g_value : float;
+  g_bad : int ref;
 }
 
 type exemplar = { e_trace : string; e_value : int64 }
@@ -38,6 +40,7 @@ type histogram = private {
   mutable h_sum : int64;
   mutable h_min : int64;
   mutable h_max : int64;
+  h_bad : int ref;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -63,12 +66,25 @@ val histogram : t -> ?help:string -> ?labels:(string * string) list -> string ->
     label set. *)
 
 val incr : ?by:int -> counter -> unit
+(** Counters are monotone: a negative [by] is rejected (the value is
+    unchanged) and counted as a bad sample. *)
+
 val set : gauge -> float -> unit
+(** A NaN value is rejected — the gauge keeps its last good value — and
+    counted as a bad sample. *)
 
 val observe : ?exemplar:string -> histogram -> int64 -> unit
-(** Record one sample (negative values count as 0). [exemplar] is the
-    active trace id; when given, it replaces the landing bucket's
-    exemplar so every bucket remembers its most recent traced sample. *)
+(** Record one sample. A negative value clamps to 0 and is counted as a
+    bad sample. [exemplar] is the active trace id; when given, it
+    replaces the landing bucket's exemplar so every bucket remembers its
+    most recent traced sample. *)
+
+val bad_samples : t -> int
+(** Samples rejected so far (negative counter increments, NaN gauge
+    values, negative observations). Once nonzero, the registry exports a
+    [telemetry_bad_samples_total] counter carrying this tally; it is
+    materialized on the first {!find}/{!to_list} after a rejection so a
+    clean run's exposition is unchanged. *)
 
 val percentile : histogram -> float -> float
 (** [percentile h p] with [p] in [0,100]; 0.0 on an empty histogram.

@@ -63,6 +63,7 @@ type t = {
   mutable steps : int;    (* instructions retired but not yet committed *)
   mutable fuel : int;
   mutable cur_pc : int;   (* start pc of the instruction in flight *)
+  mutable block_hook : (pc:int -> unit) option;
   stats : stats;
 }
 
@@ -77,12 +78,14 @@ let create cpu =
     steps = 0;
     fuel = 0;
     cur_pc = 0;
+    block_hook = None;
     stats =
       { blocks_translated = 0; dispatches = 0; invalidations = 0; hook_fallbacks = 0 };
   }
 
 let stats t = t.stats
 let flush_cache t = Hashtbl.reset t.table
+let set_block_hook t h = t.block_hook <- h
 
 (* Commit batched charges. Idempotent; called at every observation
    point. After this, Clock.now and instructions_retired read exactly
@@ -183,6 +186,9 @@ and translate tr pc0 =
   let goto target =
     let slot = { s_blk = None } in
     fun () ->
+      (* chained static edges bypass the dispatch loop, so block-entry
+         observers must also fire here *)
+      (match tr.block_hook with None -> () | Some f -> f ~pc:target);
       match slot.s_blk with
       | Some b when block_valid tr b -> b.b_exec ()
       | _ ->
@@ -562,6 +568,7 @@ let run ?(fuel = default_fuel) tr =
     tr.cur_pc <- Cpu.pc cpu;
     let rec loop () =
       tr.stats.dispatches <- tr.stats.dispatches + 1;
+      (match tr.block_hook with None -> () | Some f -> f ~pc:(Cpu.pc cpu));
       let b = lookup tr (Cpu.pc cpu) in
       match b.b_exec () with Some exit -> exit | None -> loop ()
     in

@@ -30,6 +30,15 @@ val flush_cache : t -> unit
 (** Drop every translated block (vcpu reset). Purely a performance
     event — stale blocks are also caught by validation. *)
 
+val set_block_hook : t -> (pc:int -> unit) option -> unit
+(** Install (or clear) a block-entry observer: called once per
+    superblock entered — both dispatcher entries and chained static
+    transfers — with the block's start pc. Unlike a {!Cpu} step hook
+    this does {e not} force the interpreter fallback: the hook fires at
+    superblock boundaries, which is exactly the granularity the
+    translated engine preserves. The hook must not mutate guest state
+    or advance clocks (vtrace block probes rely on this). *)
+
 (** {1 Introspection} *)
 
 type stats = {

@@ -39,6 +39,7 @@ type t = {
   mutable policy : reclaim_policy;
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
+  mutable probes : Vtrace.Engine.t option;
 }
 
 let create ?(capacity = 64) sys ~clean =
@@ -62,11 +63,29 @@ let create ?(capacity = 64) sys ~clean =
         stall_cycles = 0L;
       };
     telemetry = None;
+    probes = None;
   }
 
 let stats t = t.stats
 
 let set_telemetry t hub = t.telemetry <- hub
+let set_probes t e = t.probes <- e
+
+(* vtrace pool sites; zero simulated cycles, one [None] check detached. *)
+let fire t site ~reason ~cycles ~nr =
+  match t.probes with
+  | None -> ()
+  | Some e ->
+      let trace =
+        match t.telemetry with
+        | None -> None
+        | Some h -> Telemetry.Hub.current_trace h
+      in
+      ignore
+        (Vtrace.Engine.fire e
+           (Vtrace.Ctx.make
+              ~core:(Kvmsim.Kvm.current_core t.sys)
+              ?trace ~reason ~cycles ~nr:(Int64.of_int nr) site))
 
 let set_reclaim_policy t policy = t.policy <- policy
 let reclaim_policy t = t.policy
@@ -133,7 +152,8 @@ let evict_lru t shard =
           l := List.rev rest_rev;
           shard.cached_count <- shard.cached_count - 1;
           t.stats.evicted <- t.stats.evicted + 1;
-          tincr t "wasp_pool_evictions_total")
+          tincr t "wasp_pool_evictions_total";
+          fire t "pool_evict" ~reason:"lru" ~cycles:0L ~nr:mem_size)
 
 (* Return a cleaned shell to its shard's cache, evicting the LRU entry
    when the shard is over capacity. *)
@@ -192,7 +212,9 @@ let acquire t ~mem_size ~mode =
   in
   let result =
     match pop_cached shard mem_size with
-    | Some shell -> hit shell
+    | Some shell ->
+        fire t "pool_acquire" ~reason:"hit" ~cycles:0L ~nr:mem_size;
+        hit shell
     | None -> (
         match take_pending shard mem_size with
         | Some p ->
@@ -214,9 +236,12 @@ let acquire t ~mem_size ~mode =
                   "clean_stall"
             | None -> ());
             note_reclaim t shard;
+            fire t "pool_acquire" ~reason:"stall"
+              ~cycles:(Int64.of_int p.remaining) ~nr:mem_size;
             hit p.p_shell
         | None ->
             t.stats.created <- t.stats.created + 1;
+            fire t "pool_acquire" ~reason:"miss" ~cycles:0L ~nr:mem_size;
             (match t.telemetry with
             | Some h ->
                 Telemetry.Hub.incr h "wasp_pool_misses_total";
@@ -243,9 +268,13 @@ let release t shell =
   let cost = Cycles.Costs.memset_cost shell.mem_size in
   match (t.clean, t.policy) with
   | Sync, _ ->
+      fire t "pool_release" ~reason:"sync" ~cycles:(Int64.of_int cost)
+        ~nr:shell.mem_size;
       Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) cost;
       cache t shell
   | Async, Eager ->
+      fire t "pool_release" ~reason:"async" ~cycles:(Int64.of_int cost)
+        ~nr:shell.mem_size;
       (* standalone mode: a dedicated cleaner thread is assumed to keep
          up, so the cost is pure background work *)
       t.stats.background_cycles <- Int64.add t.stats.background_cycles (Int64.of_int cost);
@@ -259,6 +288,8 @@ let release t shell =
   | Async, Scheduled ->
       (* scheduler mode: the shell is unavailable until a cleaner core
          drains it (or an acquire stalls on it) *)
+      fire t "pool_release" ~reason:"scheduled" ~cycles:(Int64.of_int cost)
+        ~nr:shell.mem_size;
       let shard = t.shards.(shell.home) in
       Queue.push { p_shell = shell; remaining = cost } shard.reclaim;
       note_reclaim t shard;

@@ -56,6 +56,13 @@ val create : ?capacity:int -> Kvmsim.Kvm.system -> clean:clean_mode -> t
 val stats : t -> stats
 
 val set_telemetry : t -> Telemetry.Hub.t option -> unit
+
+val set_probes : t -> Vtrace.Engine.t option -> unit
+(** Attach (or detach) a vtrace probe engine. Sites: ["pool_acquire"]
+    (reason [hit]/[stall]/[miss]; a stall's [cycles] is what the acquire
+    paid for the in-flight clean), ["pool_release"] (reason
+    [sync]/[async]/[scheduled]; [cycles] = the clean's cost) and
+    ["pool_evict"] (reason [lru]). [nr] carries the shell footprint. *)
 (** Attach (or detach) a telemetry hub: hits/misses/cleans/evictions and
     clean stalls become [wasp_pool_*] counters and instant events, async
     cleaning updates the [wasp_pool_background_cycles] gauge, and cached

@@ -27,6 +27,7 @@ type t = {
   mutable telemetry : Telemetry.Hub.t option;
   mutable profiler : Profiler.Profile.t option;
   mutable recorder : Profiler.Replay.t option;
+  mutable probes : Vtrace.Engine.t option;
   mutable last_flight : string option;
   reset : reset_mode;
   run_stats : run_stats;
@@ -36,11 +37,16 @@ type t = {
 }
 
 let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `Memcpy)
-    ?(cores = 1) ?pool_capacity ?snapshot_capacity ?(translate = true) () =
+    ?(cores = 1) ?pool_capacity ?snapshot_capacity ?(translate = true) ?flight_capacity
+    () =
   let sys = Kvmsim.Kvm.open_dev ~seed ?freq_ghz ~cores ~translate () in
   (* The flight recorder charges no cycles, so it stays attached for the
      runtime's whole life: every VM exit is always in the black box. *)
-  Kvmsim.Kvm.set_flight sys (Some (Profiler.Flight.create ()));
+  Kvmsim.Kvm.set_flight sys
+    (Some (Profiler.Flight.create ?capacity:flight_capacity ()));
+  (* Name the hypercall port so exit-level observers (vtrace) can tell
+     hypercall exits from plain I/O. *)
+  Kvmsim.Kvm.set_hc_port sys (Some Hc.port);
   let clean = match clean with `Sync -> Pool.Sync | `Async -> Pool.Async in
   {
     sys;
@@ -53,6 +59,7 @@ let create ?(seed = 0xACE) ?freq_ghz ?(pool = true) ?(clean = `Sync) ?(reset = `
     telemetry = None;
     profiler = None;
     recorder = None;
+    probes = None;
     last_flight = None;
     reset;
     run_stats =
@@ -100,6 +107,13 @@ let profiler t = t.profiler
 let set_recorder t r = t.recorder <- r
 let recorder t = t.recorder
 
+let set_probes t e =
+  t.probes <- e;
+  Kvmsim.Kvm.set_probes t.sys e;
+  Pool.set_probes t.pool e
+
+let probes t = t.probes
+
 let flight t = Kvmsim.Kvm.flight t.sys
 let flight_dump t = t.last_flight
 let clear_flight_dump t = t.last_flight <- None
@@ -116,6 +130,9 @@ let tincr t ?by name =
 
 let tobserve t name v =
   match t.telemetry with None -> () | Some h -> Telemetry.Hub.observe h name v
+
+let active_trace t =
+  match t.telemetry with None -> None | Some h -> Telemetry.Hub.current_trace h
 
 let record_result t (outcome_kind : [ `Exited | `Faulted | `Fuel ]) ~hypercalls ~denied
     ~from_snapshot =
@@ -207,32 +224,51 @@ let dispatch t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot nr args =
     (fun () ->
       inv.hypercalls <- inv.hypercalls + 1;
       emit t (Trace.Hypercall { nr; allowed });
-      if not allowed then begin
-        inv.denied <- inv.denied + 1;
-        Log.debug (fun m -> m "policy denied hypercall %s" (Hc.name nr));
-        Hc.err_denied
-      end
-      else if nr = Hc.exit_ then begin
-        inv.exit_code <- Some (if Array.length args > 0 then args.(0) else 0L);
-        0L
-      end
-      else if nr = Hc.snapshot then begin
-        if inv.snapshot_taken then Hc.err_inval
-        else begin
-          inv.snapshot_taken <- true;
-          take_snapshot ()
+      (* vtrace "hypercall" / "hypercall_ret" bracket the dispatch: the
+         return fire carries the handler's charged cycles and (in
+         [reason]) whether policy let it through. *)
+      let fire_hc site cycles =
+        match t.probes with
+        | None -> ()
+        | Some e ->
+            ignore
+              (Vtrace.Engine.fire e
+                 (Vtrace.Ctx.make ~core:(current_core t)
+                    ?trace:(active_trace t) ~reason:(Hc.name nr) ~cycles
+                    ~nr:(Int64.of_int nr) site))
+      in
+      fire_hc "hypercall" 0L;
+      let hc_start = Cycles.Clock.now (clock t) in
+      let r0 =
+        if not allowed then begin
+          inv.denied <- inv.denied + 1;
+          Log.debug (fun m -> m "policy denied hypercall %s" (Hc.name nr));
+          Hc.err_denied
         end
-      end
-      else begin
-        match handlers nr with
-        | Some h -> h inv args
-        | None -> (
-            match Handlers.canned nr with
-            | Some h -> h inv args
-            | None ->
-                Log.debug (fun m -> m "unhandled hypercall %s" (Hc.name nr));
-                Hc.err_inval)
-      end)
+        else if nr = Hc.exit_ then begin
+          inv.exit_code <- Some (if Array.length args > 0 then args.(0) else 0L);
+          0L
+        end
+        else if nr = Hc.snapshot then begin
+          if inv.snapshot_taken then Hc.err_inval
+          else begin
+            inv.snapshot_taken <- true;
+            take_snapshot ()
+          end
+        end
+        else begin
+          match handlers nr with
+          | Some h -> h inv args
+          | None -> (
+              match Handlers.canned nr with
+              | Some h -> h inv args
+              | None ->
+                  Log.debug (fun m -> m "unhandled hypercall %s" (Hc.name nr));
+                  Hc.err_inval)
+        end
+      in
+      fire_hc "hypercall_ret" (Cycles.Clock.elapsed_since (clock t) hc_start);
+      r0)
 
 let no_overrides (_ : int) : Inv.handler option = None
 
@@ -243,6 +279,9 @@ let no_overrides (_ : int) : Inv.handler option = None
    tile the invocation: they sum exactly to the reported [cycles]. *)
 let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot_key ~fuel
     ~inspect =
+  (* Probe contexts fired below Wasp (KVM exits, EPT breaks) do not know
+     the image; give the engine the name so their [fn] field resolves. *)
+  (match t.probes with Some e -> Vtrace.Engine.set_fn e image.name | None -> ());
   (* CoW mode retains one shell per snapshot key across invocations; a
      retained shell pins the invocation to its home core (its vCPU bills
      that core's clock), so switch before stamping [start] *)
@@ -407,7 +446,8 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
             | None -> ());
             (match Kvmsim.Kvm.flight t.sys with
             | Some fr ->
-                Profiler.Flight.annotate_last fr
+                (* Append so probe-engine stamps on this exit survive. *)
+                Profiler.Flight.append_note fr
                   (Printf.sprintf "%s(%s) -> %Ld" (Hc.name nr)
                      (String.concat ", "
                         (List.map Int64.to_string (Array.to_list args)))
@@ -435,15 +475,43 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
     end
   in
   let exec_start = Cycles.Clock.now (clock t) in
+  (* Instruction-level probes opt into interpretation: installing a step
+     hook makes Translate.run fall back to Cpu.run (cycle-identical).
+     Block-level probes do NOT go through here — they ride the
+     translation cache's superblock-entry hook. *)
+  let instr_probe =
+    match t.probes with
+    | Some e when Vtrace.Engine.wants e "instr" ->
+        Some
+          (fun ~pc ~instr ~cost ->
+            ignore
+              (Vtrace.Engine.fire e
+                 (Vtrace.Ctx.make ~core:(current_core t)
+                    ?trace:(active_trace t) ~fn:image.name ~pc
+                    ~reason:(Profiler.Profile.opcode_key instr)
+                    ~cycles:(Int64.of_int cost) "instr")))
+    | _ -> None
+  in
   (match t.profiler with
-  | Some p ->
-      Profiler.Profile.begin_invocation p ~symbols:image.symbols ~clock:(clock t);
-      Vm.Cpu.set_step_hook cpu (fun ~pc ~instr ~cost ->
-          Profiler.Profile.on_step p ~pc ~instr ~cost)
+  | Some p -> Profiler.Profile.begin_invocation p ~symbols:image.symbols ~clock:(clock t)
   | None -> ());
+  let step_hook =
+    match (t.profiler, instr_probe) with
+    | None, None -> None
+    | Some p, None ->
+        Some (fun ~pc ~instr ~cost -> Profiler.Profile.on_step p ~pc ~instr ~cost)
+    | None, Some f -> Some f
+    | Some p, Some f ->
+        Some
+          (fun ~pc ~instr ~cost ->
+            Profiler.Profile.on_step p ~pc ~instr ~cost;
+            f ~pc ~instr ~cost)
+  in
+  (match step_hook with Some h -> Vm.Cpu.set_step_hook cpu h | None -> ());
   let outcome =
     Fun.protect
-      ~finally:(fun () -> if t.profiler <> None then Vm.Cpu.clear_step_hook cpu)
+      ~finally:(fun () ->
+        if Option.is_some step_hook then Vm.Cpu.clear_step_hook cpu)
       (fun () -> tspan t "execute" loop)
   in
   (match t.profiler with
@@ -556,7 +624,7 @@ end
 
 let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~snapshot_key
     ~body =
-  ignore name;
+  (match t.probes with Some e -> Vtrace.Engine.set_fn e name | None -> ());
   let retained_shell =
     match (t.reset, snapshot_key) with
     | `Cow, Some key -> Hashtbl.find_opt t.retained key

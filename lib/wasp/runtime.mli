@@ -28,6 +28,7 @@ val create :
   ?pool_capacity:int ->
   ?snapshot_capacity:int ->
   ?translate:bool ->
+  ?flight_capacity:int ->
   unit ->
   t
 (** A fresh runtime. [pool] (default true) enables shell caching;
@@ -39,7 +40,9 @@ val create :
     bounds the snapshot store the same way (default 64 keys).
     [translate] (default true) runs guests through the superblock
     translation cache — simulated cycles are identical either way, only
-    wall-clock throughput differs (profiled runs always interpret). *)
+    wall-clock throughput differs (profiled runs always interpret).
+    [flight_capacity] sizes the always-attached VM-exit flight ring
+    (default 128 — see {!Profiler.Flight.create}). *)
 
 val clock : t -> Cycles.Clock.t
 (** The current core's clock. *)
@@ -128,6 +131,20 @@ val set_recorder : t -> Profiler.Replay.t option -> unit
     ([finish]) around the invocation. *)
 
 val recorder : t -> Profiler.Replay.t option
+
+val set_probes : t -> Vtrace.Engine.t option -> unit
+(** Attach (or detach) a vtrace probe engine, threading it through the
+    KVM layer (["exit"], ["ept"], ["inject"], ["block"] sites) and the
+    shell pool (["pool_*"] sites); this layer itself fires
+    ["hypercall"]/["hypercall_ret"] around every dispatch and, when an
+    ["instr"] probe is attached, installs a vCPU step hook — which
+    forces the interpreter (cycle-identical) for the execute phase, the
+    explicit opt-in the block site exists to avoid. Probes charge zero
+    simulated cycles and never change guest-visible results: attached
+    vs detached runs produce identical outcomes, registers and cycle
+    counts at a fixed seed (see [docs/vtrace.md]). *)
+
+val probes : t -> Vtrace.Engine.t option
 
 val flight : t -> Profiler.Flight.t option
 (** The VM-exit flight recorder (always attached by {!create}). *)

@@ -114,6 +114,21 @@ let tinstant t ?args name =
   | None -> ()
   | Some h -> Telemetry.Hub.instant h ?args name
 
+(* vtrace supervisor sites; [fn] carries the supervision key. *)
+let fire t site ~fn ~reason ~cycles ~nr =
+  match Runtime.probes t.rt with
+  | None -> ()
+  | Some e ->
+      let trace =
+        match Runtime.telemetry t.rt with
+        | None -> None
+        | Some h -> Telemetry.Hub.current_trace h
+      in
+      ignore
+        (Vtrace.Engine.fire e
+           (Vtrace.Ctx.make ~core:(Runtime.current_core t.rt) ?trace ~fn ~reason
+              ~cycles ~nr:(Int64.of_int nr) site))
+
 let streak_for t key =
   match Hashtbl.find_opt t.streaks key with
   | Some s -> s
@@ -160,7 +175,8 @@ let note_failure t key class_ =
     s.until <- Int64.add (now t) t.config.quarantine_cooldown;
     tinstant t
       ~args:[ ("key", key); ("failures", string_of_int s.failures) ]
-      "supervisor_quarantine"
+      "supervisor_quarantine";
+    fire t "sup_quarantine" ~fn:key ~reason:"enter" ~cycles:0L ~nr:s.failures
   end;
   note_quarantine_gauge t
 
@@ -212,6 +228,7 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
   if quarantined t ~key then begin
     t.stats.quarantine_rejections <- t.stats.quarantine_rejections + 1;
     tincr t "wasp_quarantine_rejections_total";
+    fire t "sup_quarantine" ~fn:key ~reason:"reject" ~cycles:0L ~nr:0;
     slo_record t ~good:false;
     {
       result = Error (Overload, Printf.sprintf "image %S is quarantined" key);
@@ -236,6 +253,7 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
     let rec attempt k =
       (* the attempt span closes before any recursion, so attempt k+1 is
          its sibling, not its child *)
+      let attempt_start = now t in
       let verdict =
         tspan ~sargs:[ ("attempt", string_of_int k) ] "attempt" @@ fun () ->
         if k > 1 then begin
@@ -247,7 +265,9 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
           tincr t "wasp_retries_total";
           tinstant t
             ~args:[ ("attempt", string_of_int k); ("backoff", string_of_int d) ]
-            "supervisor_retry"
+            "supervisor_retry";
+          fire t "sup_backoff" ~fn:key ~reason:"retry" ~cycles:(Int64.of_int d)
+            ~nr:k
         end;
         match
           Runtime.run t.rt image ?policy ?input ?args ?snapshot_key
@@ -257,6 +277,13 @@ let run t (image : Image.t) ?policy ?input ?args ?snapshot_key ?key () =
         | exception Kvmsim.Kvm.Injected_failure site ->
             Retryable (Fault, Printf.sprintf "injected failure at %s" site, None)
       in
+      fire t "sup_attempt" ~fn:key
+        ~reason:
+          (match verdict with
+          | Succeeded _ -> "ok"
+          | Retryable (c, _, _) | Terminal (c, _, _) -> error_class_to_string c)
+        ~cycles:(Int64.sub (now t) attempt_start)
+        ~nr:k;
       match verdict with
       | Succeeded r ->
           note_success t key;

@@ -236,6 +236,40 @@ let test_flight_ring_bounds () =
   Alcotest.(check (list int)) "oldest-first, newest retained" [ 6; 7; 8; 9 ]
     (List.map (fun (e : Profiler.Flight.entry) -> e.Profiler.Flight.pc) entries)
 
+let test_flight_wraparound_keeps_stamps () =
+  (* two cores stamp the same ring; after wraparound every survivor must
+     keep its own trace id, hypercall annotation and appended vtrace
+     note — the probe engine's stamp rides the same entry. *)
+  let fr = Profiler.Flight.create ~capacity:8 () in
+  for i = 0 to 11 do
+    Profiler.Flight.record fr
+      ~trace:(Int64.of_int (1000 + i))
+      ~at:(Int64.of_int (10 * i))
+      ~core:(i mod 2) ~pc:i
+      (Profiler.Flight.Io_out { port = 1; value = Int64.of_int i });
+    Profiler.Flight.annotate_last fr (Printf.sprintf "hc(%d)" i);
+    Profiler.Flight.append_note fr "vtrace"
+  done;
+  Alcotest.(check int) "total counts every record" 12
+    (Profiler.Flight.total fr);
+  Alcotest.(check int) "ring holds capacity" 8 (Profiler.Flight.count fr);
+  let entries = Profiler.Flight.entries fr in
+  Alcotest.(check (list int)) "oldest survivor is seq 4" [ 4; 5; 6; 7; 8; 9; 10; 11 ]
+    (List.map (fun (e : Profiler.Flight.entry) -> e.Profiler.Flight.seq) entries);
+  List.iter
+    (fun (e : Profiler.Flight.entry) ->
+      Alcotest.(check int)
+        "cores interleave across the wrap" (e.Profiler.Flight.seq mod 2)
+        e.Profiler.Flight.core;
+      Alcotest.(check (option int64))
+        "trace id survives the wrap"
+        (Some (Int64.of_int (1000 + e.Profiler.Flight.seq)))
+        e.Profiler.Flight.trace;
+      Alcotest.(check string) "annotation and vtrace stamp both survive"
+        (Printf.sprintf "hc(%d); vtrace" e.Profiler.Flight.seq)
+        e.Profiler.Flight.note)
+    entries
+
 (* ------------------------------------------------------------------ *)
 (* Record / replay                                                     *)
 (* ------------------------------------------------------------------ *)
@@ -432,6 +466,8 @@ let () =
           Alcotest.test_case "fault dump" `Quick test_flight_fault_dump;
           Alcotest.test_case "policy violation dump" `Quick test_flight_policy_violation;
           Alcotest.test_case "ring bounds" `Quick test_flight_ring_bounds;
+          Alcotest.test_case "wraparound keeps stamps" `Quick
+            test_flight_wraparound_keeps_stamps;
         ] );
       ( "replay",
         [

@@ -165,6 +165,47 @@ let test_registry_kind_mismatch () =
     (Invalid_argument "Metrics.gauge: m is not a gauge") (fun () ->
       ignore (Telemetry.Metrics.gauge reg "m"))
 
+let test_bad_samples_rejected () =
+  let reg = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter reg "good_total" in
+  Telemetry.Metrics.incr ~by:3 c;
+  Telemetry.Metrics.incr ~by:(-5) c;
+  Alcotest.(check int) "counter stays monotone" 3 c.Telemetry.Metrics.c_value;
+  let g = Telemetry.Metrics.gauge reg "level" in
+  Telemetry.Metrics.set g 2.5;
+  Telemetry.Metrics.set g Float.nan;
+  Alcotest.(check (float 1e-9)) "gauge keeps last good value" 2.5
+    g.Telemetry.Metrics.g_value;
+  let h = Telemetry.Metrics.histogram reg "lat" in
+  Telemetry.Metrics.observe h (-7L);
+  Alcotest.(check int) "negative observation still counted" 1
+    h.Telemetry.Metrics.h_count;
+  Alcotest.(check int64) "negative observation clamps to zero" 0L
+    h.Telemetry.Metrics.h_sum;
+  Alcotest.(check int) "every rejection tallied" 3
+    (Telemetry.Metrics.bad_samples reg)
+
+let test_bad_samples_counter_lazy () =
+  let reg = Telemetry.Metrics.create () in
+  let c = Telemetry.Metrics.counter reg "clean_total" in
+  Telemetry.Metrics.incr c;
+  Alcotest.(check bool) "no bad-sample series on a clean registry" true
+    (Telemetry.Metrics.find reg "telemetry_bad_samples_total" = None);
+  Telemetry.Metrics.incr ~by:(-1) c;
+  (match Telemetry.Metrics.find reg "telemetry_bad_samples_total" with
+  | Some (Telemetry.Metrics.Counter bad) ->
+      Alcotest.(check int) "materializes after first rejection" 1
+        bad.Telemetry.Metrics.c_value
+  | _ -> Alcotest.fail "telemetry_bad_samples_total missing after rejection");
+  let text = Telemetry.Prometheus.to_text reg in
+  let contains sub =
+    let n = String.length sub and m = String.length text in
+    let rec go i = i + n <= m && (String.sub text i n = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "exposition carries the tally" true
+    (contains "telemetry_bad_samples_total 1")
+
 (* --- exporters -------------------------------------------------------- *)
 
 let test_chrome_json_parses () =
@@ -647,6 +688,10 @@ let () =
           Alcotest.test_case "constant input is exact" `Quick test_histogram_constant_exact;
           Alcotest.test_case "log2 bucket index" `Quick test_bucket_index;
           Alcotest.test_case "kind mismatch rejected" `Quick test_registry_kind_mismatch;
+          Alcotest.test_case "bad samples rejected" `Quick
+            test_bad_samples_rejected;
+          Alcotest.test_case "bad-sample counter is lazy" `Quick
+            test_bad_samples_counter_lazy;
         ] );
       ( "exporters",
         [
