@@ -4,11 +4,11 @@
 # so they are safe to run in parallel (make -j) and leave nothing behind.
 
 BENCH_JSON_DIR ?= /tmp/wasp-bench-json
-BENCH_GATE_FIGS ?= fig12 memshare chaos_slo translate
+BENCH_GATE_FIGS ?= fig12 memshare chaos_slo translate rings
 
 .PHONY: all check test bench bench-json bench-baselines bench-gate \
 	trace-smoke sched-smoke profiler-smoke chaos-smoke slo-smoke \
-	explain-smoke translate-smoke vtrace-smoke fmt clean
+	explain-smoke translate-smoke vtrace-smoke ring-smoke fmt clean
 
 all:
 	dune build
@@ -24,6 +24,7 @@ check:
 	$(MAKE) explain-smoke
 	$(MAKE) translate-smoke
 	$(MAKE) vtrace-smoke
+	$(MAKE) ring-smoke
 
 test: check
 
@@ -124,6 +125,16 @@ vtrace-smoke:
 	cmp $$d/rec.txt $$d/rep.txt \
 	  || { echo "vtrace-smoke: record and replay probe tables differ"; \
 	       diff $$d/rec.txt $$d/rep.txt; exit 1; }
+
+# ring smoke: record one request through the ringed file server (two
+# exits: read + ring_enter doorbell), then replay the .vxr on BOTH
+# engines — the replay rebuilds the host environment (corpus + pending
+# request) from the image name and must diverge by zero cycles
+ring-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/wasprun.exe -- --vhttp --record $$d/ring.vxr; \
+	dune exec bin/wasprun.exe -- --replay $$d/ring.vxr --no-translate; \
+	dune exec bin/wasprun.exe -- --replay $$d/ring.vxr
 
 # formatting gate; skipped gracefully where ocamlformat is not installed
 # (CI always runs it)

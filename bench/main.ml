@@ -23,6 +23,7 @@ let experiments =
     ("udf", "database UDF isolation cost (Section 7.1)", Exp_udf.run);
     ("ablations", "design-choice ablations (hypercalls, pool, marshalling)", Exp_ablations.run);
     ("memshare", "paged CoW snapshot restore scaling (memory refactor)", Exp_memshare.run);
+    ("rings", "batched hypercall ring: exits/request and throughput", Exp_rings.run);
     ("chaos", "fault injection: supervised vs unsupervised availability", Exp_chaos.run);
     ("chaos_slo", "SLO burn-rate alerting through a fault storm", Exp_chaos.run_slo);
     ("translate", "interpreter vs superblock translation cache", Exp_translate.run);

@@ -91,6 +91,7 @@ let hc_by_name =
     ("get_data", Wasp.Hc.get_data); ("return_data", Wasp.Hc.return_data);
     ("send", Wasp.Hc.send); ("recv", Wasp.Hc.recv); ("brk", Wasp.Hc.brk);
     ("clock", Wasp.Hc.clock); ("getrandom", Wasp.Hc.getrandom);
+    ("ring_enter", Wasp.Hc.ring_enter);
   ]
 
 let policy_to_string = function
@@ -187,6 +188,82 @@ let emit_probes probes probe_out =
           print_newline ();
           print_string text)
 
+(* --vhttp: one request through the ringed static-file server (§6.3 with
+   the batched hypercall ring; see docs/hypercalls.md). The host
+   environment is rebuilt deterministically — the static corpus plus a
+   socket pair already carrying "GET /index.html" — so a recorded run
+   replays byte-identically: [replay_file] recreates the same
+   environment whenever the recorded image is a fileserver. *)
+let setup_vhttp_env w =
+  let path = Vhttp.Fileserver.add_default_files (Wasp.Runtime.env w) in
+  let client_end, server_end = Wasp.Hostenv.socket_pair (Wasp.Runtime.env w) in
+  ignore
+    (Wasp.Hostenv.send client_end
+       (Bytes.of_string (Vhttp.Fileserver.request_for ~path)));
+  (client_end, server_end)
+
+let is_fileserver_image name =
+  String.length name >= 10 && String.sub name 0 10 = "fileserver"
+
+let run_vhttp ~record ~seed ~translate ~probe ~probe_out ?flight_capacity () =
+  let fail fmt = Printf.ksprintf (fun m -> Printf.eprintf "vhttp: %s\n" m; 1) fmt in
+  match build_probes probe with
+  | Error msg -> fail "bad probe spec: %s" msg
+  | Ok probes -> (
+      let compiled = Vhttp.Fileserver.compile_ring ~snapshot:false in
+      match Vcc.Compile.find_virtine compiled "handle" with
+      | None -> fail "ringed fileserver has no virtine handler"
+      | Some vi ->
+          let image = vi.Vcc.Compile.image in
+          let policy = vi.Vcc.Compile.policy in
+          let w = Wasp.Runtime.create ~seed ~translate ?flight_capacity () in
+          Wasp.Runtime.set_probes w probes;
+          let client_end, server_end = setup_vhttp_env w in
+          let recorder =
+            match record with
+            | None -> None
+            | Some _ ->
+                let rc = Profiler.Replay.create () in
+                Profiler.Replay.set_image rc ~name:image.Wasp.Image.name
+                  ~mode:(Vm.Modes.to_string image.Wasp.Image.mode)
+                  ~origin:image.Wasp.Image.origin ~entry:image.Wasp.Image.entry
+                  ~mem_size:image.Wasp.Image.mem_size
+                  ~code:(Bytes.to_string image.Wasp.Image.code);
+                Profiler.Replay.set_env rc ~seed ~policy:(policy_to_string policy)
+                  ~fuel:default_fuel ();
+                Wasp.Runtime.set_recorder w (Some rc);
+                Some rc
+          in
+          let r =
+            Wasp.Runtime.run w image ~policy ~conn:server_end ~fuel:default_fuel ()
+          in
+          (match (recorder, record) with
+          | Some rc, Some path ->
+              Profiler.Replay.finish rc ~cycles:r.Wasp.Runtime.cycles
+                ~outcome:(outcome_string r.Wasp.Runtime.outcome)
+                ~return_value:r.Wasp.Runtime.return_value;
+              write_file path (Profiler.Replay.to_string rc);
+              Printf.printf "recording written to %s (%d hypercall events)\n" path
+                (Profiler.Replay.event_count rc)
+          | _ -> ());
+          emit_probes probes probe_out;
+          let response = Bytes.to_string (Wasp.Hostenv.recv client_end ~max:8192) in
+          (match r.Wasp.Runtime.outcome with
+          | Wasp.Runtime.Exited code ->
+              Printf.printf
+                "served %d response bytes, exited with %Ld  [%.1f us, %d hypercalls]\n"
+                (String.length response) code
+                (Cycles.Clock.to_us (Wasp.Runtime.clock w) r.Wasp.Runtime.cycles)
+                r.Wasp.Runtime.hypercalls;
+              0
+          | Wasp.Runtime.Faulted f ->
+              Printf.printf "faulted: %s\n"
+                (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f));
+              1
+          | Wasp.Runtime.Fuel_exhausted ->
+              print_endline "out of fuel";
+              1))
+
 (* Re-execute a .vxr recording under the recorded seed/policy/fuel and
    diff the fresh transcript against it, cycle for cycle. Replaying with
    the opposite of the recording engine (--no-translate vs the default
@@ -246,7 +323,16 @@ let replay_file ~translate ~probe ~probe_out ?flight_capacity path =
             ~policy:(Profiler.Replay.policy recorded)
             ~fuel:(Profiler.Replay.fuel recorded) ();
           Wasp.Runtime.set_recorder w (Some fresh);
-          let r = Wasp.Runtime.run w image ~policy ~fuel:(Profiler.Replay.fuel recorded) () in
+          (* Fileserver recordings (--vhttp) need the host environment the
+             recording ran against: rebuild the corpus + pending request. *)
+          let conn =
+            if is_fileserver_image image.name then Some (snd (setup_vhttp_env w))
+            else None
+          in
+          let r =
+            Wasp.Runtime.run w image ~policy ?conn
+              ~fuel:(Profiler.Replay.fuel recorded) ()
+          in
           Profiler.Replay.finish fresh ~cycles:r.Wasp.Runtime.cycles
             ~outcome:(outcome_string r.Wasp.Runtime.outcome)
             ~return_value:r.Wasp.Runtime.return_value;
@@ -295,7 +381,7 @@ let print_mem_stats hub w =
     dedup hits interned;
   print_endline "--------------"
 
-let run file example example_fault mode allow all trace_json metrics mem_stats check
+let run file example example_fault vhttp mode allow all trace_json metrics mem_stats check
     profile profile_folded record replay seed chaos fault_plan_file repeat
     explain_slowest translate probe probe_out flight_capacity =
   match (check, replay) with
@@ -304,6 +390,8 @@ let run file example example_fault mode allow all trace_json metrics mem_stats c
       1
   | Some path, _ -> check_trace path
   | None, Some path -> replay_file ~translate ~probe ~probe_out ?flight_capacity path
+  | None, None when vhttp ->
+      run_vhttp ~record ~seed ~translate ~probe ~probe_out ?flight_capacity ()
   | None, None -> (
       let source =
         if example then Some example_source
@@ -506,6 +594,15 @@ let () =
             "Run a built-in demo that faults after a burst of hypercalls, printing the \
              flight-recorder black-box dump")
   in
+  let vhttp =
+    Arg.(
+      value & flag
+      & info [ "vhttp" ]
+          ~doc:
+            "Serve one request through the ringed static-file server (batched \
+             hypercalls, two VM exits). Combine with $(b,--record) to capture a \
+             .vxr whose $(b,--replay) rebuilds the same host environment")
+  in
   let mode =
     let modes =
       [ ("real", Vm.Modes.Real); ("protected", Vm.Modes.Protected); ("long", Vm.Modes.Long) ]
@@ -667,7 +764,7 @@ let () =
     Cmd.v
       (Cmd.info "wasprun" ~doc:"run a vx assembly image under the Wasp micro-hypervisor")
       Term.(
-        const run $ file $ example $ example_fault $ mode $ allow $ all $ trace_json
+        const run $ file $ example $ example_fault $ vhttp $ mode $ allow $ all $ trace_json
         $ metrics $ mem_stats $ check $ profile $ profile_folded $ record $ replay $ seed
         $ chaos $ fault_plan $ repeat $ explain_slowest $ translate $ probe $ probe_out
         $ flight_capacity)

@@ -39,6 +39,7 @@ let site_ept_storm = "ept_storm"
 let site_provision_fail = "provision_fail"
 let site_guest_hang = "guest_hang"
 let site_snapshot_corrupt = "snapshot_corrupt"
+let site_ring_corrupt = "ring_corrupt"
 
 type vm = { sys : system; mutable memory : Vm.Memory.t option }
 
@@ -178,6 +179,18 @@ let kspan sys name f =
 
 let kincr sys name =
   match sys.telemetry with None -> () | Some h -> Telemetry.Hub.incr h name
+
+(* Exit-reason split of the exit counter: one series per cause, so the
+   ring refactor's exit savings show up as a shrinking [hypercall]
+   series rather than a mystery delta in the total. *)
+let note_exit_reason sys reason =
+  match sys.telemetry with
+  | None -> ()
+  | Some h ->
+      let m = Telemetry.Hub.metrics h in
+      Telemetry.Metrics.incr
+        (Telemetry.Metrics.counter m ~help:"KVM_RUN exits by cause"
+           ~labels:[ ("reason", reason) ] "kvm_exits_total")
 
 let charge sys cycles = Cycles.Clock.advance_int (clock sys) (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
 
@@ -336,6 +349,7 @@ let run ?fuel v =
   match exit with
   | Vm.Cpu.Halt ->
       record_exit Profiler.Flight.Halt;
+      note_exit_reason sys "hlt";
       fire_exit "hlt" 0L;
       Hlt
   | Vm.Cpu.Io_out { port; value } ->
@@ -343,13 +357,18 @@ let run ?fuel v =
       kincr sys "kvm_io_exits_total";
       record_exit (Profiler.Flight.Io_out { port; value });
       (match sys.hc_port with
-      | Some p when p = port -> fire_exit "hypercall" value
-      | _ -> fire_exit "io_out" (Int64.of_int port));
+      | Some p when p = port ->
+          note_exit_reason sys "hypercall";
+          fire_exit "hypercall" value
+      | _ ->
+          note_exit_reason sys "io_out";
+          fire_exit "io_out" (Int64.of_int port));
       Io_out { port; value }
   | Vm.Cpu.Io_in { port; reg } ->
       sys.stats.io_exits <- sys.stats.io_exits + 1;
       kincr sys "kvm_io_exits_total";
       record_exit (Profiler.Flight.Io_in { port });
+      note_exit_reason sys "io_in";
       fire_exit "io_in" (Int64.of_int port);
       Io_in { port; reg }
   | Vm.Cpu.Fault f ->
@@ -357,9 +376,31 @@ let run ?fuel v =
       kincr sys "kvm_fault_exits_total";
       record_exit
         (Profiler.Flight.Fault (Format.asprintf "%a" Vm.Cpu.pp_exit (Vm.Cpu.Fault f)));
+      note_exit_reason sys "fault";
       fire_exit "fault" 0L;
       Fault f
   | Vm.Cpu.Out_of_fuel ->
       record_exit Profiler.Flight.Fuel;
+      note_exit_reason sys "fuel";
       fire_exit "fuel" 0L;
       Out_of_fuel
+
+(* Background shell construction for the pool's pipelined prewarm: the
+   same VM + memory + vCPU assembly as the charged path, but with no
+   clock charges, no spans and no fault-plan opportunities — the caller
+   books the deterministic construction cost against its idle-cycle
+   budget instead. The vCPU is bound to [core]'s clock regardless of the
+   current core, so a prewarmed shell later runs on its owning shard's
+   clock exactly like a synchronously created one. *)
+let build_shell sys ~core ~size ~mode =
+  if core < 0 || core >= Array.length sys.clocks then
+    invalid_arg "Kvm.build_shell: no such core";
+  sys.stats.vm_creations <- sys.stats.vm_creations + 1;
+  sys.stats.vcpu_creations <- sys.stats.vcpu_creations + 1;
+  let vm = { sys; memory = None } in
+  let mem = Vm.Memory.create ~size in
+  Vm.Memory.set_fault_hook mem
+    (Some (fun ~shared ~page -> on_page_fault sys ~shared ~page));
+  vm.memory <- Some mem;
+  let cpu = Vm.Cpu.create ~mem ~mode ~clock:sys.clocks.(core) in
+  { parent = vm; cpu; trans = Vm.Translate.create cpu }

@@ -59,6 +59,10 @@ exception Injected_failure of string
       opportunity per snapshot restore): a fire overwrites the restored
       page under the guest PC with an invalid-opcode pattern, so the
       guest faults deterministically at its first fetch.
+    - {!site_ring_corrupt} is consumed by the Wasp runtime (one
+      opportunity per {!Hc.ring_enter} doorbell): a fire makes the drain
+      treat the ring header as corrupt, so the whole batch completes as
+      a guest fault (retryable under supervision) without dispatching.
 
     Injected costs are charged {e without} jitter, so a chaos run under
     the same plan and seed replays cycle-for-cycle. Each fire bumps
@@ -71,6 +75,7 @@ val site_ept_storm : string
 val site_provision_fail : string
 val site_guest_hang : string
 val site_snapshot_corrupt : string
+val site_ring_corrupt : string
 
 val set_fault_plan : system -> Cycles.Fault_plan.t option -> unit
 (** Arm (or disarm) a fault plan. The plan's state advances as
@@ -185,4 +190,16 @@ val reset_vcpu : vcpu -> mode:Vm.Modes.t -> unit
 val run : ?fuel:int -> vcpu -> run_exit
 (** The [KVM_RUN] ioctl: charges syscall entry, in-kernel checks and VM
     entry; executes the guest until it exits; charges VM exit and the
-    return to user space. Resumable after I/O exits. *)
+    return to user space. Resumable after I/O exits. Each return also
+    bumps the [kvm_exits_total{reason}] counter
+    ([hlt]/[hypercall]/[io_out]/[io_in]/[fault]/[fuel]). *)
+
+val build_shell : system -> core:int -> size:int -> mode:Vm.Modes.t -> vcpu
+(** Background shell assembly for pipelined pool refill: the same
+    VM + memory + vCPU construction as {!create_vm} /
+    {!set_user_memory_region} / {!create_vcpu}, but charging {e no}
+    cycles, opening no spans and consuming no fault-plan opportunities —
+    the caller accounts the deterministic construction cost against an
+    idle-cycle budget (see {!Wasp.Pool}). The vCPU is bound to [core]'s
+    clock so a prewarmed shell later executes on its owning shard's
+    clock. Creation stats are still bumped. *)

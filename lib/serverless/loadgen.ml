@@ -119,7 +119,14 @@ let run_cores ?(freq_ghz = 2.69) ?(think_time_s = 0.05) ?(steal = true) ?on_comp
   let sched =
     Dessim.Cores.create ~steal
       ~switch:(Wasp.Runtime.on_core runtime)
-      ~idle:(fun ~core ~budget -> Wasp.Runtime.drain_reclaim runtime ~core ~budget)
+      ~idle:(fun ~core ~budget ->
+        (* idle windows first retire deferred cleans, then pre-boot
+           replacement shells with whatever budget is left (the
+           pipelined refill behind the hypercall ring's fast path) *)
+        let spent = Wasp.Runtime.drain_reclaim runtime ~core ~budget in
+        let left = budget - spent in
+        if left > 0 then spent + Wasp.Runtime.prewarm_step runtime ~core ~budget:left
+        else spent)
       clocks
   in
   Dessim.Cores.set_probes sched (Wasp.Runtime.probes runtime);

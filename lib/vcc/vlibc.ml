@@ -23,6 +23,14 @@ let table : (string * signature) list =
     ("brk", { params = [ int_ ]; ret = int_; kind = Hypercall Wasp.Hc.brk });
     ("hc_clock", { params = []; ret = int_; kind = Hypercall Wasp.Hc.clock });
     ("getrandom", { params = []; ret = int_; kind = Hypercall Wasp.Hc.getrandom });
+    (* the hypercall ring (docs/hypercalls.md): queue with ring_push /
+       ring_flag / ring_link, kick once with ring_enter, read CQE
+       results with ring_result *)
+    ("ring_enter", { params = []; ret = int_; kind = Hypercall Wasp.Hc.ring_enter });
+    ("ring_push", { params = [ int_; int_; int_; int_ ]; ret = int_; kind = Library });
+    ("ring_flag", { params = [ int_; int_ ]; ret = int_; kind = Library });
+    ("ring_link", { params = [ int_; int_; int_ ]; ret = int_; kind = Library });
+    ("ring_result", { params = [ int_ ]; ret = int_; kind = Library });
     (* inline *)
     ("rdtsc", { params = []; ret = int_; kind = Inline_rdtsc });
     (* library routines *)
@@ -323,6 +331,97 @@ let abs_items : Asm.item list =
     Insn SRet;
   ]
 
+(* Hypercall-ring shim. Slot addressing is open-coded against the fixed
+   Wasp.Layout carve-out: addr = array_base + (index & (entries-1)) *
+   entry_size. The cursors are monotonic u64 indices, so the masks only
+   pick the storage slot. *)
+let ring_mask = Int64.of_int (Wasp.Layout.ring_entries - 1)
+let ring_sqes = Int64.of_int Wasp.Layout.ring_sqes
+let ring_cqes = Int64.of_int Wasp.Layout.ring_cqes
+let ring_sq_tail = Int64.of_int Wasp.Layout.ring_sq_tail
+
+let ring_push_items : Asm.item list =
+  let open Asm in
+  [
+    (* int ring_push(int nr, int a0, int a1, int a2): append one SQE at
+       sq_tail (flags/args3..4/link zeroed), bump the tail, return the
+       op's ring index for ring_flag/ring_link/ring_result. *)
+    Label "__vl_ring_push";
+    Insn (SMov (12, OImm ring_sq_tail));
+    Insn (SLoad (Instr.W64, 11, 12, 0));     (* r11 = tail index *)
+    Insn (SMov (12, OReg 11));
+    Insn (SBin (Instr.And, 12, OImm ring_mask));
+    Insn (SBin (Instr.Mul, 12, OImm (Int64.of_int Wasp.Layout.ring_sqe_size)));
+    Insn (SBin (Instr.Add, 12, OImm ring_sqes));  (* r12 = SQE slot addr *)
+    Insn (SStore (Instr.W64, 12, 0, OReg 0));     (* nr *)
+    Insn (SStore (Instr.W64, 12, 8, OImm 0L));    (* flags *)
+    Insn (SStore (Instr.W64, 12, 16, OReg 1));    (* arg0 *)
+    Insn (SStore (Instr.W64, 12, 24, OReg 2));    (* arg1 *)
+    Insn (SStore (Instr.W64, 12, 32, OReg 3));    (* arg2 *)
+    Insn (SStore (Instr.W64, 12, 40, OImm 0L));   (* arg3 *)
+    Insn (SStore (Instr.W64, 12, 48, OImm 0L));   (* arg4 *)
+    Insn (SStore (Instr.W64, 12, 56, OImm 0L));   (* link *)
+    Insn (SMov (2, OReg 11));
+    Insn (SBin (Instr.Add, 2, OImm 1L));
+    Insn (SMov (12, OImm ring_sq_tail));
+    Insn (SStore (Instr.W64, 12, 0, OReg 2));     (* tail <- tail + 1 *)
+    Insn (SMov (0, OReg 11));
+    Insn SRet;
+  ]
+
+let ring_flag_items : Asm.item list =
+  let open Asm in
+  [
+    (* int ring_flag(int idx, int flags): OR flags into SQE[idx].flags;
+       returns idx (still in r0). *)
+    Label "__vl_ring_flag";
+    Insn (SMov (12, OReg 0));
+    Insn (SBin (Instr.And, 12, OImm ring_mask));
+    Insn (SBin (Instr.Mul, 12, OImm (Int64.of_int Wasp.Layout.ring_sqe_size)));
+    Insn (SBin (Instr.Add, 12, OImm ring_sqes));
+    Insn (SLoad (Instr.W64, 11, 12, 8));
+    Insn (SBin (Instr.Or, 11, OReg 1));
+    Insn (SStore (Instr.W64, 12, 8, OReg 11));
+    Insn SRet;
+  ]
+
+let ring_link_items : Asm.item list =
+  let open Asm in
+  [
+    (* int ring_link(int idx, int src, int pos): make SQE[idx] take
+       SQE[src]'s result in argument slot pos — link = (pos << 8) |
+       (idx - src), plus the link flag. Returns idx. *)
+    Label "__vl_ring_link";
+    Insn (SMov (11, OReg 0));
+    Insn (SBin (Instr.Sub, 11, OReg 1));          (* r11 = delta *)
+    Insn (SMov (12, OReg 2));
+    Insn (SBin (Instr.Mul, 12, OImm 256L));
+    Insn (SBin (Instr.Add, 12, OReg 11));         (* r12 = link value *)
+    Insn (SMov (2, OReg 12));
+    Insn (SMov (12, OReg 0));
+    Insn (SBin (Instr.And, 12, OImm ring_mask));
+    Insn (SBin (Instr.Mul, 12, OImm (Int64.of_int Wasp.Layout.ring_sqe_size)));
+    Insn (SBin (Instr.Add, 12, OImm ring_sqes));
+    Insn (SStore (Instr.W64, 12, 56, OReg 2));    (* link *)
+    Insn (SLoad (Instr.W64, 11, 12, 8));
+    Insn (SBin (Instr.Or, 11, OImm 2L));          (* flags |= RING_LINK *)
+    Insn (SStore (Instr.W64, 12, 8, OReg 11));
+    Insn SRet;
+  ]
+
+let ring_result_items : Asm.item list =
+  let open Asm in
+  [
+    (* int ring_result(int idx): CQE[idx].result after ring_enter. *)
+    Label "__vl_ring_result";
+    Insn (SMov (12, OReg 0));
+    Insn (SBin (Instr.And, 12, OImm ring_mask));
+    Insn (SBin (Instr.Mul, 12, OImm (Int64.of_int Wasp.Layout.ring_cqe_size)));
+    Insn (SBin (Instr.Add, 12, OImm ring_cqes));
+    Insn (SLoad (Instr.W64, 0, 12, 0));
+    Insn SRet;
+  ]
+
 (* the heap break cell: the crt0 always initializes it *)
 let heap_items : Asm.item list = [ Asm.Label heap_ptr_label; Asm.Quad [ 0L ] ]
 
@@ -340,6 +439,10 @@ let routines =
     ("memcmp", memcmp_items);
     ("strncmp", strncmp_items);
     ("abs", abs_items);
+    ("ring_push", ring_push_items);
+    ("ring_flag", ring_flag_items);
+    ("ring_link", ring_link_items);
+    ("ring_result", ring_result_items);
   ]
 
 (* internal dependencies between routines *)

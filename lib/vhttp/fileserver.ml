@@ -61,6 +61,78 @@ virtine_config(%Ld) int handle() {
 
 let compile ~snapshot = Vcc.Compile.compile ~name:"fileserver" ~snapshot source
 
+(* The ringed handler: the same request, two exits instead of seven. One
+   discrete read() pulls the request in (the host pushes the bytes, so it
+   cannot ride the ring), then stat/open/read/write/close/exit are queued
+   as one batch and kicked with a single ring_enter doorbell:
+   - stat and open are HALT-flagged: a miss cancels the rest of the batch
+     and the guest resumes to serve the 404 on the (rare) slow path;
+   - read takes open's fd via a link; close takes it too;
+   - the response is a vectored write — header segment plus a body
+     segment whose length (-1) takes read's byte count — so the guest
+     never assembles a response buffer: zero-copy straight from the file
+     buffer, close-delimited (no Content-Length);
+   - the final exit(200) op completes inside the drain, so the guest
+     never re-enters just to leave.
+   Hypercall numbers and flag values are inlined by the sprintf below
+   (RING_HALT = 1, RING_VEC = 4; see docs/hypercalls.md). *)
+let ring_source =
+  Printf.sprintf
+    {|
+virtine_config(%Ld) int handle() {
+  char req[1024];
+  int n = read(0, req, 1024);
+  if (n <= 0) {
+    return -1;
+  }
+  if (req[0] != 'G' || req[1] != 'E' || req[2] != 'T' || req[3] != ' ') {
+    char *bad = "HTTP/1.0 400 Bad Request\r\nContent-Length: 0\r\n\r\n";
+    write(0, bad, strlen(bad));
+    return 400;
+  }
+  char path[128];
+  int i = 4;
+  int j = 0;
+  while (i < n && req[i] != ' ' && j < 127) {
+    path[j] = req[i];
+    i = i + 1;
+    j = j + 1;
+  }
+  path[j] = 0;
+  char body[2048];
+  char *h = "HTTP/1.0 200 OK\r\n\r\n";
+  int iov[4];
+  iov[0] = h;
+  iov[1] = strlen(h);
+  iov[2] = body;
+  iov[3] = -1;
+  int s_stat = ring_push(%d, path, 0, 0);
+  ring_flag(s_stat, 1);
+  int s_open = ring_push(%d, path, 0, 0);
+  ring_flag(s_open, 1);
+  int s_read = ring_push(%d, 0, body, 2048);
+  ring_link(s_read, s_open, 0);
+  int s_write = ring_push(%d, 0, iov, 2);
+  ring_flag(s_write, 4);
+  ring_link(s_write, s_read, 0);
+  int s_close = ring_push(%d, 0, 0, 0);
+  ring_link(s_close, s_open, 0);
+  ring_push(%d, 200, 0, 0);
+  ring_enter();
+  if (ring_result(s_stat) < 0 || ring_result(s_open) < 0) {
+    char *nf = "HTTP/1.0 404 Not Found\r\nContent-Length: 0\r\n\r\n";
+    write(0, nf, strlen(nf));
+    return 404;
+  }
+  return 500;
+}
+|}
+    policy_mask Wasp.Hc.stat Wasp.Hc.open_ Wasp.Hc.read Wasp.Hc.write Wasp.Hc.close
+    Wasp.Hc.exit_
+
+let compile_ring ~snapshot =
+  Vcc.Compile.compile ~name:"fileserver_ring" ~snapshot ring_source
+
 let default_file_body =
   String.init 1024 (fun i -> Char.chr (65 + (i mod 26)))
 
@@ -73,11 +145,17 @@ let add_default_files env =
 let request_for ~path =
   Http.request_to_string (Http.make_request "GET" path)
 
-type served = { status : int; body : string; cycles : int64; hypercalls : int }
+type served = {
+  status : int;
+  body : string;
+  cycles : int64;
+  hypercalls : int;
+  exits : int;
+}
 
-let parse_served response_bytes ~cycles ~hypercalls =
+let parse_served response_bytes ~cycles ~hypercalls ~exits =
   match Http.parse_response (Bytes.to_string response_bytes) with
-  | Ok r -> { status = r.Http.status; body = r.Http.resp_body; cycles; hypercalls }
+  | Ok r -> { status = r.Http.status; body = r.Http.resp_body; cycles; hypercalls; exits }
   | Error e -> failwith ("fileserver: bad response: " ^ e)
 
 let serve_virtine w compiled ~path =
@@ -91,13 +169,15 @@ let serve_virtine w compiled ~path =
   let snapshot_key =
     if vi.Vcc.Compile.snapshot then Some vi.Vcc.Compile.image.Wasp.Image.name else None
   in
+  let runs_before = (Kvmsim.Kvm.stats (Wasp.Runtime.kvm w)).Kvmsim.Kvm.runs in
   let result =
     Wasp.Runtime.run w vi.Vcc.Compile.image ~policy:vi.Vcc.Compile.policy
       ~conn:server_end ?snapshot_key ()
   in
+  let exits = (Kvmsim.Kvm.stats (Wasp.Runtime.kvm w)).Kvmsim.Kvm.runs - runs_before in
   let response = Wasp.Hostenv.recv client_end ~max:8192 in
   parse_served response ~cycles:result.Wasp.Runtime.cycles
-    ~hypercalls:result.Wasp.Runtime.hypercalls
+    ~hypercalls:result.Wasp.Runtime.hypercalls ~exits
 
 (* The native handler does the same work without any virtualization: a
    function call, the same five host syscalls, and the same response
@@ -133,4 +213,4 @@ let serve_native ~env ~clock ~rng ~path =
                 ignore (Wasp.Hostenv.close_fd env ~fd);
                 (200, contents)))
   in
-  { status; body; cycles = Cycles.Clock.elapsed_since clock start; hypercalls = 0 }
+  { status; body; cycles = Cycles.Clock.elapsed_since clock start; hypercalls = 0; exits = 0 }

@@ -13,6 +13,19 @@ val source : string
 
 val compile : snapshot:bool -> Vcc.Compile.compiled
 
+val ring_source : string
+(** The batched handler: one discrete [read] pulls the request, then
+    stat/open/read/write/close/exit ride the hypercall ring as a single
+    [ring_enter] doorbell — two VM exits per request instead of seven.
+    The response is a vectored zero-copy write (header segment + a body
+    segment whose length links to the file read's byte count); stat/open
+    are halt-flagged so a miss cancels the batch and the guest serves
+    the 404 on the slow path. See docs/hypercalls.md. *)
+
+val compile_ring : snapshot:bool -> Vcc.Compile.compiled
+(** {!ring_source} compiled as image ["fileserver_ring"] (the name the
+    replay tooling keys on to rebuild the host environment). *)
+
 val add_default_files : Wasp.Hostenv.t -> string
 (** Populate the host filesystem with the static corpus; returns the
     path the request generator asks for. *)
@@ -25,6 +38,7 @@ type served = {
   body : string;
   cycles : int64;         (** service time *)
   hypercalls : int;
+  exits : int;            (** KVM_RUN exits the request cost (0 native) *)
 }
 
 val serve_virtine : Wasp.Runtime.t -> Vcc.Compile.compiled -> path:string -> served

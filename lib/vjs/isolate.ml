@@ -36,6 +36,10 @@ let run t ~input ~decode ~encode =
           | Ok _ -> Ok e
           | Error msg -> Error msg
         in
+        (* On the cold path the snapshot capture and the input fetch ride
+           one crossing (the native analogue of the guest hypercall ring);
+           warm invocations only ever need the [get_data]. *)
+        let snapshot_pending = ref false in
         let engine =
           match restored with
           | Some (Isolate_engine e) ->
@@ -54,7 +58,7 @@ let run t ~input ~decode ~encode =
                       match build ~charged:false with
                       | Ok fresh -> Isolate_engine fresh
                       | Error msg -> failwith msg);
-                  ignore (N.hypercall ctx Wasp.Hc.snapshot [||]);
+                  snapshot_pending := true;
                   Ok e)
         in
         match engine with
@@ -64,9 +68,18 @@ let run t ~input ~decode ~encode =
         | Ok engine -> (
             (* pull the input through the data channel *)
             let buf = N.alloc ctx (max 8 (Bytes.length input)) in
+            let get_args =
+              [| Int64.of_int buf; Int64.of_int (Bytes.length input) |]
+            in
             let n =
-              N.hypercall ctx Wasp.Hc.get_data
-                [| Int64.of_int buf; Int64.of_int (Bytes.length input) |]
+              if !snapshot_pending then
+                match
+                  N.hypercall_batch ctx
+                    [ (Wasp.Hc.snapshot, [||]); (Wasp.Hc.get_data, get_args) ]
+                with
+                | [ _; n ] -> n
+                | _ -> Wasp.Hc.err_inval
+              else N.hypercall ctx Wasp.Hc.get_data get_args
             in
             let mem = N.mem ctx in
             let data = Vm.Memory.read_bytes mem ~off:buf ~len:(Int64.to_int n) in

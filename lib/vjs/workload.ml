@@ -80,6 +80,10 @@ let run_virtine w ~input ~snapshot ~teardown ~key =
       ?snapshot_key:(if snapshot then Some key else None)
       ~body:(fun ctx ~restored ->
         let charge c = N.charge ctx c in
+        (* Cold path: the snapshot capture and the input fetch share one
+           crossing via [hypercall_batch]; the warm path pays a single
+           [get_data] round trip. *)
+        let snapshot_pending = ref false in
         let engine =
           match restored with
           | Some (Js_engine e) ->
@@ -108,15 +112,22 @@ let run_virtine w ~input ~snapshot ~teardown ~key =
                     | Ok _ -> ()
                     | Error err -> failwith ("js error: " ^ err));
                     Js_engine fresh);
-                ignore (N.hypercall ctx Wasp.Hc.snapshot [||])
+                snapshot_pending := true
               end;
               e
         in
         (* pull the input through the only data channel *)
         let buf = N.alloc ctx (Bytes.length input) in
+        let get_args = [| Int64.of_int buf; Int64.of_int (Bytes.length input) |] in
         let n =
-          N.hypercall ctx Wasp.Hc.get_data
-            [| Int64.of_int buf; Int64.of_int (Bytes.length input) |]
+          if !snapshot_pending then
+            match
+              N.hypercall_batch ctx
+                [ (Wasp.Hc.snapshot, [||]); (Wasp.Hc.get_data, get_args) ]
+            with
+            | [ _; n ] -> n
+            | _ -> Wasp.Hc.err_inval
+          else N.hypercall ctx Wasp.Hc.get_data get_args
         in
         let mem = N.mem ctx in
         let data = Vm.Memory.read_bytes mem ~off:buf ~len:(Int64.to_int n) in

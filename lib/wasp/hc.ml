@@ -14,8 +14,9 @@ let recv = 10
 let brk = 11
 let clock = 12
 let getrandom = 13
+let ring_enter = 14
 
-let count = 14
+let count = 15
 
 let name = function
   | 0 -> "exit"
@@ -32,6 +33,7 @@ let name = function
   | 11 -> "brk"
   | 12 -> "clock"
   | 13 -> "getrandom"
+  | 14 -> "ring_enter"
   | n -> Printf.sprintf "hc%d" n
 
 let err_denied = -1L
@@ -39,3 +41,4 @@ let err_fault = -14L
 let err_badf = -9L
 let err_noent = -2L
 let err_inval = -22L
+let err_canceled = -125L

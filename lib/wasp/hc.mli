@@ -28,8 +28,18 @@ val brk : int          (** brk(delta) -> old break (guest heap) *)
 val clock : int        (** clock() -> virtual cycle counter *)
 val getrandom : int    (** getrandom() -> 64 random bits *)
 
+val ring_enter : int
+(** ring_enter(): the batching doorbell. The guest queues descriptors on
+    the submission ring ({!Layout.ring_base}, see [Wasp.Ring]) and rings
+    once; the host drains every pending entry in that single exit and
+    returns the number completed in r0. The doorbell itself is transport
+    (always permitted, like [exit_]); each queued operation is still
+    policy-checked individually. See docs/hypercalls.md. *)
+
 val count : int
-(** Numbers are dense in [0, count). *)
+(** Numbers are dense in [0, count). Dispatching a number outside that
+    range completes with {!err_inval} — it never falls through to a
+    handler. *)
 
 val name : int -> string
 (** Human-readable name, "hc<N>" if unknown. *)
@@ -38,4 +48,8 @@ val err_denied : int64   (** -1: policy refused the hypercall. *)
 val err_fault : int64    (** -14: a guest pointer failed validation. *)
 val err_badf : int64     (** -9: unknown descriptor. *)
 val err_noent : int64    (** -2: no such file. *)
-val err_inval : int64    (** -22: invalid argument (e.g. once-only violated). *)
+val err_inval : int64    (** -22: invalid argument (e.g. once-only violated,
+                             out-of-range hypercall number, bad ring link). *)
+val err_canceled : int64 (** -125: ring op cancelled (an earlier op in the
+                             batch halted the chain or a linked dependency
+                             failed); the op was never dispatched. *)

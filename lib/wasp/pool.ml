@@ -18,7 +18,11 @@ type stats = {
   mutable evicted : int;
   mutable clean_stalls : int;
   mutable stall_cycles : int64;
+  mutable prewarmed : int;
+  mutable prewarm_hits : int;
 }
+
+type prewarm = { pw_mem_size : int; pw_mode : Vm.Modes.t; pw_target : int }
 
 type cached = { c_shell : shell; last_used : int64 }
 
@@ -28,6 +32,7 @@ type shard = {
   id : int;
   buckets : (int, cached list ref) Hashtbl.t;  (* mem_size -> MRU-first list *)
   reclaim : pending Queue.t;                   (* oldest release first *)
+  prewarmed : shell Queue.t;                   (* pre-built, never-run shells *)
   mutable cached_count : int;
 }
 
@@ -37,6 +42,7 @@ type t = {
   clean : clean_mode;
   capacity : int;
   mutable policy : reclaim_policy;
+  mutable prewarm : prewarm option;
   stats : stats;
   mutable telemetry : Telemetry.Hub.t option;
   mutable probes : Vtrace.Engine.t option;
@@ -48,10 +54,17 @@ let create ?(capacity = 64) sys ~clean =
     sys;
     shards =
       Array.init (Kvmsim.Kvm.cores sys) (fun id ->
-          { id; buckets = Hashtbl.create 8; reclaim = Queue.create (); cached_count = 0 });
+          {
+            id;
+            buckets = Hashtbl.create 8;
+            reclaim = Queue.create ();
+            prewarmed = Queue.create ();
+            cached_count = 0;
+          });
     clean;
     capacity;
     policy = Eager;
+    prewarm = None;
     stats =
       {
         created = 0;
@@ -61,6 +74,8 @@ let create ?(capacity = 64) sys ~clean =
         evicted = 0;
         clean_stalls = 0;
         stall_cycles = 0L;
+        prewarmed = 0;
+        prewarm_hits = 0;
       };
     telemetry = None;
     probes = None;
@@ -187,6 +202,94 @@ let take_pending shard mem_size =
   done;
   !found
 
+(* ------------------------------------------------------------------ *)
+(* Pipelined pre-boot (async refill)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Deterministic cost of building one shell from scratch — the same
+   KVM_CREATE_VM + memslot + KVM_CREATE_VCPU path a miss charges, minus
+   the jitter (background work must replay cycle-for-cycle). *)
+let shell_cost =
+  Cycles.Costs.kvm_create_vm + Cycles.Costs.kvm_memory_region
+  + Cycles.Costs.kvm_create_vcpu
+
+let set_prewarm t cfg =
+  (match cfg with
+  | Some { pw_target; pw_mem_size; _ } ->
+      if pw_target < 1 then invalid_arg "Pool.set_prewarm: target must be >= 1";
+      if pw_mem_size < 1 then invalid_arg "Pool.set_prewarm: mem_size must be >= 1"
+  | None -> ());
+  t.prewarm <- cfg
+
+let prewarm t = t.prewarm
+
+let prewarm_depth t ~core = Queue.length t.shards.(core).prewarmed
+
+let note_prewarm t =
+  tgauge t "wasp_pool_prewarm_depth"
+    (float_of_int
+       (Array.fold_left (fun acc s -> acc + Queue.length s.prewarmed) 0 t.shards));
+  tgauge t "wasp_pool_background_cycles" (Int64.to_float t.stats.background_cycles)
+
+(* Book one background shell build against [core]'s shard without
+   touching any clock: Kvm.build_shell charges nothing, the construction
+   cost lands in [background_cycles] and the caller's idle budget. *)
+let build_prewarmed t ~core ~mem_size ~mode =
+  let vcpu = Kvmsim.Kvm.build_shell t.sys ~core ~size:mem_size ~mode in
+  let vm = Kvmsim.Kvm.vcpu_vm vcpu in
+  let shell =
+    { vm; vcpu; mem = Kvmsim.Kvm.vm_memory vm; mem_size; home = core }
+  in
+  Queue.push shell t.shards.(core).prewarmed;
+  t.stats.prewarmed <- t.stats.prewarmed + 1;
+  t.stats.background_cycles <-
+    Int64.add t.stats.background_cycles (Int64.of_int shell_cost);
+  tincr t "wasp_pool_prewarmed_total";
+  fire t "pool_prewarm" ~reason:"build" ~cycles:(Int64.of_int shell_cost) ~nr:mem_size
+
+let prewarm_step t ~core ~budget =
+  match t.prewarm with
+  | None -> 0
+  | Some { pw_mem_size; pw_mode; pw_target } ->
+      let shard = t.shards.(core) in
+      let spent = ref 0 in
+      while
+        Queue.length shard.prewarmed < pw_target && !spent + shell_cost <= budget
+      do
+        build_prewarmed t ~core ~mem_size:pw_mem_size ~mode:pw_mode;
+        spent := !spent + shell_cost
+      done;
+      if !spent > 0 then note_prewarm t;
+      !spent
+
+let take_prewarmed t ~mem_size ~mode =
+  let shard = current_shard t in
+  match Queue.peek_opt shard.prewarmed with
+  | Some shell when shell.mem_size = mem_size ->
+      ignore (Queue.pop shard.prewarmed);
+      t.stats.prewarm_hits <- t.stats.prewarm_hits + 1;
+      tincr t "wasp_pool_prewarm_hits_total";
+      (* The handoff is one ioctl to adopt the prepared context, plus a
+         vCPU reset into the requested mode — never the creation path. *)
+      Cycles.Clock.advance_int (Kvmsim.Kvm.clock t.sys) Cycles.Costs.ioctl_syscall;
+      Kvmsim.Kvm.reset_vcpu shell.vcpu ~mode;
+      fire t "pool_prewarm" ~reason:"take" ~cycles:(Int64.of_int Cycles.Costs.ioctl_syscall)
+        ~nr:mem_size;
+      (* Standalone (Eager) mode assumes the background builder keeps
+         up, mirroring Async+Eager cleaning: refill immediately as
+         background work. Scheduled mode waits for idle-cycle
+         prewarm_step calls. *)
+      (match (t.policy, t.prewarm) with
+      | Eager, Some { pw_mem_size; pw_mode; pw_target } ->
+          if
+            pw_mem_size = mem_size
+            && Queue.length shard.prewarmed < pw_target
+          then build_prewarmed t ~core:shard.id ~mem_size:pw_mem_size ~mode:pw_mode
+      | (Eager | Scheduled), _ -> ());
+      note_prewarm t;
+      Some shell
+  | Some _ | None -> None
+
 let acquire t ~mem_size ~mode =
   let shard = current_shard t in
   (* A nested span (inside the provision phase) so a traced request can
@@ -239,18 +342,31 @@ let acquire t ~mem_size ~mode =
             fire t "pool_acquire" ~reason:"stall"
               ~cycles:(Int64.of_int p.remaining) ~nr:mem_size;
             hit p.p_shell
-        | None ->
-            t.stats.created <- t.stats.created + 1;
-            fire t "pool_acquire" ~reason:"miss" ~cycles:0L ~nr:mem_size;
-            (match t.telemetry with
-            | Some h ->
-                Telemetry.Hub.incr h "wasp_pool_misses_total";
-                Telemetry.Hub.instant h "pool_miss"
-            | None -> ());
-            let vm = Kvmsim.Kvm.create_vm t.sys in
-            let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
-            let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
-            ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys }, false))
+        | None -> (
+            match take_prewarmed t ~mem_size ~mode with
+            | Some shell ->
+                (* Pipelined pre-boot hit: the shell was built on idle
+                   cycles, so the acquire pays only the handoff. *)
+                t.stats.reused <- t.stats.reused + 1;
+                fire t "pool_acquire" ~reason:"prewarm" ~cycles:0L ~nr:mem_size;
+                (match t.telemetry with
+                | Some h ->
+                    Telemetry.Hub.incr h "wasp_pool_hits_total";
+                    Telemetry.Hub.instant h "pool_prewarm_hit"
+                | None -> ());
+                (shell, true)
+            | None ->
+                t.stats.created <- t.stats.created + 1;
+                fire t "pool_acquire" ~reason:"miss" ~cycles:0L ~nr:mem_size;
+                (match t.telemetry with
+                | Some h ->
+                    Telemetry.Hub.incr h "wasp_pool_misses_total";
+                    Telemetry.Hub.instant h "pool_miss"
+                | None -> ());
+                let vm = Kvmsim.Kvm.create_vm t.sys in
+                let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+                let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+                ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys }, false)))
   in
   note_size t;
   result

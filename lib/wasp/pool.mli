@@ -39,12 +39,20 @@ type reclaim_policy =
 
 type stats = {
   mutable created : int;     (** shells built from scratch *)
-  mutable reused : int;      (** pool hits (including stalled hits) *)
+  mutable reused : int;      (** pool hits (including stalled and prewarm hits) *)
   mutable cleans : int;
-  mutable background_cycles : int64;  (** async cleaning work *)
+  mutable background_cycles : int64;  (** async cleaning + prewarm work *)
   mutable evicted : int;     (** shells dropped by LRU eviction *)
   mutable clean_stalls : int;         (** acquires that waited on a clean *)
   mutable stall_cycles : int64;       (** cycles spent in those waits *)
+  mutable prewarmed : int;            (** shells pre-built on idle cycles *)
+  mutable prewarm_hits : int;         (** acquires served from the prewarm queue *)
+}
+
+type prewarm = {
+  pw_mem_size : int;   (** guest region size to pre-build *)
+  pw_mode : Vm.Modes.t;
+  pw_target : int;     (** per-shard depth to keep pre-built *)
 }
 
 type t
@@ -94,6 +102,45 @@ val drain : t -> core:int -> budget:int -> int
     enter the shard cache. Returns the cycles actually spent. The caller
     (the scheduler's idle path) is responsible for advancing the core's
     clock by the returned amount. *)
+
+(** {1 Pipelined pre-boot (async refill)}
+
+    The paper's async clean-up moves shell {e cleaning} off the critical
+    path; prewarming moves shell {e creation} off it too. Configure a
+    prewarm target and idle cycles ({!prewarm_step}) pre-build complete
+    never-run shells (VM + memory + vCPU, via {!Kvmsim.Kvm.build_shell});
+    an acquire that would otherwise miss adopts one for the price of a
+    single ioctl handoff instead of the full KVM creation path. *)
+
+val set_prewarm : t -> prewarm option -> unit
+(** Arm (or disarm) pipelined pre-boot. Raises [Invalid_argument] on a
+    non-positive target or mem_size. *)
+
+val prewarm : t -> prewarm option
+
+val prewarm_step : t -> core:int -> budget:int -> int
+(** Pre-build shells for [core]'s shard until its prewarm queue reaches
+    the configured target or [budget] cycles are used ({!shell_cost}
+    each, booked as background work). Returns the cycles spent; as with
+    {!drain}, the caller advances the core's clock. No-op when prewarm
+    is unconfigured. *)
+
+val take_prewarmed : t -> mem_size:int -> mode:Vm.Modes.t -> shell option
+(** Adopt a pre-built shell from the current core's shard, if the head
+    of its prewarm queue matches [mem_size]: charges one
+    [Costs.ioctl_syscall] handoff on the current clock and resets the
+    vCPU into [mode]. Under the {!Eager} reclaim policy the taken shell
+    is immediately replaced as background work (the standalone
+    keeps-up model); under {!Scheduled}, refill waits for idle
+    {!prewarm_step} calls. Used by {!acquire} on what would otherwise
+    be a miss; exposed for pool-disabled runtimes. *)
+
+val prewarm_depth : t -> core:int -> int
+(** Pre-built shells waiting on [core]'s shard. *)
+
+val shell_cost : int
+(** Deterministic cycles to build one shell from scratch
+    (KVM_CREATE_VM + memslot + KVM_CREATE_VCPU, jitter-free). *)
 
 val size : t -> int
 (** Shells currently cached (all shards; excludes the reclaim queues). *)

@@ -83,6 +83,9 @@ let current_core t = Kvmsim.Kvm.current_core t.sys
 let set_reclaim_policy t policy = Pool.set_reclaim_policy t.pool policy
 let drain_reclaim t ~core ~budget = Pool.drain t.pool ~core ~budget
 let reclaim_depth t ~core = Pool.reclaim_depth t.pool ~core
+let set_prewarm t cfg = Pool.set_prewarm t.pool cfg
+let prewarm_step t ~core ~budget = Pool.prewarm_step t.pool ~core ~budget
+let prewarm_depth t ~core = Pool.prewarm_depth t.pool ~core
 let rng t = Kvmsim.Kvm.rng t.sys
 let env t = t.hostenv
 let kvm t = t.sys
@@ -205,20 +208,40 @@ let note_mem_gauges t mem =
 let acquire_shell t ~mem_size ~mode =
   if t.pool_enabled then Pool.acquire t.pool ~mem_size ~mode
   else begin
-    let stats = Pool.stats t.pool in
-    stats.created <- stats.created + 1;
-    let vm = Kvmsim.Kvm.create_vm t.sys in
-    let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
-    let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
-    ( ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys } : Pool.shell),
-      false )
+    (* Pool-less runtimes still benefit from pipelined pre-boot: a
+       pre-built shell replaces the whole creation path with a handoff. *)
+    match Pool.take_prewarmed t.pool ~mem_size ~mode with
+    | Some shell -> (shell, false)
+    | None ->
+        let stats = Pool.stats t.pool in
+        stats.created <- stats.created + 1;
+        let vm = Kvmsim.Kvm.create_vm t.sys in
+        let mem = Kvmsim.Kvm.set_user_memory_region vm ~size:mem_size in
+        let vcpu = Kvmsim.Kvm.create_vcpu vm ~mode in
+        ( ({ vm; vcpu; mem; mem_size; home = Kvmsim.Kvm.current_core t.sys } : Pool.shell),
+          false )
   end
 
 let release_shell t shell = if t.pool_enabled then Pool.release t.pool shell
 
 (* Dispatch one hypercall: policy check, then client override or canned
-   handler. Returns the value for r0 and whether execution should stop. *)
+   handler. Returns the value for r0 and whether execution should stop.
+   Numbers outside [0, Hc.count) are rejected up front with [err_inval]
+   (and a flight note) — they must never reach the policy bitmask or a
+   handler table, where an attacker-controlled number could alias a
+   permitted entry. *)
 let dispatch t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot nr args =
+  if nr < 0 || nr >= Hc.count then begin
+    inv.hypercalls <- inv.hypercalls + 1;
+    Log.debug (fun m -> m "hypercall number %d out of range" nr);
+    (match Kvmsim.Kvm.flight t.sys with
+    | Some fr ->
+        Profiler.Flight.append_note fr
+          (Printf.sprintf "hypercall out of range: %d -> EINVAL" nr)
+    | None -> ());
+    Hc.err_inval
+  end
+  else
   let allowed = Policy.allows policy nr in
   tspan t ~args:[ ("nr", Hc.name nr); ("allowed", string_of_bool allowed) ] "hypercall"
     (fun () ->
@@ -271,6 +294,202 @@ let dispatch t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot nr args =
       r0)
 
 let no_overrides (_ : int) : Inv.handler option = None
+
+(* ------------------------------------------------------------------ *)
+(* Hypercall ring drain                                                *)
+(* ------------------------------------------------------------------ *)
+
+(* Simulated guest-side instruction cost of producing one SQE, retired
+   against the fuel budget before the op dispatches. Charging fuel per
+   op keeps the watchdog meaningful for ring traffic: a guest cannot
+   smuggle unbounded work through one doorbell, and a drain that runs
+   out of fuel stops mid-batch with its partial completions persisted
+   (sq_head/cq_tail are written back per op), which replays
+   deterministically. *)
+let ring_op_fuel = 16
+
+type drain_outcome = Drain_done of int64 | Drain_fault of Vm.Cpu.fault
+
+(* Drain every pending SQE in one VM exit. The doorbell is pure
+   transport — always permitted, like [exit_] — but every queued op
+   goes through the ordinary [dispatch] (policy, handlers, spans), each
+   charged the deterministic in-kernel [hypercall_dispatch] cost instead
+   of a full exit/entry round trip: that difference is the entire point
+   of the ring. See docs/hypercalls.md for the ABI. *)
+let drain_ring t ~policy ~handlers ~(inv : Inv.t) ~take_snapshot ~cpu ~mem ~fuel_left =
+  tincr t "wasp_ring_enters_total";
+  inv.hypercalls <- inv.hypercalls + 1;
+  let fire_ring site ~reason ~cycles ~nr =
+    match t.probes with
+    | None -> ()
+    | Some e ->
+        ignore
+          (Vtrace.Engine.fire e
+             (Vtrace.Ctx.make ~core:(current_core t) ?trace:(active_trace t)
+                ~reason ~cycles ~nr site))
+  in
+  (* A corrupt ring header is indistinguishable from any other wild
+     guest write: the whole doorbell completes as a contained guest
+     fault (retryable under supervision), with a black-box dump. *)
+  let corrupt reason =
+    tincr t "wasp_ring_corrupt_total";
+    (match Kvmsim.Kvm.flight t.sys with
+    | Some fr -> t.last_flight <- Some (Profiler.Flight.dump fr ~reason)
+    | None -> ());
+    Drain_fault (Vm.Cpu.Memory_oob { addr = Layout.ring_base; size = Layout.ring_size })
+  in
+  if Vm.Memory.size mem < Layout.ring_end then
+    corrupt "ring_enter with no ring: guest memory smaller than the ring carve-out"
+  else
+    let head0 = Ring.sq_head mem and tail = Ring.sq_tail mem in
+    let pending = Int64.to_int (Int64.sub tail head0) in
+    if Kvmsim.Kvm.plan_fires t.sys Kvmsim.Kvm.site_ring_corrupt then
+      corrupt "injected ring corruption"
+    else if pending < 0 || pending > Layout.ring_entries then
+      corrupt (Printf.sprintf "ring corrupt: sq_head=%Ld sq_tail=%Ld" head0 tail)
+    else begin
+      fire_ring "ring_enter" ~reason:"enter" ~cycles:0L ~nr:(Int64.of_int pending);
+      (* Replay transcript: the doorbell first (head/tail window, ret =
+         pending), then one event per SQE in drain order. Replays re-run
+         the drain for real, so the per-op events self-verify. *)
+      (match t.recorder with
+      | Some rec_ ->
+          Profiler.Replay.add_event rec_
+            ~at:(Cycles.Clock.now (clock t))
+            ~nr:Hc.ring_enter
+            ~args:[| head0; tail; 0L; 0L; 0L |]
+            ~ret:(Int64.of_int pending)
+      | None -> ());
+      let completed = ref 0 in
+      let halted = ref false in
+      let i = ref head0 in
+      let exception Fuel_stop in
+      (try
+         while Int64.compare !i tail < 0 do
+           if fuel_left () < ring_op_fuel then raise Fuel_stop;
+           Vm.Cpu.add_retired cpu ring_op_fuel;
+           let at = Cycles.Clock.now (clock t) in
+           let sqe = Ring.read_sqe mem ~index:!i in
+           let dispatch_args = ref sqe.Ring.args in
+           let result =
+             if inv.exit_code <> None || !halted then Hc.err_canceled
+             else begin
+               (* Resolve the link: the source must be an earlier op of
+                  this same batch (delta >= 1, src >= head0). *)
+               let link =
+                 if Ring.has sqe.Ring.flags Ring.flag_link then begin
+                   let delta = Ring.link_delta sqe.Ring.link in
+                   let srci = Int64.sub !i (Int64.of_int delta) in
+                   if delta < 1 || Int64.compare srci head0 < 0 then `Bad
+                   else
+                     let v = Ring.cqe_result mem ~index:srci in
+                     if Int64.compare v 0L < 0 then `Canceled else `Val v
+                 end
+                 else `None
+               in
+               match link with
+               | `Bad -> Hc.err_inval
+               | `Canceled -> Hc.err_canceled
+               | (`None | `Val _) as link -> (
+                   if sqe.Ring.nr = Hc.ring_enter then
+                     (* no nested doorbells *)
+                     Hc.err_inval
+                   else
+                     try
+                       if Ring.has sqe.Ring.flags Ring.flag_vec then begin
+                         (* Vectored write/send: args = (fd, iov_ptr,
+                            iov_cnt); one dispatch per segment, results
+                            summed, first failure wins. A segment length
+                            of -1 takes the linked result — how a read's
+                            byte count flows into the send that follows
+                            it without a guest round trip. *)
+                         if sqe.Ring.nr <> Hc.write && sqe.Ring.nr <> Hc.send then
+                           Hc.err_inval
+                         else
+                           let fd = sqe.Ring.args.(0)
+                           and iov_ptr = sqe.Ring.args.(1)
+                           and iov_cnt = Int64.to_int sqe.Ring.args.(2) in
+                           if iov_cnt < 0 || iov_cnt > Ring.max_iov then Hc.err_inval
+                           else begin
+                             let total = ref 0L in
+                             let failed = ref None in
+                             let exception Seg_stop in
+                             (try
+                                for s = 0 to iov_cnt - 1 do
+                                  let iov = Ring.read_iov mem ~ptr:iov_ptr ~i:s in
+                                  let len =
+                                    if iov.Ring.iov_len = -1L then
+                                      match link with
+                                      | `Val v -> v
+                                      | `None -> iov.Ring.iov_len
+                                    else iov.Ring.iov_len
+                                  in
+                                  charge t Cycles.Costs.hypercall_dispatch;
+                                  let r =
+                                    dispatch t ~policy ~handlers ~inv ~take_snapshot
+                                      sqe.Ring.nr
+                                      [| fd; iov.Ring.iov_ptr; len; 0L; 0L |]
+                                  in
+                                  if Int64.compare r 0L < 0 then begin
+                                    failed := Some r;
+                                    raise Seg_stop
+                                  end
+                                  else total := Int64.add !total r
+                                done
+                              with Seg_stop -> ());
+                             match !failed with Some r -> r | None -> !total
+                           end
+                       end
+                       else begin
+                         let args = Array.copy sqe.Ring.args in
+                         let bad_pos = ref false in
+                         (match link with
+                         | `Val v ->
+                             let pos = Ring.link_pos sqe.Ring.link in
+                             if pos > 4 then bad_pos := true else args.(pos) <- v
+                         | `None -> ());
+                         if !bad_pos then Hc.err_inval
+                         else begin
+                           dispatch_args := args;
+                           charge t Cycles.Costs.hypercall_dispatch;
+                           dispatch t ~policy ~handlers ~inv ~take_snapshot sqe.Ring.nr
+                             args
+                         end
+                       end
+                     with Vm.Memory.Fault _ ->
+                       (* A wild buffer descriptor (e.g. an iov table
+                          outside guest memory) fails just its own op. *)
+                       Hc.err_fault)
+             end
+           in
+           Ring.write_cqe mem ~index:!i ~nr:sqe.Ring.nr ~result;
+           (match t.recorder with
+           | Some rec_ ->
+               Profiler.Replay.add_event rec_ ~at ~nr:sqe.Ring.nr ~args:!dispatch_args
+                 ~ret:result
+           | None -> ());
+           (match Kvmsim.Kvm.flight t.sys with
+           | Some fr ->
+               Profiler.Flight.append_note fr
+                 (Printf.sprintf "ring[%Ld] %s -> %Ld" !i (Hc.name sqe.Ring.nr) result)
+           | None -> ());
+           fire_ring "ring_op" ~reason:(Hc.name sqe.Ring.nr)
+             ~cycles:(Cycles.Clock.elapsed_since (clock t) at)
+             ~nr:(Int64.of_int sqe.Ring.nr);
+           if Ring.has sqe.Ring.flags Ring.flag_halt && Int64.compare result 0L < 0 then
+             halted := true;
+           incr completed;
+           i := Int64.add !i 1L;
+           (* Per-op cursor write-back: a drain cut short by fuel leaves
+              its completions visible and resumes exactly here. *)
+           Ring.set_sq_head mem !i;
+           Ring.set_cq_tail mem !i
+         done
+       with Fuel_stop -> ());
+      tincr t ~by:!completed "wasp_ring_ops_total";
+      tobserve t "wasp_ring_batch_size" (Int64.of_int !completed);
+      Drain_done (Int64.of_int !completed)
+    end
 
 (* The invocation body. Every charged cycle between [start] and the end
    of the [clean] phase falls inside exactly one phase span (provision,
@@ -428,11 +647,21 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
   let fuel_left () =
     fuel - Int64.to_int (Int64.sub (Vm.Cpu.instructions_retired cpu) retired_at_start)
   in
+  let exits = ref 0 in
   let rec loop () =
     if fuel_left () <= 0 then Fuel_exhausted
     else begin
+      incr exits;
       match Kvmsim.Kvm.run ~fuel:(fuel_left ()) shell.vcpu with
       | Kvmsim.Kvm.Hlt -> Exited (Vm.Cpu.get_reg cpu 0)
+      | Kvmsim.Kvm.Io_out { port; value } when
+          port = Hc.port && Int64.to_int value = Hc.ring_enter -> (
+          (* The batching doorbell: one exit drains the whole ring. *)
+          match drain_ring t ~policy ~handlers ~inv ~take_snapshot ~cpu ~mem ~fuel_left with
+          | Drain_fault f -> Faulted f
+          | Drain_done r0 -> (
+              Vm.Cpu.set_reg cpu 0 r0;
+              match inv.exit_code with Some code -> Exited code | None -> loop ()))
       | Kvmsim.Kvm.Io_out { port; value } ->
           if port = Hc.port then begin
             let nr = Int64.to_int value in
@@ -548,6 +777,7 @@ let run_inner t (image : Image.t) ~policy ~handlers ~input ~args ~conn ~snapshot
     (match outcome with Exited _ -> `Exited | Faulted _ -> `Faulted | Fuel_exhausted -> `Fuel)
     ~hypercalls:inv.hypercalls ~denied:inv.denied ~from_snapshot;
   tobserve t "wasp_invocation_cycles" cycles;
+  tobserve t "kvm_exits_per_invocation" (Int64.of_int !exits);
   {
     outcome;
     return_value;
@@ -597,29 +827,48 @@ module Native_ctx = struct
 
   let offer_snapshot_state c factory = c.snapshot_factory <- Some factory
 
+  let take_snapshot_of c () =
+    match c.snapshot_key with
+    | None -> Hc.err_inval
+    | Some key ->
+        tspan c.runtime ~args:[ ("key", key) ] "snapshot_capture" (fun () ->
+            let cpu = Kvmsim.Kvm.vcpu_cpu c.shell.vcpu in
+            let footprint =
+              Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
+                ~native_state:c.snapshot_factory
+            in
+            charge c
+              (((footprint + Vm.Memory.page_size - 1) / Vm.Memory.page_size)
+              * Cycles.Costs.ept_map_page);
+            0L)
+
+  let dispatch_one c nr args =
+    let full_args = Array.make 5 0L in
+    Array.blit args 0 full_args 0 (min (Array.length args) 5);
+    dispatch c.runtime ~policy:c.policy ~handlers:c.handlers ~inv:c.inv
+      ~take_snapshot:(take_snapshot_of c) nr full_args
+
   let hypercall c nr args =
     (* Same crossing cost as an [out]-triggered exit. *)
     charge c Cycles.Costs.hypercall_guest_side;
     charge c Cycles.Costs.hypercall_round_trip;
-    let take_snapshot () =
-      match c.snapshot_key with
-      | None -> Hc.err_inval
-      | Some key ->
-          tspan c.runtime ~args:[ ("key", key) ] "snapshot_capture" (fun () ->
-              let cpu = Kvmsim.Kvm.vcpu_cpu c.shell.vcpu in
-              let footprint =
-                Snapshot_store.capture c.runtime.snapshot_store ~key ~mem:c.inv.Inv.mem ~cpu
-                  ~native_state:c.snapshot_factory
-              in
-              charge c
-                (((footprint + Vm.Memory.page_size - 1) / Vm.Memory.page_size)
-                * Cycles.Costs.ept_map_page);
-              0L)
-    in
-    let full_args = Array.make 5 0L in
-    Array.blit args 0 full_args 0 (min (Array.length args) 5);
-    dispatch c.runtime ~policy:c.policy ~handlers:c.handlers ~inv:c.inv ~take_snapshot nr
-      full_args
+    dispatch_one c nr args
+
+  (* The native analogue of the guest ring: one crossing amortized over
+     the batch. The first op pays the full exit/entry round trip (which
+     already includes one in-kernel dispatch); each subsequent op only
+     its [hypercall_dispatch]. Results come back in submission order. *)
+  let hypercall_batch c ops =
+    match ops with
+    | [] -> []
+    | first :: rest ->
+        let r0 = (fun (nr, args) -> hypercall c nr args) first in
+        r0
+        :: List.map
+             (fun (nr, args) ->
+               charge c Cycles.Costs.hypercall_dispatch;
+               dispatch_one c nr args)
+             rest
 end
 
 let run_native_inner t ~name ~mem_size ~mode ~policy ~handlers ~input ~conn ~snapshot_key

@@ -68,6 +68,19 @@ val drain_reclaim : t -> core:int -> budget:int -> int
     returns cycles spent. See {!Pool.drain}. *)
 
 val reclaim_depth : t -> core:int -> int
+
+val set_prewarm : t -> Pool.prewarm option -> unit
+(** Arm (or disarm) pipelined pre-boot of replacement shells (see
+    {!Pool.set_prewarm}): idle cycles pre-build complete shells so a
+    provision that would miss pays only a handoff. Works with the pool
+    disabled too — {!run}/{!run_native} then adopt pre-built shells
+    instead of creating fresh ones. *)
+
+val prewarm_step : t -> core:int -> budget:int -> int
+(** Spend up to [budget] idle cycles pre-building shells for [core];
+    returns cycles spent. See {!Pool.prewarm_step}. *)
+
+val prewarm_depth : t -> core:int -> int
 val rng : t -> Cycles.Rng.t
 val env : t -> Hostenv.t
 val kvm : t -> Kvmsim.Kvm.system
@@ -160,10 +173,13 @@ val set_fault_plan : t -> Cycles.Fault_plan.t option -> unit
 (** Arm (or disarm) a deterministic fault plan on the underlying KVM
     system (see {!Kvmsim.Kvm.set_fault_plan} for the sites, and
     {!Supervisor} for running invocations under one with retries and
-    quarantine). The runtime consumes one extra site itself:
+    quarantine). The runtime consumes two extra sites itself:
     [snapshot_corrupt] — one opportunity per snapshot restore; a fire
     stomps the restored page under the guest PC with an invalid-opcode
-    pattern, so the guest faults at its first fetch. *)
+    pattern, so the guest faults at its first fetch — and
+    [ring_corrupt] — one opportunity per {!Hc.ring_enter} doorbell; a
+    fire makes the drain treat the ring header as corrupt, completing
+    the whole batch as a contained (retryable) guest fault. *)
 
 val fault_plan : t -> Cycles.Fault_plan.t option
 
@@ -238,6 +254,13 @@ module Native_ctx : sig
   val hypercall : ctx -> int -> int64 array -> int64
   (** Cross into the client: charges the full exit/entry round trip, then
       applies policy and handlers exactly as an [out] instruction would. *)
+
+  val hypercall_batch : ctx -> (int * int64 array) list -> int64 list
+  (** The native analogue of the guest hypercall ring: dispatch the ops
+      in order through one crossing. The first op pays the full
+      round trip; each later op only the in-kernel
+      [Costs.hypercall_dispatch]. Returns results in submission order
+      ([[]] for an empty batch). *)
 
   val offer_snapshot_state : ctx -> (unit -> Univ.t) -> unit
   (** Register the factory stored alongside a [snapshot] hypercall; on

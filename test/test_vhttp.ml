@@ -162,6 +162,59 @@ let test_fileserver_native_faster () =
     true
     (nat.Vhttp.Fileserver.cycles < virt.Vhttp.Fileserver.cycles)
 
+(* ------------------------------------------------------------------ *)
+(* Ringed file server (batched hypercalls, two exits per request)       *)
+(* ------------------------------------------------------------------ *)
+
+let setup_ring ~snapshot =
+  let w = Wasp.Runtime.create () in
+  let path = Vhttp.Fileserver.add_default_files (Wasp.Runtime.env w) in
+  let compiled = Vhttp.Fileserver.compile_ring ~snapshot in
+  (w, compiled, path)
+
+let test_fileserver_ring_200 () =
+  let w, compiled, path = setup_ring ~snapshot:false in
+  let served = Vhttp.Fileserver.serve_virtine w compiled ~path in
+  Alcotest.(check int) "status" 200 served.Vhttp.Fileserver.status;
+  Alcotest.(check int) "body bytes" 1024 (String.length served.Vhttp.Fileserver.body);
+  Alcotest.(check bool)
+    (Printf.sprintf "exits %d <= 2" served.Vhttp.Fileserver.exits)
+    true
+    (served.Vhttp.Fileserver.exits <= 2)
+
+let test_fileserver_ring_matches_classic () =
+  let w, compiled, path = setup_virtine ~snapshot:false in
+  let classic = Vhttp.Fileserver.serve_virtine w compiled ~path in
+  let w2, ringed_c, _ = setup_ring ~snapshot:false in
+  let ringed = Vhttp.Fileserver.serve_virtine w2 ringed_c ~path in
+  Alcotest.(check int) "same status" classic.Vhttp.Fileserver.status
+    ringed.Vhttp.Fileserver.status;
+  Alcotest.(check string) "same body" classic.Vhttp.Fileserver.body
+    ringed.Vhttp.Fileserver.body;
+  Alcotest.(check bool)
+    (Printf.sprintf "ringed %d exits < classic %d" ringed.Vhttp.Fileserver.exits
+       classic.Vhttp.Fileserver.exits)
+    true
+    (ringed.Vhttp.Fileserver.exits < classic.Vhttp.Fileserver.exits)
+
+let test_fileserver_ring_404 () =
+  let w, compiled, _ = setup_ring ~snapshot:false in
+  let served = Vhttp.Fileserver.serve_virtine w compiled ~path:"/missing" in
+  Alcotest.(check int) "status" 404 served.Vhttp.Fileserver.status
+
+let test_fileserver_ring_faster () =
+  let w, compiled, path = setup_virtine ~snapshot:false in
+  ignore (Vhttp.Fileserver.serve_virtine w compiled ~path);
+  let classic = Vhttp.Fileserver.serve_virtine w compiled ~path in
+  let w2, ringed_c, _ = setup_ring ~snapshot:false in
+  ignore (Vhttp.Fileserver.serve_virtine w2 ringed_c ~path);
+  let ringed = Vhttp.Fileserver.serve_virtine w2 ringed_c ~path in
+  Alcotest.(check bool)
+    (Printf.sprintf "ringed %Ld < classic %Ld cycles" ringed.Vhttp.Fileserver.cycles
+       classic.Vhttp.Fileserver.cycles)
+    true
+    (ringed.Vhttp.Fileserver.cycles < classic.Vhttp.Fileserver.cycles)
+
 let test_fileserver_bad_request () =
   let w, compiled, _ = setup_virtine ~snapshot:false in
   let vi =
@@ -209,5 +262,13 @@ let () =
           Alcotest.test_case "native matches" `Quick test_fileserver_native_matches_virtine;
           Alcotest.test_case "native faster" `Quick test_fileserver_native_faster;
           Alcotest.test_case "bad request" `Quick test_fileserver_bad_request;
+        ] );
+      ( "fileserver-ring",
+        [
+          Alcotest.test_case "ring 200 + two exits" `Quick test_fileserver_ring_200;
+          Alcotest.test_case "ring matches classic" `Quick
+            test_fileserver_ring_matches_classic;
+          Alcotest.test_case "ring 404 slow path" `Quick test_fileserver_ring_404;
+          Alcotest.test_case "ring faster" `Quick test_fileserver_ring_faster;
         ] );
     ]
