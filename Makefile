@@ -8,7 +8,8 @@ BENCH_GATE_FIGS ?= fig12 memshare chaos_slo translate rings
 
 .PHONY: all check test bench bench-json bench-baselines bench-gate \
 	trace-smoke sched-smoke profiler-smoke chaos-smoke slo-smoke \
-	explain-smoke translate-smoke vtrace-smoke ring-smoke fmt clean
+	explain-smoke translate-smoke vtrace-smoke ring-smoke \
+	fuzz-smoke fuzz-fixtures fuzz-nightly fmt clean
 
 all:
 	dune build
@@ -25,6 +26,8 @@ check:
 	$(MAKE) translate-smoke
 	$(MAKE) vtrace-smoke
 	$(MAKE) ring-smoke
+	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-fixtures
 
 test: check
 
@@ -135,6 +138,42 @@ ring-smoke:
 	dune exec bin/wasprun.exe -- --vhttp --record $$d/ring.vxr; \
 	dune exec bin/wasprun.exe -- --replay $$d/ring.vxr --no-translate; \
 	dune exec bin/wasprun.exe -- --replay $$d/ring.vxr
+
+# fuzz smoke: a fixed-iteration campaign must be clean AND byte-identical
+# across two same-seed runs, and the differential oracle must catch both
+# planted harness canaries (a reverted shift-mask guard emulated in a
+# harness arm, and a one-cycle translator skew) within the same budget
+fuzz-smoke:
+	@set -eu; d=$$(mktemp -d); trap 'rm -rf "$$d"' EXIT INT TERM; \
+	dune exec bin/fuzz_cli.exe -- --iters 25 --seed 0xF022 > $$d/a.txt; \
+	dune exec bin/fuzz_cli.exe -- --iters 25 --seed 0xF022 > $$d/b.txt; \
+	cmp $$d/a.txt $$d/b.txt \
+	  || { echo "fuzz-smoke: same-seed campaigns diverged"; diff $$d/a.txt $$d/b.txt; exit 1; }; \
+	grep -E 'FUZZ: iters=25 corpus=[0-9]+ coverage_bits=[0-9]+ findings=0' $$d/a.txt \
+	  || { echo "fuzz-smoke: campaign not clean:"; cat $$d/a.txt; exit 1; }; \
+	dune exec bin/fuzz_cli.exe -- --iters 5 --seed 3 --canary shift-mask \
+	  --expect-finding canary-divergence > $$d/c1.txt \
+	  || { echo "fuzz-smoke: shift-mask canary missed:"; cat $$d/c1.txt; exit 1; }; \
+	dune exec bin/fuzz_cli.exe -- --iters 5 --seed 3 --canary cycle-skew \
+	  --expect-finding canary-divergence > $$d/c2.txt \
+	  || { echo "fuzz-smoke: cycle-skew canary missed:"; cat $$d/c2.txt; exit 1; }; \
+	grep -h 'FUZZ-SMOKE' $$d/c1.txt $$d/c2.txt
+
+# replay every committed reproducer on BOTH engines and require
+# byte-identical recordings (CI runs this on every PR)
+fuzz-fixtures:
+	dune exec bin/fuzz_cli.exe -- --check-fixtures test/fixtures
+
+# the nightly lane: a time-boxed campaign with a persistent corpus
+# (FUZZ_BUDGET CPU-seconds, FUZZ_CORPUS carried across nights by CI)
+FUZZ_BUDGET ?= 600
+FUZZ_CORPUS ?= fuzz-corpus
+fuzz-nightly:
+	@set -u; mkdir -p $(FUZZ_CORPUS) fuzz-out; \
+	dune exec bin/fuzz_cli.exe -- --time-budget $(FUZZ_BUDGET) \
+	  --corpus $(FUZZ_CORPUS) --fixtures-out fuzz-out/reproducers -v \
+	  > fuzz-out/nightly.log 2>&1; status=$$?; \
+	cat fuzz-out/nightly.log; exit $$status
 
 # formatting gate; skipped gracefully where ocamlformat is not installed
 # (CI always runs it)

@@ -94,28 +94,17 @@ let hc_by_name =
     ("ring_enter", Wasp.Hc.ring_enter);
   ]
 
-let policy_to_string = function
-  | Wasp.Policy.Deny_all -> "deny_all"
-  | Wasp.Policy.Allow_all -> "allow_all"
-  | Wasp.Policy.Mask m -> Printf.sprintf "mask:%Lx" m
-  | Wasp.Policy.Custom _ -> invalid_arg "cannot record a Custom policy"
+let policy_to_string p =
+  match Wasp.Policy.to_string p with
+  | Some s -> s
+  | None -> invalid_arg "cannot record a Custom policy"
 
-let policy_of_string s =
-  match s with
-  | "deny_all" -> Ok Wasp.Policy.Deny_all
-  | "allow_all" -> Ok Wasp.Policy.Allow_all
-  | _ ->
-      if String.length s > 5 && String.sub s 0 5 = "mask:" then
-        match Int64.of_string_opt ("0x" ^ String.sub s 5 (String.length s - 5)) with
-        | Some m -> Ok (Wasp.Policy.Mask m)
-        | None -> Error (Printf.sprintf "bad policy mask %S" s)
-      else Error (Printf.sprintf "unknown policy %S" s)
+let policy_of_string = Wasp.Policy.of_string
 
-let mode_of_string = function
-  | "real" -> Ok Vm.Modes.Real
-  | "protected" -> Ok Vm.Modes.Protected
-  | "long" -> Ok Vm.Modes.Long
-  | s -> Error (Printf.sprintf "unknown mode %S" s)
+let mode_of_string s =
+  match Vm.Modes.of_string s with
+  | Some m -> Ok m
+  | None -> Error (Printf.sprintf "unknown mode %S" s)
 
 let outcome_string = function
   | Wasp.Runtime.Exited _ -> "exited"

@@ -1,0 +1,185 @@
+(* Delta-debugging minimizer for findings.
+
+   [shrink ~check case] greedily reduces a failing case while [check]
+   (reproduces-the-same-finding-class, supplied by the driver) stays
+   true. Guarantees, relied on by the committed-fixture pipeline and
+   checked by the qcheck suite:
+
+   - every intermediate and the result satisfy [check] (same failure
+     class as the input — a shrink never "finds a different bug");
+   - the result's size never exceeds the input's (monotone);
+   - the number of [check] calls is bounded by [budget].
+
+   Passes: instruction-granular ddmin over decodable images (chunk
+   removal, large chunks first), raw tail truncation otherwise,
+   ring-blob tail truncation + SQE zeroing for the ring plane, fault-plan
+   site dropping, and fuel halving. *)
+
+let size (c : Corpus.case) =
+  String.length c.code
+  + (match c.plan with Some p -> String.length p | None -> 0)
+
+type state = { check : Corpus.case -> bool; budget : int; mutable calls : int }
+
+(* One guarded probe: accept only a reproducing, never-larger candidate. *)
+let attempt st (best : Corpus.case) (cand : Corpus.case) =
+  if st.calls >= st.budget || size cand > size best then None
+  else begin
+    st.calls <- st.calls + 1;
+    if st.check cand then Some cand else None
+  end
+
+(* Run [step best] until it stops improving or the budget is gone. *)
+let rec fixpoint st step best =
+  if st.calls >= st.budget then best
+  else
+    match step best with
+    | Some better -> fixpoint st step better
+    | None -> best
+
+(* ------------------------------------------------------------------ *)
+(* Image plane: instruction-granular ddmin                              *)
+(* ------------------------------------------------------------------ *)
+
+let encode instrs = Bytes.to_string (Encoding.encode_program instrs)
+
+let drop_range l from len =
+  List.filteri (fun i _ -> i < from || i >= from + len) l
+
+(* Remove the first removable chunk of [k] instructions; [None] when no
+   chunk of this size can go. *)
+let remove_chunk st best instrs k =
+  let n = List.length instrs in
+  let rec go from =
+    if from >= n then None
+    else
+      let cand = { best with Corpus.code = encode (drop_range instrs from k) } in
+      match attempt st best cand with
+      | Some c -> Some c
+      | None -> go (from + k)
+  in
+  go 0
+
+let ddmin_instrs st best =
+  let rec outer best =
+    match Encoding.decode_program (Bytes.of_string best.Corpus.code) with
+    | exception Encoding.Decode_error _ -> best
+    | instrs ->
+        let n = List.length instrs in
+        if n <= 1 then best
+        else
+          let rec by_chunk k =
+            if k < 1 || st.calls >= st.budget then None
+            else
+              match remove_chunk st best instrs k with
+              | Some c -> Some c
+              | None -> by_chunk (k / 2)
+          in
+          (match by_chunk (n / 2) with Some c -> outer c | None -> best)
+  in
+  outer best
+
+(* Raw fallback: chop the tail, halving the cut until single bytes. *)
+let truncate_tail st best =
+  let step (b : Corpus.case) =
+    let n = String.length b.Corpus.code in
+    if n <= 1 then None
+    else
+      let rec cut k =
+        if k < 1 then None
+        else
+          let cand = { b with Corpus.code = String.sub b.Corpus.code 0 (n - k) } in
+          match attempt st b cand with Some c -> Some c | None -> cut (k / 2)
+      in
+      cut (n / 2)
+  in
+  fixpoint st step best
+
+(* ------------------------------------------------------------------ *)
+(* Ring plane: shrink the data blob, keep the trampoline                *)
+(* ------------------------------------------------------------------ *)
+
+let ring_blob (c : Corpus.case) =
+  let off = Lazy.force Corpus.ring_data_offset in
+  if String.length c.code <= off then None
+  else Some (String.sub c.code off (String.length c.code - off))
+
+let rebuild_ring (c : Corpus.case) blob =
+  Corpus.ring_case ~blob ~seed:c.seed ~policy:c.policy ~fuel:c.fuel ~plan:c.plan
+
+let shrink_ring st best =
+  let step (b : Corpus.case) =
+    match ring_blob b with
+    | None -> None
+    | Some blob ->
+        let n = String.length blob in
+        if n <= 8 then None
+        else
+          let rec cut k =
+            if k < 1 then None
+            else
+              let cand = rebuild_ring b (String.sub blob 0 (n - k)) in
+              match attempt st b cand with Some c -> Some c | None -> cut (k / 2)
+          in
+          cut (n / 2)
+  in
+  fixpoint st step best
+
+(* ------------------------------------------------------------------ *)
+(* Plan and environment                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let shrink_plan st best =
+  let step (b : Corpus.case) =
+    match b.Corpus.plan with
+    | None -> None
+    | Some text ->
+        let parts =
+          List.filter (fun p -> p <> "") (String.split_on_char ';' text)
+        in
+        let seed_parts, sites =
+          List.partition
+            (fun p -> String.length p >= 5 && String.sub p 0 5 = "seed=")
+            parts
+        in
+        let render ss =
+          match seed_parts @ ss with
+          | [] -> None
+          | l -> Some (String.concat ";" l)
+        in
+        if sites = [] then attempt st b { b with Corpus.plan = None }
+        else
+          let rec drop i =
+            if i >= List.length sites then
+              attempt st b { b with Corpus.plan = None }
+            else
+              let cand =
+                { b with Corpus.plan = render (List.filteri (fun j _ -> j <> i) sites) }
+              in
+              match attempt st b cand with Some c -> Some c | None -> drop (i + 1)
+          in
+          drop 0
+  in
+  fixpoint st step best
+
+let shrink_fuel st best =
+  let step (b : Corpus.case) =
+    if b.Corpus.fuel <= 16 then None
+    else attempt st b { b with Corpus.fuel = b.Corpus.fuel / 2 }
+  in
+  fixpoint st step best
+
+(* ------------------------------------------------------------------ *)
+
+let check_calls_bound = 256
+
+let shrink ~check ?(budget = check_calls_bound) (c0 : Corpus.case) =
+  let st = { check; budget; calls = 0 } in
+  let c =
+    match c0.Corpus.plane with
+    | Corpus.Ring_batch -> shrink_ring st c0
+    | _ -> truncate_tail st (ddmin_instrs st c0)
+  in
+  let c = shrink_plan st c in
+  let c = shrink_fuel st c in
+  c

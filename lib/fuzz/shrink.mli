@@ -1,0 +1,17 @@
+(** Delta-debugging minimizer for findings.
+
+    Guarantees (checked by the qcheck suite in [test/test_fuzz.ml]):
+    every intermediate and the final result satisfy [check] (the shrink
+    preserves the finding class it was given), the result is never
+    larger than the input, and [check] is called at most [budget]
+    times. *)
+
+val size : Corpus.case -> int
+(** Shrink metric: code bytes + plan text bytes. *)
+
+val shrink :
+  check:(Corpus.case -> bool) -> ?budget:int -> Corpus.case -> Corpus.case
+(** [check] must hold on the input case; [budget] defaults to
+    {!check_calls_bound}. *)
+
+val check_calls_bound : int

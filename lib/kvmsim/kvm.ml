@@ -20,6 +20,10 @@ type system = {
       (* prebuilt superblock-entry observer, installed on each vCPU's
          translation cache while running; None unless a block probe is
          attached *)
+  exit_reasons : (string, int ref) Hashtbl.t;
+      (* always-on per-reason exit tally (the kvm_exits_total{reason}
+         series without needing a telemetry hub) — the fuzzer's
+         exit-edge coverage signal reads it after every candidate *)
 }
 
 and stats = {
@@ -76,6 +80,7 @@ let open_dev ?(seed = 0x5eed) ?freq_ghz ?(cores = 1) ?(translate = true) () =
     probes = None;
     hc_port = None;
     block_probe = None;
+    exit_reasons = Hashtbl.create 8;
   }
 
 let set_translate sys on = sys.translate <- on
@@ -184,6 +189,9 @@ let kincr sys name =
    ring refactor's exit savings show up as a shrinking [hypercall]
    series rather than a mystery delta in the total. *)
 let note_exit_reason sys reason =
+  (match Hashtbl.find_opt sys.exit_reasons reason with
+  | Some r -> incr r
+  | None -> Hashtbl.replace sys.exit_reasons reason (ref 1));
   match sys.telemetry with
   | None -> ()
   | Some h ->
@@ -191,6 +199,10 @@ let note_exit_reason sys reason =
       Telemetry.Metrics.incr
         (Telemetry.Metrics.counter m ~help:"KVM_RUN exits by cause"
            ~labels:[ ("reason", reason) ] "kvm_exits_total")
+
+let exit_reason_counts sys =
+  Hashtbl.fold (fun reason r acc -> (reason, !r) :: acc) sys.exit_reasons []
+  |> List.sort compare
 
 let charge sys cycles = Cycles.Clock.advance_int (clock sys) (Cycles.Costs.jitter sys.rng ~pct:0.05 cycles)
 

@@ -121,6 +121,13 @@ val set_core : system -> int -> unit
 val rng : system -> Cycles.Rng.t
 val stats : system -> stats
 
+val exit_reason_counts : system -> (string * int) list
+(** Always-on per-reason tally of every {!run} return — the
+    [kvm_exits_total{reason}] series ([hlt]/[hypercall]/[io_out]/
+    [io_in]/[fault]/[fuel]) readable without a telemetry hub, sorted by
+    reason. The fuzzer hashes it (with the flight ring's exit-edge
+    pairs) into its coverage bitmap after each candidate. *)
+
 val set_telemetry : system -> Telemetry.Hub.t option -> unit
 (** Attach (or detach) a telemetry hub; subsequent KVM transitions
     (vm-create, memslot/EPT build, vcpu-create, [KVM_RUN]) open spans and

@@ -113,6 +113,11 @@ let string_of_hex h =
 
 let magic = "vxr1"
 
+(* Largest guest region a recording may describe (64 MB). Recordings of
+   real invocations are tiny; the cap exists so a hostile .vxr cannot
+   make a replayer allocate unbounded memory. *)
+let max_mem_size = 64 * 1024 * 1024
+
 let to_string t =
   let buf = Buffer.create (1024 + (2 * String.length t.code)) in
   Buffer.add_string buf (magic ^ "\n");
@@ -203,11 +208,46 @@ let of_string s =
         | _ -> fail "unknown field %S" key
       end)
     lines;
+  (* Semantic validation: a recording that parses but describes an
+     impossible machine (negative or absurd memory, code that cannot
+     fit, a load outside the region) must be a typed error here, not a
+     [Vm.Memory.Fault] raised later through whatever driver rebuilt the
+     image — fuzz corpora are full of exactly these. *)
+  (match !err with
+  | Some _ -> ()
+  | None ->
+      if t.mem_size <= 0 then fail "bad mem_size %d (must be positive)" t.mem_size
+      else if t.mem_size > max_mem_size then
+        fail "bad mem_size %d (over the %d-byte replay cap)" t.mem_size max_mem_size
+      else if t.origin < 0 then fail "bad origin %d (negative)" t.origin
+      else if t.entry < 0 then fail "bad entry %d (negative)" t.entry
+      else if t.fuel < 0 then fail "bad fuel %d (negative)" t.fuel
+      else if t.origin + String.length t.code > t.mem_size then
+        fail "code does not fit: origin %d + %d bytes > mem_size %d" t.origin
+          (String.length t.code) t.mem_size
+      else if t.entry >= t.mem_size then
+        fail "entry 0x%x outside the %d-byte region" t.entry t.mem_size);
   (match !err with
   | None when !stored_md5 <> "" && !stored_md5 <> image_md5 t ->
       fail "image corrupt: md5 %s does not match recorded %s" (image_md5 t) !stored_md5
   | _ -> ());
   match !err with None -> Ok t | Some m -> Error m
+
+let to_file t path =
+  let oc = open_out_bin path in
+  output_string oc (to_string t);
+  close_out oc
+
+let of_file path =
+  match
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    s
+  with
+  | s -> of_string s
+  | exception Sys_error msg -> Error msg
 
 (* ------------------------------------------------------------------ *)
 (* Divergence detection                                                *)

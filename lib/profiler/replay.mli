@@ -67,7 +67,18 @@ val to_string : t -> string
 (** Render as a [.vxr] file (line-oriented text). *)
 
 val of_string : string -> (t, string) result
-(** Parse a [.vxr] file; verifies the embedded image MD5. *)
+(** Parse a [.vxr] file; verifies the embedded image MD5 and that the
+    recording describes a loadable machine (positive bounded [mem_size],
+    non-negative [origin]/[entry]/[fuel]/[seed], code fitting inside the
+    region, entry inside it). Truncated or garbage input is always a
+    typed [Error], never an exception — replay drivers and the fuzz
+    corpus loader rely on this. *)
+
+val to_file : t -> string -> unit
+(** Write the {!to_string} rendering to [path]. *)
+
+val of_file : string -> (t, string) result
+(** Read and {!of_string} [path]; I/O failures become [Error]. *)
 
 val diff : t -> t -> string list
 (** [diff recorded replayed]: divergences in execution order (empty =

@@ -21,6 +21,12 @@ let sext mode v =
 
 let to_string = function Real -> "real" | Protected -> "protected" | Long -> "long"
 
+let of_string = function
+  | "real" -> Some Real
+  | "protected" -> Some Protected
+  | "long" -> Some Long
+  | _ -> None
+
 let pp ppf m = Format.pp_print_string ppf (to_string m)
 
 let equal (a : t) (b : t) = a = b

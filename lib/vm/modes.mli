@@ -24,6 +24,10 @@ val sext : t -> int64 -> int64
     division and arithmetic shifts). *)
 
 val to_string : t -> string
+
+val of_string : string -> t option
+(** Inverse of {!to_string} (["real"] / ["protected"] / ["long"]). *)
+
 val pp : Format.formatter -> t -> unit
 val equal : t -> t -> bool
 val all : t list

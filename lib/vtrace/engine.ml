@@ -172,6 +172,21 @@ let values t ~probe =
   let p = t.probes.(probe) in
   List.map (fun (key, cell) -> (key, Agg.value p.agg cell)) (Agg.cells p.agg)
 
+(* Flattened per-site firing map: one "site|probe#|key,key" feature per
+   aggregation cell, plus a "site|probe#" fire count per probe. The
+   fuzzer hashes these (feature, value) pairs into its coverage bitmap;
+   the rendering is deterministic (spec order, then key insertion
+   order), so identical executions export identical coverage. *)
+let coverage t =
+  Array.to_list t.probes
+  |> List.concat_map (fun p ->
+         let prefix = Printf.sprintf "%s|%d" p.cspec.Lang.site p.index in
+         (prefix, float_of_int p.fired)
+         :: List.map
+              (fun (key, cell) ->
+                (prefix ^ "|" ^ String.concat "," key, Agg.value p.agg cell))
+              (Agg.cells p.agg))
+
 (* -------------------------------------------------------------- output *)
 
 let agg_column p =

@@ -59,6 +59,13 @@ val probe_stats : t -> (Lang.probe * int * int) list
 val values : t -> probe:int -> (string list * float) list
 (** Probe [probe]'s aggregate per key, insertion order — for tests. *)
 
+val coverage : t -> (string * float) list
+(** Per-site firing map flattened for coverage hashing: a
+    ["site|probe#"] fire-count feature per probe plus a
+    ["site|probe#|key,..."] feature per aggregation cell, in spec then
+    key-insertion order. Deterministic at a fixed seed — the fuzzer's
+    vtrace coverage plane. *)
+
 val render : t -> string
 (** All probes as {!Stats.Report} tables (plus per-key histograms for
     [hist] probes), deterministic byte-for-byte at a fixed seed. *)

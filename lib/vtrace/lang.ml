@@ -17,6 +17,8 @@ let sites =
     "sched";
     "steal";
     "idle";
+    "ring_enter";
+    "ring_op";
   ]
 
 type cmp_op = Eq | Ne | Lt | Le | Gt | Ge

@@ -17,6 +17,25 @@ let allows p nr =
   | Mask m -> nr >= 0 && nr < 64 && Int64.logand m (Int64.shift_left 1L nr) <> 0L
   | Custom f -> f nr
 
+(* The textual form .vxr recordings carry. [Custom] predicates are
+   opaque closures and cannot be serialized. *)
+let to_string = function
+  | Deny_all -> Some "deny_all"
+  | Allow_all -> Some "allow_all"
+  | Mask m -> Some (Printf.sprintf "mask:%Lx" m)
+  | Custom _ -> None
+
+let of_string s =
+  match s with
+  | "deny_all" -> Ok Deny_all
+  | "allow_all" -> Ok Allow_all
+  | _ ->
+      if String.length s > 5 && String.sub s 0 5 = "mask:" then
+        match Int64.of_string_opt ("0x" ^ String.sub s 5 (String.length s - 5)) with
+        | Some m -> Ok (Mask m)
+        | None -> Error (Printf.sprintf "bad policy mask %S" s)
+      else Error (Printf.sprintf "unknown policy %S" s)
+
 let pp ppf = function
   | Deny_all -> Format.pp_print_string ppf "deny-all"
   | Allow_all -> Format.pp_print_string ppf "allow-all"

@@ -25,4 +25,12 @@ val allows : t -> int -> bool
 (** [allows p nr]: [exit] is always allowed; everything else must be
     granted by the policy. *)
 
+val to_string : t -> string option
+(** The textual form [.vxr] recordings carry (["deny_all"],
+    ["allow_all"], ["mask:<hex>"]); [None] for {!Custom} predicates,
+    which are opaque closures. *)
+
+val of_string : string -> (t, string) result
+(** Inverse of {!to_string}. *)
+
 val pp : Format.formatter -> t -> unit
